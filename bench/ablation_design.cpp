@@ -1,0 +1,208 @@
+// Ablations on SpecRPC design choices called out in DESIGN.md:
+//
+//   A. Multiple predictions per RPC (§2: "Using factories enables the
+//      framework to speculate multiple times with different predicted
+//      values"). When the client is unsure between k candidate values,
+//      predicting all of them trades bandwidth/CPU for latency — the hit
+//      rate grows with k.
+//
+//   B. Server-side prediction hand-off time (empirical Figure 7 analogue):
+//      an optimizer-style server specReturns its current best at fraction
+//      t/T of its runtime, with correctness P(t) = 1 - exp(-lambda t/T).
+//      Sweeping t shows the latency-vs-accuracy trade the §4.2 model
+//      optimizes analytically (compare with fig7_optimizer_model).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/microbench.h"
+#include "common/rng.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+using namespace srpc;        // NOLINT
+using namespace srpc::spec;  // NOLINT
+
+namespace {
+
+// --------------------------------------------------------- Ablation A
+
+void ablation_multi_prediction() {
+  std::printf("\nAblation A: number of client-side predictions per RPC\n");
+  std::printf("RPC result is uniform over 4 candidates; the client predicts "
+              "the top-k.\n");
+  bench::Table table({"k (predictions)", "hit rate (%)",
+                      "mean latency (ms)", "callbacks run / request"});
+
+  constexpr auto kServiceTime = std::chrono::milliseconds(10);
+  constexpr int kRequests = 150;
+  for (int k = 0; k <= 4; ++k) {
+    SimNetwork net;
+    SimConfig config;
+    SpecEngine server(net.add_node("server"), net.executor(), net.wheel());
+    SpecEngine client(net.add_node("client"), net.executor(), net.wheel());
+    Rng server_rng(99);
+    server.register_method("pick", Handler([&](const ServerCallPtr& call) {
+      const std::int64_t choice =
+          static_cast<std::int64_t>(server_rng.uniform(4));
+      call->finish_after(kServiceTime, Value(choice));
+    }));
+
+    double total_ms = 0;
+    for (int i = 0; i < kRequests; ++i) {
+      ValueList predictions;
+      for (int p = 0; p < k; ++p) predictions.emplace_back(p);
+      auto factory = []() -> CallbackFn {
+        return [](SpecContext&, const Value& v) -> CallbackResult {
+          // Dependent 10 ms of local work, modelled as a busy constant.
+          return Value(v.as_int() + 100);
+        };
+      };
+      const auto t0 = Clock::now();
+      // The dependent operation itself is another 10 ms RPC so latency
+      // reflects overlap.
+      auto chain = [&]() -> CallbackFactory {
+        return [&]() -> CallbackFn {
+          return [&](SpecContext& ctx, const Value& v) -> CallbackResult {
+            return ctx.call("server", "pick", make_args(v.as_int()), {},
+                            nullptr);
+          };
+        };
+      }();
+      auto future = client.call("server", "pick", make_args(i),
+                                std::move(predictions), chain);
+      future->get();
+      total_ms += to_ms(Clock::now() - t0);
+    }
+    const auto stats = client.stats();
+    const double hit_rate =
+        100.0 * stats.predictions_correct /
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(kRequests));
+    table.row({std::to_string(k), bench::fmt(hit_rate, 1),
+               bench::fmt(total_ms / kRequests),
+               bench::fmt(static_cast<double>(stats.callbacks_spawned) /
+                          kRequests, 2)});
+    client.begin_shutdown();
+    server.begin_shutdown();
+  }
+  table.print();
+  std::printf("Expected: hit rate ~ k/4 * 100%%; latency falls toward 1 "
+              "service time as k grows; callbacks (and bandwidth) grow "
+              "with k.\n");
+}
+
+// --------------------------------------------------------- Ablation B
+
+void ablation_handoff_time() {
+  std::printf("\nAblation B: server-side prediction hand-off time "
+              "(empirical Figure 7, 2 stages)\n");
+  constexpr auto kStageTime = std::chrono::milliseconds(40);
+  constexpr double kLambda = 3.0;
+  constexpr int kRequests = 120;
+
+  bench::Table table({"handoff t (of T)", "P(t) model", "measured hit (%)",
+                      "mean latency (ms)", "speedup vs sequential"});
+  const double sequential_ms = 2.0 * to_ms(kStageTime);
+  for (double frac : {0.1, 0.2, 0.35, 0.5, 0.7, 0.9}) {
+    SimNetwork net;
+    SpecEngine stage1(net.add_node("s1"), net.executor(), net.wheel());
+    SpecEngine stage2(net.add_node("s2"), net.executor(), net.wheel());
+    SpecEngine client(net.add_node("client"), net.executor(), net.wheel());
+    Rng rng(12345);
+
+    // Stage 1: specReturns its current best at t = frac*T; the prediction
+    // is correct with probability 1 - exp(-lambda * frac).
+    stage1.register_method("solve", Handler([&, frac](const ServerCallPtr& c) {
+      const std::int64_t optimum = c->args().at(0).as_int() * 2;
+      const bool converged = rng.uniform01() < 1.0 - std::exp(-kLambda * frac);
+      const std::int64_t best = converged ? optimum : optimum - 1;
+      auto self = c;
+      c->engine().wheel().schedule_after(
+          std::chrono::duration_cast<Duration>(kStageTime * frac),
+          [self, best] {
+            try {
+              self->spec_return(Value(best));
+            } catch (const SpeculationAbandoned&) {
+            }
+          });
+      c->finish_after(kStageTime, Value(optimum));
+    }));
+    stage2.register_method("solve", Handler([&](const ServerCallPtr& c) {
+      c->finish_after(kStageTime, Value(c->args().at(0).as_int() + 7));
+    }));
+
+    double total_ms = 0;
+    for (int i = 0; i < kRequests; ++i) {
+      auto factory = []() -> CallbackFn {
+        return [](SpecContext& ctx, const Value& sol) -> CallbackResult {
+          return ctx.call("s2", "solve", make_args(sol.as_int()), {},
+                          nullptr);
+        };
+      };
+      const auto t0 = Clock::now();
+      client.call("s1", "solve", make_args(i), {}, factory)->get();
+      total_ms += to_ms(Clock::now() - t0);
+    }
+    const auto stats = client.stats();
+    const double mean_ms = total_ms / kRequests;
+    table.row({bench::fmt(frac, 2),
+               bench::fmt(1.0 - std::exp(-kLambda * frac), 3),
+               bench::fmt(100.0 * stats.predictions_correct /
+                              std::max<std::uint64_t>(
+                                  1, stats.predictions_made), 1),
+               bench::fmt(mean_ms), bench::fmt(sequential_ms / mean_ms, 3)});
+    client.begin_shutdown();
+    stage1.begin_shutdown();
+    stage2.begin_shutdown();
+  }
+  table.print();
+  std::printf("Compare the speedup column with fig7_optimizer_model at "
+              "lambda=%.0f, 2 stages: the empirical optimum hand-off should "
+              "sit near the model's t*.\n", kLambda);
+}
+
+// --------------------------------------------------------- Ablation C
+
+void ablation_server_side_prediction() {
+  std::printf("\nAblation C: client-side (Fig 2b) vs server-side (Fig 2c) "
+              "prediction in the microbenchmark\n");
+  std::printf("4 x 10 ms dependent RPCs, 90%% accuracy. Server-side "
+              "predictions only help after the hand-off point, so latency "
+              "grows with the hand-off fraction.\n");
+  bench::Table table({"mode", "handoff (of service)", "mean latency (ms)"});
+  {
+    wl::MicroConfig config;
+    config.flavor = Flavor::kSpec;
+    config.correct_rate = 0.9;
+    config.seed = 99;
+    const auto r = wl::run_microbench(config, bench::warmup(),
+                                      bench::measure());
+    table.row({"client-side", "-", bench::fmt(r.mean_ms())});
+  }
+  for (double handoff : {0.1, 0.3, 0.5, 0.8}) {
+    wl::MicroConfig config;
+    config.flavor = Flavor::kSpec;
+    config.correct_rate = 0.9;
+    config.server_side_prediction = true;
+    config.server_handoff_fraction = handoff;
+    config.seed = 99;
+    const auto r = wl::run_microbench(config, bench::warmup(),
+                                      bench::measure());
+    table.row({"server-side", bench::fmt(handoff, 1),
+               bench::fmt(r.mean_ms())});
+  }
+  table.print();
+  std::printf("Expected: client-side is fastest (speculation starts before "
+              "the request is even sent, Fig 2b); server-side latency "
+              "approaches it as the hand-off moves earlier.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablations", "SpecRPC design-choice studies");
+  ablation_multi_prediction();
+  ablation_handoff_time();
+  ablation_server_side_prediction();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every binary prints a self-describing table for one figure or table of
+// the paper. Durations and the latency scale are environment-tunable:
+//   SPECRPC_LAT_SCALE       multiply all emulated latencies (default 0.1)
+//   SPECRPC_BENCH_WARMUP_S  per-run warmup seconds  (default 0.5)
+//   SPECRPC_BENCH_MEASURE_S per-run measure seconds (default 2.0)
+// Reported latencies are also shown de-scaled ("paper-scale") where that is
+// meaningful, so shapes can be compared with the paper directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/types.h"
+
+namespace srpc::bench {
+
+inline double warmup_s() { return env_double("SPECRPC_BENCH_WARMUP_S", 0.5); }
+inline double measure_s() {
+  return env_double("SPECRPC_BENCH_MEASURE_S", 2.0);
+}
+
+inline Duration warmup() {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(warmup_s()));
+}
+inline Duration measure() {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(measure_s()));
+}
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], r[i].size());
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("| ");
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : std::string();
+        std::printf("%-*s | ", static_cast<int>(width[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      std::printf("%s|", std::string(width[i] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline void banner(const char* exp_id, const char* description) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 13);  // line-buffered when piped
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", exp_id, description);
+  std::printf("lat scale %.3g, warmup %.2gs, measure %.2gs per point\n",
+              latency_scale(), warmup_s(), measure_s());
+  std::printf("==================================================\n");
+}
+
+}  // namespace srpc::bench

@@ -1,0 +1,33 @@
+// Figure 7: maximum speedup S_tat versus lambda (unit 1/T) for 2-5 stages
+// of the multi-objective optimizer model (§4.2, Equations (1)-(5)).
+//
+// Paper shape: all curves start at 1 as lambda -> 0; for a fixed lambda the
+// speedup grows with the number of stages; at lambda = 9 the 5-stage curve
+// reaches roughly 2.1-2.2x, the 2-stage curve about 1.5x.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "optmodel/model.h"
+
+int main() {
+  using namespace srpc;  // NOLINT
+  bench::banner("Figure 7", "max speedup vs lambda, optimizer model");
+
+  bench::Table table({"lambda (1/T)", "2 stages", "3 stages", "4 stages",
+                      "5 stages", "t* (of T)"});
+  for (double lambda = 0.5; lambda <= 9.01; lambda += 0.5) {
+    std::vector<std::string> row;
+    row.push_back(bench::fmt(lambda, 1));
+    for (int stages = 2; stages <= 5; ++stages) {
+      row.push_back(bench::fmt(opt::max_speedup(stages, lambda), 3));
+    }
+    row.push_back(bench::fmt(opt::optimal_handoff(lambda, 1.0), 3));
+    table.row(row);
+  }
+  table.print();
+
+  std::printf("\nEquation (5) check at lambda=9: LHS at t* = %.6f (should be"
+              " ~0)\n",
+              opt::equation5_lhs(9.0, opt::optimal_handoff(9.0, 1.0), 1.0));
+  return 0;
+}

@@ -1,0 +1,246 @@
+// Framework micro-costs (google-benchmark): serialization codecs, wire
+// round trips, dependency-tree node churn, histogram recording, workload
+// generators. These quantify the constant factors behind Figure 8's ~0.1 ms
+// SpecRPC overhead and Figure 8c's codec gap.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rpc/wire.h"
+#include "serde/codec.h"
+#include "serde/io.h"
+#include "specrpc/wire.h"
+#include "stats/histogram.h"
+#include "workload/retwis.h"
+#include "workload/ycsbt.h"
+
+#include "grpcsim/grpcsim.h"
+#include "rpc/node.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace {
+
+using namespace srpc;  // NOLINT
+
+Value sample_value() {
+  ValueList list;
+  list.emplace_back(std::string(64, 'x'));
+  list.emplace_back(static_cast<std::int64_t>(123456789));
+  list.emplace_back(3.14159);
+  ValueMap map;
+  map.emplace("key", Value("value"));
+  map.emplace("version", Value(42));
+  list.emplace_back(std::move(map));
+  return Value(std::move(list));
+}
+
+void BM_BinaryCodecEncode(benchmark::State& state) {
+  const Value v = sample_value();
+  for (auto _ : state) {
+    Bytes out;
+    binary_codec().encode(v, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BinaryCodecEncode);
+
+void BM_TaggedCodecEncode(benchmark::State& state) {
+  const Value v = sample_value();
+  for (auto _ : state) {
+    Bytes out;
+    tagged_codec().encode(v, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TaggedCodecEncode);
+
+void BM_BinaryCodecRoundtrip(benchmark::State& state) {
+  const Value v = sample_value();
+  const Bytes encoded = binary_codec().encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binary_codec().decode(encoded));
+  }
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_BinaryCodecRoundtrip);
+
+void BM_TaggedCodecRoundtrip(benchmark::State& state) {
+  const Value v = sample_value();
+  const Bytes encoded = tagged_codec().encode(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagged_codec().decode(encoded));
+  }
+  state.counters["bytes"] = static_cast<double>(encoded.size());
+}
+BENCHMARK(BM_TaggedCodecRoundtrip);
+
+void BM_RpcRequestRoundtrip(benchmark::State& state) {
+  rpc::Request req;
+  req.call_id = 42;
+  req.method = "rc.read";
+  req.args.emplace_back(std::string(64, 'k'));
+  for (auto _ : state) {
+    const Bytes frame = rpc::encode_request(req, binary_codec());
+    benchmark::DoNotOptimize(rpc::decode_request(frame, binary_codec()));
+  }
+}
+BENCHMARK(BM_RpcRequestRoundtrip);
+
+void BM_SpecRequestRoundtrip(benchmark::State& state) {
+  spec::RequestMsg msg;
+  msg.call_id = 42;
+  msg.caller_speculative = true;
+  msg.method = "rc.read";
+  msg.args.emplace_back(std::string(64, 'k'));
+  for (auto _ : state) {
+    const Bytes frame = spec::encode(msg, binary_codec());
+    benchmark::DoNotOptimize(spec::decode_request(frame, binary_codec()));
+  }
+}
+BENCHMARK(BM_SpecRequestRoundtrip);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram hist;
+  Rng rng(1);
+  for (auto _ : state) {
+    hist.record_us(static_cast<double>(rng.uniform(1'000'000)));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Zipf zipf(1'000'000, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv_scramble(zipf.sample(rng), 1'000'000));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_YcsbtTxnGen(benchmark::State& state) {
+  wl::YcsbtWorkload workload(wl::YcsbtConfig{}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.next_txn());
+  }
+}
+BENCHMARK(BM_YcsbtTxnGen);
+
+void BM_RetwisTxnGen(benchmark::State& state) {
+  wl::RetwisWorkload workload(wl::RetwisConfig{}, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.next_txn());
+  }
+}
+BENCHMARK(BM_RetwisTxnGen);
+
+// ------------------------------------------------------------------
+// End-to-end round-trip cost per framework over a near-zero-latency
+// simulated link: measures the per-call framework overhead directly (the
+// source of Figure 8a's ~0.1 ms SpecRPC-vs-TradRPC delta and gRPC's
+// feature overhead).
+
+struct RoundTripFixture {
+  RoundTripFixture() {
+    SimConfig sim_config;
+    sim_config.default_delay = std::chrono::microseconds(1);
+    net = std::make_unique<SimNetwork>(sim_config);
+    trad_server = std::make_unique<rpc::Node>(net->add_node("ts"),
+                                              net->executor(), net->wheel());
+    trad_client = std::make_unique<rpc::Node>(net->add_node("tc"),
+                                              net->executor(), net->wheel());
+    grpc_server = std::make_unique<grpcsim::GrpcNode>(
+        net->add_node("gs"), net->executor(), net->wheel());
+    grpc_client = std::make_unique<grpcsim::GrpcNode>(
+        net->add_node("gc"), net->executor(), net->wheel());
+    spec_server = std::make_unique<spec::SpecEngine>(
+        net->add_node("ss"), net->executor(), net->wheel());
+    spec_client = std::make_unique<spec::SpecEngine>(
+        net->add_node("sc"), net->executor(), net->wheel());
+    auto echo = [](const rpc::CallContext&, ValueList args,
+                   rpc::Responder responder) {
+      responder.finish(args.empty() ? Value() : args[0]);
+    };
+    trad_server->register_method("echo", echo);
+    grpc_server->register_method("echo", echo);
+    spec_server->register_method(
+        "echo", spec::Handler([](const spec::ServerCallPtr& call) {
+          call->finish(call->args().empty() ? Value() : call->args()[0]);
+        }));
+  }
+  ~RoundTripFixture() {
+    spec_client->begin_shutdown();
+    spec_server->begin_shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net;
+  std::unique_ptr<rpc::Node> trad_server, trad_client;
+  std::unique_ptr<grpcsim::GrpcNode> grpc_server, grpc_client;
+  std::unique_ptr<spec::SpecEngine> spec_server, spec_client;
+};
+
+RoundTripFixture& fixture() {
+  static RoundTripFixture f;
+  return f;
+}
+
+void BM_RoundTripTradRpc(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.trad_client->call_sync("ts", "echo",
+                                                      {Value(1)}));
+  }
+}
+BENCHMARK(BM_RoundTripTradRpc)->Unit(benchmark::kMicrosecond);
+
+void BM_RoundTripGrpcSim(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.grpc_client->call_sync("gs", "echo",
+                                                      {Value(1)}));
+  }
+}
+BENCHMARK(BM_RoundTripGrpcSim)->Unit(benchmark::kMicrosecond);
+
+void BM_RoundTripSpecRpcNoPrediction(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.spec_client->call("ss", "echo", {Value(1)})->get());
+  }
+}
+BENCHMARK(BM_RoundTripSpecRpcNoPrediction)->Unit(benchmark::kMicrosecond);
+
+void BM_RoundTripSpecRpcCorrectPrediction(benchmark::State& state) {
+  auto& f = fixture();
+  auto factory = []() -> spec::CallbackFn {
+    return [](spec::SpecContext&, const Value& v) -> spec::CallbackResult {
+      return v;
+    };
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.spec_client->call("ss", "echo", {Value(1)}, {Value(1)}, factory)
+            ->get());
+  }
+}
+BENCHMARK(BM_RoundTripSpecRpcCorrectPrediction)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RoundTripSpecRpcWrongPrediction(benchmark::State& state) {
+  auto& f = fixture();
+  auto factory = []() -> spec::CallbackFn {
+    return [](spec::SpecContext&, const Value& v) -> spec::CallbackResult {
+      return v;
+    };
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.spec_client->call("ss", "echo", {Value(1)}, {Value(2)}, factory)
+            ->get());
+  }
+}
+BENCHMARK(BM_RoundTripSpecRpcWrongPrediction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

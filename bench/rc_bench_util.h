@@ -1,0 +1,50 @@
+// Shared setup for the Replicated Commit benches (Figures 9-13).
+#pragma once
+
+#include <memory>
+
+#include "bench_util.h"
+#include "rc/cluster.h"
+#include "workload/retwis.h"
+#include "workload/runner.h"
+#include "workload/ycsbt.h"
+
+namespace srpc::bench {
+
+/// Table 1 geo topology at the global latency scale. Fewer clients per DC
+/// than the paper's 16 by default — this reproduction runs on a single
+/// physical core, and the latency experiments are load-independent (closed
+/// loop, under-saturated). Override with SPECRPC_CLIENTS_PER_DC.
+inline rc::ClusterConfig rc_config(Flavor flavor) {
+  rc::ClusterConfig config;
+  config.flavor = flavor;
+  config.geo.scale = latency_scale();
+  config.clients_per_dc =
+      static_cast<int>(env_long("SPECRPC_CLIENTS_PER_DC", 8));
+  config.num_keys =
+      static_cast<std::size_t>(env_long("SPECRPC_NUM_KEYS", 20'000));
+  return config;
+}
+
+inline wl::WorkloadFactory ycsbt_factory(wl::YcsbtConfig workload_config,
+                                         std::uint64_t seed_base) {
+  return [workload_config, seed_base](int client_index) {
+    auto workload = std::make_shared<wl::YcsbtWorkload>(
+        workload_config, seed_base + static_cast<std::uint64_t>(client_index));
+    return [workload] { return workload->next_txn(); };
+  };
+}
+
+inline wl::WorkloadFactory retwis_factory(wl::RetwisConfig workload_config,
+                                          std::uint64_t seed_base) {
+  return [workload_config, seed_base](int client_index) {
+    auto workload = std::make_shared<wl::RetwisWorkload>(
+        workload_config, seed_base + static_cast<std::uint64_t>(client_index));
+    return [workload] { return workload->next_txn().ops; };
+  };
+}
+
+/// De-scales a measured latency back to paper scale for display.
+inline double descale_ms(double ms) { return ms / latency_scale(); }
+
+}  // namespace srpc::bench

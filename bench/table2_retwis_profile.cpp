@@ -1,0 +1,65 @@
+// Table 2: the Retwis transaction profile (from Zhang et al. [46]) used by
+// the Figure 11-13 experiments. This bench validates the workload generator
+// empirically: transaction mix, get/put counts per type.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "workload/retwis.h"
+
+int main() {
+  using namespace srpc;  // NOLINT
+  bench::banner("Table 2", "Retwis transaction profile (generator check)");
+
+  wl::RetwisConfig config;
+  wl::RetwisWorkload workload(config, 42);
+
+  struct PerType {
+    std::uint64_t txns = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t min_gets = ~0ULL;
+    std::uint64_t max_gets = 0;
+  };
+  std::map<wl::RetwisTxnType, PerType> by_type;
+  constexpr std::uint64_t kTxns = 200'000;
+  for (std::uint64_t i = 0; i < kTxns; ++i) {
+    const auto txn = workload.next_txn();
+    auto& t = by_type[txn.type];
+    t.txns++;
+    std::uint64_t gets = 0;
+    for (const auto& op : txn.ops) {
+      if (op.is_read) {
+        t.gets++;
+        gets++;
+      } else {
+        t.puts++;
+      }
+    }
+    t.min_gets = std::min(t.min_gets, gets);
+    t.max_gets = std::max(t.max_gets, gets);
+  }
+
+  bench::Table table({"transaction type", "# gets (mean)", "# puts (mean)",
+                      "workload% (measured)", "workload% (paper)"});
+  const char* expected[] = {"5%", "15%", "30%", "50%"};
+  for (auto type :
+       {wl::RetwisTxnType::kAddUser, wl::RetwisTxnType::kFollow,
+        wl::RetwisTxnType::kPostTweet, wl::RetwisTxnType::kLoadTimeline}) {
+    const auto& t = by_type[type];
+    std::string gets =
+        type == wl::RetwisTxnType::kLoadTimeline
+            ? "rand(" + std::to_string(t.min_gets) + "," +
+                  std::to_string(t.max_gets) + ") mean " +
+                  bench::fmt(static_cast<double>(t.gets) / t.txns, 2)
+            : bench::fmt(static_cast<double>(t.gets) / t.txns, 2);
+    table.row({to_string(type), gets,
+               bench::fmt(static_cast<double>(t.puts) / t.txns, 2),
+               bench::fmt(100.0 * t.txns / kTxns, 2) + "%",
+               expected[static_cast<int>(type)]});
+  }
+  table.print();
+  std::printf("\nPaper: AddUser 1g/3p 5%%, Follow 2g/2p 15%%, PostTweet "
+              "3g/5p 30%%, LoadTimeline rand(1,10)g/0p 50%%.\n");
+  return 0;
+}

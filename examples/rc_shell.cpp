@@ -1,0 +1,154 @@
+// rc_shell — a scriptable shell over the geo-replicated Replicated Commit
+// store, running SpecRPC speculative reads underneath.
+//
+// Usage:
+//   ./rc_shell                      # interactive (reads commands from stdin)
+//   echo "put k v
+//         get k" | ./rc_shell       # scripted
+//   ./rc_shell --demo               # runs a built-in self-checking script
+//
+// Commands:
+//   get <key> [<key>...]       one transaction of dependent quorum reads
+//   put <key> <value> [...]    one transaction of buffered writes
+//   txn <op> [...]             mixed txn: r:<key> or w:<key>=<value>
+//   incr <key>                 read-modify-write increment (run_transform)
+//   stats                      speculation statistics so far
+//   flavor                     which RPC framework the shell is using
+//   help / quit
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/env.h"
+#include "rc/cluster.h"
+
+using namespace srpc;      // NOLINT
+using namespace srpc::rc;  // NOLINT
+
+namespace {
+
+void print_result(const TxnResult& result) {
+  std::cout << (result.committed ? "committed" : "ABORTED") << " in "
+            << to_ms(result.total) << " ms";
+  if (!result.read_only && result.committed) {
+    std::cout << " (commit phase " << to_ms(result.commit_phase) << " ms)";
+  }
+  std::cout << "\n";
+  for (const auto& read : result.reads) {
+    std::cout << "  " << read.key << " = \"" << read.value << "\" (v"
+              << read.version << ")\n";
+  }
+}
+
+int run_shell(std::istream& in, bool echo) {
+  ClusterConfig config;
+  config.flavor = Flavor::kSpec;
+  config.geo.scale = env_double("SPECRPC_LAT_SCALE", 0.1);
+  config.clients_per_dc = 1;
+  config.num_keys = static_cast<std::size_t>(
+      env_long("SPECRPC_NUM_KEYS", 10'000));
+  RcCluster cluster(config);
+  auto& client = cluster.client(0, 0);  // we are "in Oregon"
+  std::cout << "rc_shell: 3 DCs (Table 1 RTTs x" << config.geo.scale
+            << "), " << config.num_keys << " keys, client in "
+            << config.geo.dc_names[0] << ". Type 'help'.\n";
+
+  int failures = 0;
+  std::string line;
+  while ((echo ? std::cout << "> " : std::cout), std::getline(in, line)) {
+    if (echo) std::cout << line << "\n";
+    std::istringstream words(line);
+    std::string cmd;
+    if (!(words >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        std::cout << "get <k>... | put <k> <v>... | txn r:<k> w:<k>=<v>... |"
+                     " incr <k> | stats | flavor | quit\n";
+      } else if (cmd == "flavor") {
+        std::cout << to_string(config.flavor) << "\n";
+      } else if (cmd == "stats") {
+        const auto s = cluster.spec_stats();
+        std::cout << "quorum calls " << s.quorum_calls_issued
+                  << ", predictions " << s.predictions_correct << "/"
+                  << s.predictions_made << " correct, spec_blocks "
+                  << s.spec_blocks << ", abandoned " << s.branches_abandoned
+                  << "\n";
+      } else if (cmd == "get") {
+        std::vector<Op> ops;
+        std::string key;
+        while (words >> key) ops.push_back(Op{true, key, {}});
+        if (ops.empty()) throw std::runtime_error("get needs keys");
+        print_result(client.run(ops));
+      } else if (cmd == "put") {
+        std::vector<Op> ops;
+        std::string key;
+        std::string value;
+        while (words >> key >> value) ops.push_back(Op{false, key, value});
+        if (ops.empty()) throw std::runtime_error("put needs key value");
+        print_result(client.run(ops));
+      } else if (cmd == "txn") {
+        std::vector<Op> ops;
+        std::string spec;
+        while (words >> spec) {
+          if (spec.rfind("r:", 0) == 0) {
+            ops.push_back(Op{true, spec.substr(2), {}});
+          } else if (spec.rfind("w:", 0) == 0) {
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos)
+              throw std::runtime_error("w:<key>=<value>");
+            ops.push_back(Op{false, spec.substr(2, eq - 2),
+                             spec.substr(eq + 1)});
+          } else {
+            throw std::runtime_error("ops are r:<k> or w:<k>=<v>");
+          }
+        }
+        if (ops.empty()) throw std::runtime_error("txn needs ops");
+        print_result(client.run(ops));
+      } else if (cmd == "incr") {
+        std::string key;
+        if (!(words >> key)) throw std::runtime_error("incr needs a key");
+        auto result = client.run_transform(key, [](const std::string& v) {
+          int n = 0;
+          try {
+            n = std::stoi(v);
+          } catch (...) {
+          }
+          return std::to_string(n + 1);
+        });
+        print_result(result);
+        if (!result.committed) failures++;
+      } else {
+        std::cout << "unknown command '" << cmd << "' (try 'help')\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+      failures++;
+    }
+  }
+  return failures;
+}
+
+constexpr const char* kDemoScript = R"(# built-in self-check
+get k00000001
+put k00000001 hello
+get k00000001 k00000002 k00000003
+txn r:k00000002 w:k00000002=updated w:k00000004=new
+get k00000002
+incr counter0
+incr counter0
+get counter0
+stats
+quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+  if (demo) {
+    std::istringstream script((std::string(kDemoScript)));
+    return run_shell(script, /*echo=*/true);
+  }
+  return run_shell(std::cin, /*echo=*/false);
+}

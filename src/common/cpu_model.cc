@@ -1,0 +1,34 @@
+#include "common/cpu_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace srpc {
+
+CpuModel::CpuModel(TimerWheel& wheel, int cores) : wheel_(wheel) {
+  assert(cores >= 1);
+  next_free_.assign(static_cast<std::size_t>(cores), Clock::now());
+}
+
+void CpuModel::execute(Duration work, std::function<void()> done) {
+  if (work < Duration::zero()) work = Duration::zero();
+  TimePoint finish;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::min_element(next_free_.begin(), next_free_.end());
+    const TimePoint start = std::max(Clock::now(), *it);
+    finish = start + work;
+    *it = finish;
+  }
+  wheel_.schedule_at(finish, std::move(done));
+}
+
+Duration CpuModel::backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TimePoint earliest =
+      *std::min_element(next_free_.begin(), next_free_.end());
+  const TimePoint now = Clock::now();
+  return earliest > now ? earliest - now : Duration::zero();
+}
+
+}  // namespace srpc

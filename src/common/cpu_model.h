@@ -1,0 +1,43 @@
+// Virtual-CPU capacity model.
+//
+// The paper's Figure 13 limits each Replicated Commit server to 2 or 3 CPU
+// cores and measures throughput saturation. This container has a single
+// physical core, so instead of pinning threads we model server compute
+// capacity explicitly: a CpuModel with N virtual cores serializes simulated
+// work items onto the earliest-available core, yielding the same queueing
+// behaviour (service rate N/mean-work) without real parallel hardware.
+// See DESIGN.md §3 (substitutions).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/timer_wheel.h"
+#include "common/types.h"
+
+namespace srpc {
+
+class CpuModel {
+ public:
+  /// `cores` virtual cores; completions fire on `wheel`'s thread.
+  CpuModel(TimerWheel& wheel, int cores);
+
+  /// Simulates `work` of CPU time: occupies the earliest-free virtual core
+  /// for that long, then invokes `done`. FIFO within the model as a whole
+  /// (items are assigned to cores in submission order).
+  void execute(Duration work, std::function<void()> done);
+
+  /// Instantaneous queueing delay estimate: how long a zero-length item
+  /// submitted now would wait before starting (diagnostic).
+  Duration backlog() const;
+
+  int cores() const { return static_cast<int>(next_free_.size()); }
+
+ private:
+  TimerWheel& wheel_;
+  mutable std::mutex mu_;
+  std::vector<TimePoint> next_free_;
+};
+
+}  // namespace srpc

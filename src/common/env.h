@@ -1,0 +1,35 @@
+// Environment-variable configuration helpers for benches and examples.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace srpc {
+
+inline std::string env_str(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::string(v);
+}
+
+inline double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end == v) ? def : parsed;
+}
+
+inline long env_long(const char* name, long def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  return (end == v) ? def : parsed;
+}
+
+/// Global latency scale for benches: all emulated WAN/service latencies are
+/// multiplied by this factor (default 0.1) so runs finish quickly; reported
+/// latencies can be divided back. See DESIGN.md §3.
+inline double latency_scale() { return env_double("SPECRPC_LAT_SCALE", 0.1); }
+
+}  // namespace srpc

@@ -1,0 +1,71 @@
+#include "common/executor.h"
+
+#include "common/logging.h"
+
+namespace srpc {
+
+Executor::Executor(int num_threads, std::string name)
+    : name_(std::move(name)) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() { shutdown(); }
+
+bool Executor::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Executor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second call: workers may already be joined; fall through to join
+      // guard below.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t Executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (const std::exception& e) {
+      SRPC_LOG(ERROR) << name_ << ": task threw: " << e.what();
+    } catch (...) {
+      SRPC_LOG(ERROR) << name_ << ": task threw unknown exception";
+    }
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,55 @@
+// Fixed-size thread-pool executor.
+//
+// Tasks posted to the executor run on one of a fixed set of worker threads.
+// The pool is sized generously relative to expected concurrency because
+// SpecRPC callbacks may park a worker (futures, specBlock) while waiting for
+// speculation to resolve; waiting threads cost almost nothing.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace srpc {
+
+class Executor {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `num_threads` workers immediately.
+  explicit Executor(int num_threads, std::string name = "executor");
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Drains remaining tasks and joins all workers.
+  ~Executor();
+
+  /// Enqueues `task`; returns false if the executor is shutting down.
+  bool post(Task task);
+
+  /// Stops accepting tasks, runs everything already queued, joins workers.
+  /// Idempotent.
+  void shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of tasks currently queued (diagnostic).
+  std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::string name_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace srpc

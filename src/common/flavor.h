@@ -1,0 +1,27 @@
+// The three RPC framework flavours the paper compares (§5).
+#pragma once
+
+namespace srpc {
+
+enum class Flavor {
+  kGrpc,  // GrpcSim — gRPC stand-in (see src/grpcsim)
+  kTrad,  // TradRPC — SpecRPC's code base without speculation
+  kSpec,  // SpecRPC
+};
+
+inline const char* to_string(Flavor f) {
+  switch (f) {
+    case Flavor::kGrpc:
+      return "gRPC";
+    case Flavor::kTrad:
+      return "TradRPC";
+    case Flavor::kSpec:
+      return "SpecRPC";
+  }
+  return "?";
+}
+
+inline constexpr Flavor kAllFlavors[] = {Flavor::kGrpc, Flavor::kTrad,
+                                         Flavor::kSpec};
+
+}  // namespace srpc

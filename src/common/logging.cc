@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace srpc {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SPECRPC_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "TRACE") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view basename_of(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+Logger::Logger() : level_(level_from_env()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view file, int line,
+                   const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << level_name(level) << " " << basename_of(file) << ":"
+            << line << "] " << msg << "\n";
+}
+
+}  // namespace srpc

@@ -1,0 +1,70 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   SRPC_LOG(INFO) << "server " << id << " started";
+//
+// The level is filtered at runtime via Logger::set_level() or the
+// SPECRPC_LOG_LEVEL environment variable (TRACE/DEBUG/INFO/WARN/ERROR).
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace srpc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, std::string_view file, int line,
+             const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { Logger::instance().write(level_, file_, line_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace srpc
+
+#define SRPC_LOG_LEVEL_TRACE ::srpc::LogLevel::kTrace
+#define SRPC_LOG_LEVEL_DEBUG ::srpc::LogLevel::kDebug
+#define SRPC_LOG_LEVEL_INFO ::srpc::LogLevel::kInfo
+#define SRPC_LOG_LEVEL_WARN ::srpc::LogLevel::kWarn
+#define SRPC_LOG_LEVEL_ERROR ::srpc::LogLevel::kError
+
+#define SRPC_LOG(severity)                                             \
+  if (!::srpc::Logger::instance().enabled(SRPC_LOG_LEVEL_##severity)) { \
+  } else                                                               \
+    ::srpc::detail::LogLine(SRPC_LOG_LEVEL_##severity, __FILE__, __LINE__)

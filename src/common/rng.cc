@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+namespace srpc {
+namespace {
+
+double zeta(std::uint64_t n, double alpha) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), alpha);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Zipf::Zipf(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha), theta_(alpha) {
+  assert(n > 0);
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t Zipf::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double x = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, 1.0 / (1.0 - theta_));
+  auto rank = static_cast<std::uint64_t>(x);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+std::uint64_t fnv_scramble(std::uint64_t value, std::uint64_t n) {
+  // 64-bit FNV-1a over the 8 bytes of `value`.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFF;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash % n;
+}
+
+}  // namespace srpc

@@ -1,0 +1,120 @@
+// Deterministic pseudo-random utilities: a fast 64-bit generator
+// (splitmix64-seeded xoshiro256**) and the workload distributions the paper
+// uses — uniform, and Zipfian with configurable alpha (YCSB-style).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace srpc {
+
+/// xoshiro256** — fast, high-quality, deterministic from a 64-bit seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to fill the state, as recommended by the xoshiro authors.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next();
+  }
+
+  std::uint64_t next() {
+    auto rotl = [](std::uint64_t x, int k) {
+      return (x << k) | (x >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface so <random> adaptors also work.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform(std::uint64_t n) {
+    assert(n > 0);
+    // Lemire's unbiased bounded generation.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    assert(hi >= lo);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial: true with probability p.
+  bool flip(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+/// Zipfian generator over [0, n) with exponent alpha, using the rejection
+/// method of Gray et al. (as popularized by YCSB). Items are ranked: rank 0
+/// is the hottest key. Callers typically scramble ranks into the key space.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double alpha);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::uint64_t n_;
+  double alpha_;
+  double zetan_;   // generalized harmonic number H_{n,alpha}
+  double theta_;   // == alpha
+  double zeta2_;   // H_{2,alpha}
+  double eta_;
+};
+
+/// Maps a Zipf rank into a scrambled position in [0, n) so hot keys are
+/// spread across the key space (YCSB "scrambled zipfian").
+std::uint64_t fnv_scramble(std::uint64_t value, std::uint64_t n);
+
+}  // namespace srpc

@@ -1,0 +1,74 @@
+// Strand: serialized execution on top of an Executor.
+//
+// Tasks posted to a strand run in FIFO order, never concurrently with each
+// other. The simulated network gives each node a delivery strand so message
+// delivery order per destination matches schedule order even though the
+// underlying executor is multi-threaded.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/executor.h"
+
+namespace srpc {
+
+class Strand : public std::enable_shared_from_this<Strand> {
+ public:
+  using Task = std::function<void()>;
+
+  static std::shared_ptr<Strand> create(Executor& executor) {
+    return std::shared_ptr<Strand>(new Strand(executor));
+  }
+
+  void post(Task task) {
+    bool start = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+      if (!running_) {
+        running_ = true;
+        start = true;
+      }
+    }
+    if (start) schedule_pump();
+  }
+
+ private:
+  explicit Strand(Executor& executor) : executor_(executor) {}
+
+  void schedule_pump() {
+    auto self = shared_from_this();
+    executor_.post([self] { self->pump(); });
+  }
+
+  void pump() {
+    for (;;) {
+      Task task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) {
+          running_ = false;
+          return;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        // Swallow: a throwing task must not wedge the strand (running_
+        // would stay true and the queue would never drain).
+      }
+    }
+  }
+
+  Executor& executor_;
+  std::mutex mu_;
+  std::deque<Task> queue_;
+  bool running_ = false;
+};
+
+}  // namespace srpc

@@ -1,0 +1,74 @@
+// Small synchronization helpers used across the codebase.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace srpc {
+
+/// Go-style wait group: add() work, done() it, wait() for zero.
+class WaitGroup {
+ public:
+  void add(int delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += delta;
+  }
+
+  void done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ <= 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+  /// Returns false on timeout.
+  bool wait_for(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+/// One-shot event.
+class Event {
+ public:
+  void set() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      set_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return set_; });
+  }
+
+  bool wait_for(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return set_; });
+  }
+
+  bool is_set() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return set_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+};
+
+}  // namespace srpc

@@ -1,0 +1,79 @@
+#include "common/timer_wheel.h"
+
+#include "common/logging.h"
+
+namespace srpc {
+
+TimerWheel::TimerWheel() : thread_([this] { run(); }) {}
+
+TimerWheel::~TimerWheel() { shutdown(); }
+
+TimerId TimerWheel::schedule_at(TimePoint deadline, Callback cb) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return 0;
+    id = next_id_++;
+    heap_.push(Entry{deadline, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+  }
+  cv_.notify_one();
+  return id;
+}
+
+TimerId TimerWheel::schedule_after(Duration delay, Callback cb) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(Clock::now() + delay, std::move(cb));
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return callbacks_.erase(id) > 0;
+}
+
+std::size_t TimerWheel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return callbacks_.size();
+}
+
+void TimerWheel::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerWheel::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    const Entry top = heap_.top();
+    auto now = Clock::now();
+    if (top.deadline > now) {
+      cv_.wait_until(lock, top.deadline);
+      continue;  // re-evaluate: new earlier entry or shutdown may have landed
+    }
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    lock.unlock();
+    try {
+      cb();
+    } catch (const std::exception& e) {
+      SRPC_LOG(ERROR) << "timer callback threw: " << e.what();
+    } catch (...) {
+      SRPC_LOG(ERROR) << "timer callback threw unknown exception";
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace srpc

@@ -1,0 +1,77 @@
+// Deadline scheduler ("timer wheel" in spirit; a min-heap in implementation).
+//
+// A single dedicated thread pops expired entries and runs their callbacks.
+// Callbacks must be short — anything substantial should be posted to an
+// Executor. Entries with equal deadlines fire in insertion order, which the
+// simulated network relies on for per-link FIFO delivery.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace srpc {
+
+using TimerId = std::uint64_t;
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  TimerWheel();
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Runs `cb` on the timer thread at (or shortly after) `deadline`.
+  TimerId schedule_at(TimePoint deadline, Callback cb);
+
+  /// Runs `cb` after `delay` from now. Non-positive delays fire immediately
+  /// (still on the timer thread, still in FIFO order w.r.t. equal deadlines).
+  TimerId schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending timer. Returns true if the timer had not fired yet.
+  /// A timer currently executing cannot be cancelled.
+  bool cancel(TimerId id);
+
+  /// Number of pending entries (diagnostic).
+  std::size_t pending() const;
+
+  void shutdown();
+
+ private:
+  struct Entry {
+    TimePoint deadline;
+    std::uint64_t seq;  // tie-break: FIFO for equal deadlines
+    TimerId id;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  // Callbacks live out-of-heap so cancel() can drop them without a heap
+  // rebuild; a heap entry whose id is absent here is a cancelled tombstone.
+  std::unordered_map<TimerId, Callback> callbacks_;
+  TimerId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace srpc

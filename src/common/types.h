@@ -1,0 +1,33 @@
+// Basic shared type aliases for the SpecRPC codebase.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srpc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+using namespace std::chrono_literals;  // NOLINT: pervasive literals (10ms, 1s)
+
+/// Globally unique id of one RPC invocation (unique per process via
+/// CallIdAllocator; made globally unique by embedding a node id in the
+/// high bits).
+using CallId = std::uint64_t;
+
+inline double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+inline Duration from_ms(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace srpc

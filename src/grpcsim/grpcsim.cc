@@ -1,0 +1,17 @@
+#include "grpcsim/grpcsim.h"
+
+namespace srpc::grpcsim {
+
+rpc::NodeConfig to_node_config(const GrpcSimConfig& config) {
+  rpc::NodeConfig node_config;
+  node_config.codec = &tagged_codec();
+  node_config.per_message_overhead = config.per_message_overhead;
+  node_config.call_timeout = config.call_timeout;
+  return node_config;
+}
+
+GrpcNode::GrpcNode(Transport& transport, Executor& executor, TimerWheel& wheel,
+                   GrpcSimConfig config)
+    : rpc::Node(transport, executor, wheel, to_node_config(config)) {}
+
+}  // namespace srpc::grpcsim

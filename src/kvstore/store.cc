@@ -1,0 +1,93 @@
+#include "kvstore/store.h"
+
+namespace srpc::kv {
+
+std::optional<VersionedValue> VersionedStore::get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void VersionedStore::load(const std::string& key, std::string value,
+                          std::int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[key] = VersionedValue{std::move(value), version};
+}
+
+std::size_t VersionedStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+bool VersionedStore::prepare(TxnId txn,
+                             const std::vector<ReadValidation>& reads,
+                             const std::vector<WriteOp>& writes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate reads: version unchanged and not locked by a concurrent writer.
+  for (const auto& r : reads) {
+    auto lit = locks_.find(r.key);
+    if (lit != locks_.end() && lit->second != txn) return false;
+    auto dit = data_.find(r.key);
+    const std::int64_t current = dit == data_.end() ? 0 : dit->second.version;
+    if (current != r.version) return false;
+  }
+  // Acquire write locks; no waiting (fail-fast keeps us deadlock-free).
+  std::vector<std::string> acquired;
+  acquired.reserve(writes.size());
+  for (const auto& w : writes) {
+    auto [it, inserted] = locks_.emplace(w.key, txn);
+    if (!inserted && it->second != txn) {
+      for (const auto& k : acquired) locks_.erase(k);
+      return false;
+    }
+    if (inserted) acquired.push_back(w.key);
+  }
+  auto& held = txn_locks_[txn];
+  held.insert(held.end(), acquired.begin(), acquired.end());
+  return true;
+}
+
+void VersionedStore::commit(TxnId txn, const std::vector<WriteOp>& writes,
+                            std::int64_t commit_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& w : writes) {
+    auto& entry = data_[w.key];
+    if (commit_version > entry.version) {
+      entry.value = w.value;
+      entry.version = commit_version;
+    }
+  }
+  auto it = txn_locks_.find(txn);
+  if (it != txn_locks_.end()) {
+    for (const auto& k : it->second) {
+      auto lit = locks_.find(k);
+      if (lit != locks_.end() && lit->second == txn) locks_.erase(lit);
+    }
+    txn_locks_.erase(it);
+  }
+}
+
+void VersionedStore::abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txn_locks_.find(txn);
+  if (it == txn_locks_.end()) return;
+  for (const auto& k : it->second) {
+    auto lit = locks_.find(k);
+    if (lit != locks_.end() && lit->second == txn) locks_.erase(lit);
+  }
+  txn_locks_.erase(it);
+}
+
+bool VersionedStore::is_locked(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.find(key) != locks_.end();
+}
+
+std::size_t VersionedStore::locked_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace srpc::kv

@@ -1,0 +1,77 @@
+// Versioned in-memory key-value store with 2PC-style write locks.
+//
+// One VersionedStore instance backs one shard replica of the Replicated
+// Commit evaluation (§5.2: "transactional key-value store ... sharded into
+// three partitions, with each partition having a replica at every
+// datacentre"). Reads return (value, version); prepare acquires per-key
+// write locks and validates read versions (OCC-flavoured 2PL, matching RC's
+// buffered writes + quorum reads).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace srpc::kv {
+
+using TxnId = std::uint64_t;
+
+struct VersionedValue {
+  std::string value;
+  std::int64_t version = 0;
+};
+
+struct ReadValidation {
+  std::string key;
+  std::int64_t version = 0;
+};
+
+struct WriteOp {
+  std::string key;
+  std::string value;
+};
+
+class VersionedStore {
+ public:
+  /// Committed read (ignores uncommitted/locked state; RC buffers writes
+  /// until commit, so there is nothing uncommitted to see).
+  std::optional<VersionedValue> get(const std::string& key) const;
+
+  /// Direct load used to populate the dataset before a run.
+  void load(const std::string& key, std::string value, std::int64_t version);
+
+  std::size_t size() const;
+
+  /// 2PC prepare: atomically (a) write-lock every write key, (b) validate
+  /// that every read version is still current and none of the read keys is
+  /// write-locked by another transaction. On failure nothing stays locked.
+  bool prepare(TxnId txn, const std::vector<ReadValidation>& reads,
+               const std::vector<WriteOp>& writes);
+
+  /// Applies the writes at `commit_version` and releases txn's locks.
+  /// Also called on replicas that voted no but saw the global commit:
+  /// versions only move forward.
+  void commit(TxnId txn, const std::vector<WriteOp>& writes,
+              std::int64_t commit_version);
+
+  /// Releases txn's locks without applying.
+  void abort(TxnId txn);
+
+  /// True if `key` currently carries a write lock (reads wait on these —
+  /// an in-flight commit may be about to apply).
+  bool is_locked(const std::string& key) const;
+
+  /// Diagnostics.
+  std::size_t locked_keys() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, VersionedValue> data_;
+  std::unordered_map<std::string, TxnId> locks_;            // key -> owner
+  std::unordered_map<TxnId, std::vector<std::string>> txn_locks_;
+};
+
+}  // namespace srpc::kv

@@ -1,0 +1,56 @@
+// Multi-objective optimizer speedup model (paper §4.2, Equations (1)-(5)).
+//
+// n dependent optimization stages run on n*N CPUs. Without speculation the
+// stages run sequentially, each using all n*N CPUs: T_old = sum_j g_j(n*N).
+// With speculation, stage i hands its current best solution to stage i+1 at
+// time t_i; the hand-off is a correct prediction with probability
+// P_i = f_i(t_i). Expected completion (Equation 1, solved as Equation 2):
+//
+//   T_new = sum_{i<n} [ P_i * (t_i - T_i) + T_i ] + T_n
+//
+// The per-stage terms are independent, so the optimal t_i minimizes
+// h_i(t) = P_i(t) * (t - T_i) + T_i on [0, T_i].
+//
+// The paper's illustration (Figure 7) uses equal stages (T_i = T, enough
+// CPUs that g(N) ~ g(nN)) and an exponential convergence model
+// P(t) = 1 - exp(-lambda * t), lambda in units of 1/T; the optimal t solves
+// Equation (5): 1 + exp(-lambda*t0) * (lambda*(t0 - T) - 1) = 0.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace srpc::opt {
+
+/// P(t) = 1 - exp(-lambda_per_T * t / T): exponential convergence.
+double exp_prediction_rate(double lambda_per_T, double t, double T);
+
+/// h(t) = P(t)*(t - T) + T — expected cost of one speculated stage.
+double stage_cost(double lambda_per_T, double t, double T);
+
+/// argmin_{t in [0,T]} h(t) via ternary search (h is unimodal there).
+double optimal_handoff(double lambda_per_T, double T);
+
+/// Left-hand side of Equation (5); zero at the optimal hand-off time.
+double equation5_lhs(double lambda_per_T, double t, double T);
+
+/// T_new for n equal stages with per-stage hand-off time t (Equation 2).
+double t_new(int stages, double lambda_per_T, double t, double T = 1.0);
+
+/// T_old = n*T (equal stages, negligible CPU-scaling difference).
+double t_old(int stages, double T = 1.0);
+
+/// Speedup with per-stage hand-off t.
+double speedup(int stages, double lambda_per_T, double t, double T = 1.0);
+
+/// max_t speedup — one point of Figure 7.
+double max_speedup(int stages, double lambda_per_T, double T = 1.0);
+
+/// Generalized, unequal stages: T_i and lambda_i per stage.
+struct Stage {
+  double T = 1.0;
+  double lambda_per_T = 1.0;
+};
+double max_speedup_general(const std::vector<Stage>& stages);
+
+}  // namespace srpc::opt

@@ -1,0 +1,111 @@
+#include "optmodel/spec_pipeline.h"
+
+#include <cmath>
+
+#include "optmodel/model.h"
+
+namespace srpc::opt {
+
+using spec::CallbackFn;
+using spec::CallbackResult;
+using spec::Handler;
+using spec::ServerCallPtr;
+using spec::SpecContext;
+using spec::SpecEngine;
+
+SpecPipeline::SpecPipeline(PipelineConfig config) : config_(config) {
+  SimConfig sim_config;
+  sim_config.executor_threads = 8;
+  sim_config.default_delay = std::chrono::microseconds(100);
+  sim_config.seed = config_.seed;
+  net_ = std::make_unique<SimNetwork>(sim_config);
+  client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                         net_->executor(), net_->wheel());
+  rng_ = std::make_unique<Rng>(config_.seed * 31 + 7);
+
+  for (int s = 0; s < config_.stages; ++s) {
+    auto engine = std::make_unique<SpecEngine>(
+        net_->add_node("opt" + std::to_string(s)), net_->executor(),
+        net_->wheel());
+    engine->register_method(
+        "solve", Handler([this, s](const ServerCallPtr& call) {
+          const std::int64_t input = call->args().at(0).as_int();
+          const std::int64_t optimum = input * 2 + s;
+          // Convergence time ~ Exp(lambda/T): the current best equals the
+          // optimum iff the optimizer converged before the hand-off.
+          double converge_fraction;
+          {
+            std::lock_guard<std::mutex> lock(rng_mu_);
+            converge_fraction = rng_->exponential(1.0 / config_.lambda_per_T);
+          }
+          const bool converged =
+              converge_fraction <= config_.handoff_fraction;
+          const std::int64_t best = converged ? optimum : optimum - 1;
+          const auto handoff = std::chrono::duration_cast<Duration>(
+              config_.stage_time * config_.handoff_fraction);
+          call->engine().wheel().schedule_after(handoff, [call, best] {
+            try {
+              call->spec_return(Value(best));
+            } catch (const spec::SpeculationAbandoned&) {
+            }
+          });
+          call->finish_after(config_.stage_time, Value(optimum));
+        }));
+    servers_.push_back(std::move(engine));
+  }
+}
+
+SpecPipeline::~SpecPipeline() {
+  client_->begin_shutdown();
+  for (auto& server : servers_) server->begin_shutdown();
+  net_->executor().shutdown();
+}
+
+spec::CallbackFactory SpecPipeline::stage_factory(int next_stage) {
+  return [this, next_stage]() -> CallbackFn {
+    return [this, next_stage](SpecContext& ctx,
+                              const Value& solution) -> CallbackResult {
+      if (next_stage >= config_.stages) return solution;
+      return ctx.call("opt" + std::to_string(next_stage), "solve",
+                      spec::make_args(solution.as_int()), {},
+                      stage_factory(next_stage + 1));
+    };
+  };
+}
+
+std::int64_t SpecPipeline::expected_solution(std::int64_t input) const {
+  std::int64_t x = input;
+  for (int s = 0; s < config_.stages; ++s) x = x * 2 + s;
+  return x;
+}
+
+PipelineResult SpecPipeline::run_once(std::int64_t input) {
+  const auto before = client_->stats();
+  const TimePoint t0 = Clock::now();
+  auto future = client_->call("opt0", "solve", spec::make_args(input), {},
+                              stage_factory(1));
+  PipelineResult result;
+  result.solution = future->get();
+  result.latency = Clock::now() - t0;
+  const auto after = client_->stats();
+  result.predictions_made = after.predictions_made - before.predictions_made;
+  result.predictions_correct =
+      after.predictions_correct - before.predictions_correct;
+  return result;
+}
+
+PipelineResult SpecPipeline::run(int rounds) {
+  PipelineResult total;
+  Duration latency_sum{};
+  for (int i = 0; i < rounds; ++i) {
+    PipelineResult one = run_once(i);
+    latency_sum += one.latency;
+    total.predictions_made += one.predictions_made;
+    total.predictions_correct += one.predictions_correct;
+    total.solution = one.solution;
+  }
+  total.latency = latency_sum / std::max(1, rounds);
+  return total;
+}
+
+}  // namespace srpc::opt

@@ -1,0 +1,81 @@
+// SpecPipeline — the §4.2 multi-objective-optimizer application as a
+// reusable library over SpecRPC.
+//
+// A pipeline is a series of dependent optimization stages deployed on a
+// group of servers ("each OP can be registered as an RPC function, and the
+// OPs can be deployed on a group of server nodes"). While a stage's
+// optimizer runs, it specReturns its *current best solution* at a
+// configurable hand-off time; downstream stages start speculatively on it.
+// If the optimizer had already converged by hand-off, the prediction is
+// correct and the stages overlap; otherwise SpecRPC re-executes downstream.
+//
+// The simulated optimizer draws its convergence time from the exponential
+// model behind Figure 7: P(hand-off correct) = 1 - exp(-lambda * t / T).
+// run_pipeline() reports measured latency and hit statistics, so tests and
+// the ablation bench can check the empirical behaviour against the
+// analytical optmodel (model.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::opt {
+
+struct PipelineConfig {
+  int stages = 3;
+  Duration stage_time = std::chrono::milliseconds(40);  // T (equal stages)
+  double lambda_per_T = 3.0;   // convergence rate of Figure 7's model
+  double handoff_fraction = 0.3;  // t / T
+  std::uint64_t seed = 1;
+};
+
+struct PipelineResult {
+  Value solution;
+  Duration latency{};
+  std::uint64_t predictions_made = 0;
+  std::uint64_t predictions_correct = 0;
+
+  double hit_rate() const {
+    return predictions_made > 0
+               ? static_cast<double>(predictions_correct) /
+                     static_cast<double>(predictions_made)
+               : 0.0;
+  }
+};
+
+/// Self-contained harness: builds client + one engine per stage on a
+/// SimNetwork and runs `rounds` sequential pipeline executions.
+class SpecPipeline {
+ public:
+  explicit SpecPipeline(PipelineConfig config);
+  ~SpecPipeline();
+
+  /// Runs the whole chain once with input x; stage i computes
+  /// f_i(x) = 2*x + i (a pure function, so "the optimal solution" is
+  /// well-defined and predictions can be validated exactly).
+  PipelineResult run_once(std::int64_t input);
+
+  /// Mean over `rounds` runs (aggregating hit statistics).
+  PipelineResult run(int rounds);
+
+  /// The closed-form final value for `input` (for tests).
+  std::int64_t expected_solution(std::int64_t input) const;
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  spec::CallbackFactory stage_factory(int next_stage);
+
+  PipelineConfig config_;
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<spec::SpecEngine> client_;
+  std::vector<std::unique_ptr<spec::SpecEngine>> servers_;
+  std::unique_ptr<Rng> rng_;  // convergence draws (server side)
+  std::mutex rng_mu_;
+};
+
+}  // namespace srpc::opt

@@ -1,0 +1,240 @@
+#include "rc/client.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace srpc::rc {
+
+RcClient::RcClient(RpcKit& kit, Topology topology, RcClientConfig config)
+    : kit_(kit), topology_(std::move(topology)), config_(config) {}
+
+Value max_version_combiner(const std::vector<Value>& responses) {
+  const Value* best = &responses.front();
+  std::int64_t best_version = best->as_list().at(1).as_int();
+  for (const auto& r : responses) {
+    const std::int64_t v = r.as_list().at(1).as_int();
+    if (v > best_version) {
+      best = &r;
+      best_version = v;
+    }
+  }
+  return *best;
+}
+
+RcClient::Plan RcClient::plan_ops(const std::vector<Op>& ops) const {
+  Plan plan;
+  std::map<std::string, std::string> buffer;  // write buffer, last wins
+  for (const auto& op : ops) {
+    if (op.is_read) {
+      auto it = buffer.find(op.key);
+      if (it != buffer.end()) {
+        // Read-your-own-write: served from the buffer, no quorum needed and
+        // no validation entry (we wrote it; versions are assigned at commit).
+        plan.local_reads.push_back(ReadResult{op.key, it->second, -1});
+      } else {
+        plan.quorum_reads.push_back(op.key);
+      }
+    } else {
+      buffer[op.key] = op.value;
+    }
+  }
+  plan.writes.reserve(buffer.size());
+  for (auto& [key, value] : buffer)
+    plan.writes.push_back(kv::WriteOp{key, value});
+  return plan;
+}
+
+std::vector<Address> RcClient::replicas_for(const std::string& key) const {
+  const int shard = shard_of(key);
+  std::vector<Address> out;
+  out.reserve(topology_.num_dcs);
+  out.push_back(topology_.shard_addr(config_.my_dc, shard));  // local first
+  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
+    if (dc != config_.my_dc) out.push_back(topology_.shard_addr(dc, shard));
+  }
+  return out;
+}
+
+ReadResult RcClient::quorum_read(const std::string& key) {
+  std::vector<FuturePtr> futures;
+  for (const auto& addr : replicas_for(key)) {
+    ValueList args;
+    args.emplace_back(key);
+    futures.push_back(kit_.call(addr, kRead, std::move(args)));
+  }
+  auto outcomes = quorum_wait(futures, config_.read_quorum);
+  if (static_cast<int>(outcomes.size()) < config_.read_quorum)
+    throw rpc::RpcError("quorum read failed for " + key);
+  std::vector<Value> values;
+  values.reserve(outcomes.size());
+  for (auto& o : outcomes) values.push_back(o.value);
+  return decode_read_result(key, max_version_combiner(values));
+}
+
+TxnResult RcClient::run_sequential(const std::vector<Op>& ops) {
+  const TimePoint t0 = Clock::now();
+  Plan plan = plan_ops(ops);
+  TxnResult result;
+  // Dependent reads execute strictly one after another — this is the
+  // latency the paper attributes to the non-speculative builds (Figure 9).
+  for (const auto& key : plan.quorum_reads) {
+    result.reads.push_back(quorum_read(key));
+  }
+  commit_txn(result.reads, plan.writes, result);
+  result.reads.insert(result.reads.end(), plan.local_reads.begin(),
+                      plan.local_reads.end());
+  result.total = Clock::now() - t0;
+  return result;
+}
+
+spec::CallbackFactory RcClient::chain_factory(
+    std::shared_ptr<const std::vector<std::string>> keys, std::size_t idx,
+    std::vector<ReadResult> acc) const {
+  // Each speculation branch gets a fresh callback whose accumulated reads
+  // are an isolated by-value snapshot (the paper's factory pattern, §3.5.2).
+  return [this, keys, idx, acc]() -> spec::CallbackFn {
+    return [this, keys, idx, acc](spec::SpecContext& ctx,
+                                  const Value& v) -> spec::CallbackResult {
+      std::vector<ReadResult> mine = acc;
+      mine.push_back(decode_read_result((*keys)[idx], v));
+      if (idx + 1 < keys->size()) {
+        const std::string& next = (*keys)[idx + 1];
+        ValueList args;
+        args.emplace_back(next);
+        return ctx.call_quorum(replicas_for(next), config_.read_quorum, kRead,
+                               std::move(args), max_version_combiner,
+                               chain_factory(keys, idx + 1, std::move(mine)));
+      }
+      // Last read: wait until every speculation in this chain is resolved
+      // before results become visible to the commit (§4.1 specBlock).
+      ctx.spec_block();
+      ValueList out;
+      out.reserve(mine.size());
+      for (const auto& r : mine)
+        out.push_back(vlist(r.key, r.value, r.version));
+      return Value(std::move(out));
+    };
+  };
+}
+
+TxnResult RcClient::run_speculative(const std::vector<Op>& ops) {
+  spec::SpecEngine* engine = kit_.spec_engine();
+  if (engine == nullptr) return run_sequential(ops);
+  const TimePoint t0 = Clock::now();
+  Plan plan = plan_ops(ops);
+  TxnResult result;
+  if (!plan.quorum_reads.empty()) {
+    auto keys = std::make_shared<const std::vector<std::string>>(
+        plan.quorum_reads);
+    ValueList args;
+    args.emplace_back((*keys)[0]);
+    auto future = engine->call_quorum(replicas_for((*keys)[0]),
+                                      config_.read_quorum, kRead,
+                                      std::move(args), max_version_combiner,
+                                      chain_factory(keys, 0, {}));
+    const Value all = future->get();  // non-speculative read results
+    for (const auto& e : all.as_list()) {
+      const ValueList& triple = e.as_list();
+      result.reads.push_back(ReadResult{triple.at(0).as_string(),
+                                        triple.at(1).as_string(),
+                                        triple.at(2).as_int()});
+    }
+  }
+  commit_txn(result.reads, plan.writes, result);
+  result.reads.insert(result.reads.end(), plan.local_reads.begin(),
+                      plan.local_reads.end());
+  result.total = Clock::now() - t0;
+  return result;
+}
+
+TxnResult RcClient::run_transform(
+    const std::string& key,
+    const std::function<std::string(const std::string&)>& transform) {
+  const TimePoint t0 = Clock::now();
+  TxnResult result;
+  result.reads.push_back(quorum_read(key));
+  std::vector<kv::WriteOp> writes;
+  writes.push_back(kv::WriteOp{key, transform(result.reads[0].value)});
+  commit_txn(result.reads, writes, result);
+  result.total = Clock::now() - t0;
+  return result;
+}
+
+TxnResult RcClient::run(const std::vector<Op>& ops) {
+  return kit_.spec_engine() != nullptr ? run_speculative(ops)
+                                       : run_sequential(ops);
+}
+
+void RcClient::commit_txn(const std::vector<ReadResult>& reads,
+                          const std::vector<kv::WriteOp>& writes,
+                          TxnResult& result) {
+  if (writes.empty()) {
+    // Read-only transactions need no commit round: quorum reads already
+    // returned majority-committed values.
+    result.committed = true;
+    result.read_only = true;
+    result.commit_phase = Duration::zero();
+    return;
+  }
+  const TimePoint t1 = Clock::now();
+  const std::int64_t txn = next_txn_stamp();
+  const std::int64_t commit_version = txn + 1'000'000'000;  // above loads
+  std::vector<kv::ReadValidation> validations;
+  validations.reserve(reads.size());
+  for (const auto& r : reads)
+    validations.push_back(kv::ReadValidation{r.key, r.version});
+
+  // One wide-area round trip: commit request to every DC coordinator; the
+  // transaction commits once a majority votes yes.
+  struct VoteState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int yes = 0;
+    int no = 0;
+  };
+  auto votes = std::make_shared<VoteState>();
+  const int num_dcs = topology_.num_dcs;
+  const int quorum = config_.vote_quorum;
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(txn);
+    args.push_back(encode_reads(validations));
+    args.push_back(encode_writes(writes));
+    auto future = kit_.call(topology_.coord_addr(dc), kCommit,
+                            std::move(args));
+    future->then([votes](const Outcome& outcome) {
+      std::lock_guard<std::mutex> lock(votes->mu);
+      if (outcome.ok && outcome.value.as_bool()) {
+        votes->yes++;
+      } else {
+        votes->no++;
+      }
+      votes->cv.notify_all();
+    });
+  }
+  bool committed;
+  {
+    std::unique_lock<std::mutex> lock(votes->mu);
+    votes->cv.wait(lock, [&] {
+      return votes->yes >= quorum || votes->no > num_dcs - quorum;
+    });
+    committed = votes->yes >= quorum;
+  }
+  // Broadcast the decision (asynchronous, off the latency path).
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(txn);
+    args.emplace_back(committed);
+    args.push_back(encode_writes(writes));
+    args.emplace_back(commit_version);
+    args.push_back(encode_reads(validations));
+    kit_.call(topology_.coord_addr(dc), kDecide, std::move(args));
+  }
+  result.committed = committed;
+  result.commit_phase = Clock::now() - t1;
+}
+
+}  // namespace srpc::rc

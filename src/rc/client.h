@@ -1,0 +1,84 @@
+// Replicated Commit client: transaction execution over quorum reads and the
+// single-roundtrip commit.
+//
+// Two execution strategies share the commit protocol (the paper's SpecRPC
+// port "does not modify the commit protocol"):
+//
+//   * run_sequential — dependent quorum reads execute one after another,
+//     each waiting for its majority; this is the gRPC/TradRPC behaviour the
+//     paper shows growing linearly with the number of reads (Figure 9).
+//
+//   * run_speculative — reads form a SpecRPC callback chain: the first
+//     (local-DC) response predicts each quorum result, so all dependent
+//     reads overlap; the final callback specBlocks until every read is
+//     non-speculative before the commit is issued (§4.1: "Before calling
+//     commit ... an RC client will issue a specBlock to wait until all
+//     quorum reads become non-speculative").
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "rc/common.h"
+#include "rc/kit.h"
+
+namespace srpc::rc {
+
+struct RcClientConfig {
+  int my_dc = 0;
+  int read_quorum = 2;
+  int vote_quorum = 2;  // majority of 3 DCs
+};
+
+class RcClient {
+ public:
+  RcClient(RpcKit& kit, Topology topology, RcClientConfig config);
+
+  /// Executes ops with sequential quorum reads, then commits.
+  TxnResult run_sequential(const std::vector<Op>& ops);
+
+  /// Executes ops with a speculative read chain, then commits.
+  /// Requires the kit to wrap a SpecRPC engine.
+  TxnResult run_speculative(const std::vector<Op>& ops);
+
+  /// Dispatches on the kit's capability (SpecRPC -> speculative).
+  TxnResult run(const std::vector<Op>& ops);
+
+  /// Read-modify-write transaction: quorum-reads `key`, writes
+  /// transform(value) — the commit validates the very read the transform
+  /// consumed, so concurrent increments are lost-update-free.
+  TxnResult run_transform(
+      const std::string& key,
+      const std::function<std::string(const std::string&)>& transform);
+
+ private:
+  struct Plan {
+    std::vector<std::string> quorum_reads;    // keys needing quorum reads
+    std::vector<ReadResult> local_reads;      // satisfied from write buffer
+    std::vector<kv::WriteOp> writes;          // buffered writes (last wins)
+  };
+  Plan plan_ops(const std::vector<Op>& ops) const;
+
+  /// Replica fan-out for a key, local datacentre first (its response is the
+  /// speculation-friendly first responder, §4.1).
+  std::vector<Address> replicas_for(const std::string& key) const;
+
+  ReadResult quorum_read(const std::string& key);
+  spec::CallbackFactory chain_factory(
+      std::shared_ptr<const std::vector<std::string>> keys, std::size_t idx,
+      std::vector<ReadResult> acc) const;
+
+  /// Commit phase shared by both strategies; fills committed/commit_phase.
+  void commit_txn(const std::vector<ReadResult>& reads,
+                  const std::vector<kv::WriteOp>& writes, TxnResult& result);
+
+  RpcKit& kit_;
+  Topology topology_;
+  RcClientConfig config_;
+};
+
+/// Quorum-read combiner: the value with the highest version among the
+/// responses (RC's read rule).
+Value max_version_combiner(const std::vector<Value>& responses);
+
+}  // namespace srpc::rc

@@ -1,0 +1,162 @@
+#include "rc/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace srpc::rc {
+
+struct RcCluster::NodeBundle {
+  Transport* transport = nullptr;
+  // Exactly one of the engines is set, matching the cluster flavour.
+  std::unique_ptr<rpc::Node> rpc_node;
+  std::unique_ptr<spec::SpecEngine> spec_engine;
+  std::unique_ptr<RpcKit> kit;
+};
+
+RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
+  auto bundle = std::make_unique<NodeBundle>();
+  bundle->transport = &geo_->add_machine(dc, name);
+  switch (config_.flavor) {
+    case Flavor::kGrpc: {
+      grpcsim::GrpcSimConfig grpc_config;
+      grpc_config.call_timeout = config_.call_timeout;
+      auto node_config = grpcsim::to_node_config(grpc_config);
+      bundle->rpc_node = std::make_unique<rpc::Node>(
+          *bundle->transport, *work_executor_, net_->wheel(), node_config);
+      bundle->kit = std::make_unique<TradKit>(*bundle->rpc_node);
+      break;
+    }
+    case Flavor::kTrad: {
+      rpc::NodeConfig node_config;
+      node_config.call_timeout = config_.call_timeout;
+      bundle->rpc_node = std::make_unique<rpc::Node>(
+          *bundle->transport, *work_executor_, net_->wheel(), node_config);
+      bundle->kit = std::make_unique<TradKit>(*bundle->rpc_node);
+      break;
+    }
+    case Flavor::kSpec: {
+      spec::SpecConfig spec_config;
+      spec_config.call_timeout = config_.call_timeout;
+      bundle->spec_engine = std::make_unique<spec::SpecEngine>(
+          *bundle->transport, *work_executor_, net_->wheel(), spec_config);
+      bundle->kit = std::make_unique<SpecKit>(*bundle->spec_engine);
+      break;
+    }
+  }
+  nodes_.push_back(std::move(bundle));
+  return *nodes_.back();
+}
+
+RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
+  topology_.num_dcs = static_cast<int>(config_.geo.dc_names.size());
+  topology_.dc_names = config_.geo.dc_names;
+
+  SimConfig sim_config;
+  sim_config.executor_threads = config_.executor_threads;
+  sim_config.seed = config_.seed;
+  net_ = std::make_unique<SimNetwork>(sim_config);
+  const int total_clients = topology_.num_dcs * config_.clients_per_dc;
+  work_executor_ = std::make_unique<Executor>(
+      std::max(32, total_clients * 3 + 16), "rc-work");
+  geo_ = std::make_unique<GeoTopology>(*net_, config_.geo);
+
+  // Preload the dataset once, then copy into every replica.
+  std::vector<std::pair<std::string, std::string>> dataset;
+  dataset.reserve(config_.num_keys);
+  for (std::size_t i = 0; i < config_.num_keys; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08zu", i);
+    dataset.emplace_back(key, std::string(config_.value_size, 'v'));
+  }
+
+  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
+    for (int shard = 0; shard < kNumShards; ++shard) {
+      auto& bundle = make_node(dc, "shard" + std::to_string(shard));
+      auto store = std::make_unique<kv::VersionedStore>();
+      for (const auto& [key, value] : dataset) {
+        if (shard_of(key) == shard) store->load(key, value, 1);
+      }
+      CpuModel* cpu = nullptr;
+      if (config_.server_cores > 0) {
+        cpus_.push_back(std::make_unique<CpuModel>(net_->wheel(),
+                                                   config_.server_cores));
+        cpu = cpus_.back().get();
+      }
+      kv::TxnLog* log = nullptr;
+      if (!config_.log_dir.empty()) {
+        logs_.push_back(std::make_unique<kv::TxnLog>(
+            config_.log_dir + "/" + std::to_string(dc) + "." +
+            std::to_string(shard) + ".rclog"));
+        log = logs_.back().get();
+      }
+      shard_servers_.push_back(std::make_unique<ShardServer>(
+          *bundle.kit, *store, cpu, config_.costs, log));
+      stores_.push_back(std::move(store));
+    }
+    auto& coord_bundle = make_node(dc, "coord");
+    CpuModel* coord_cpu = nullptr;
+    if (config_.server_cores > 0) {
+      cpus_.push_back(std::make_unique<CpuModel>(net_->wheel(),
+                                                 config_.server_cores));
+      coord_cpu = cpus_.back().get();
+    }
+    coordinators_.push_back(std::make_unique<Coordinator>(
+        *coord_bundle.kit, topology_, dc, coord_cpu, config_.costs));
+  }
+
+  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
+    for (int i = 0; i < config_.clients_per_dc; ++i) {
+      auto& bundle = make_node(dc, "client" + std::to_string(i));
+      RcClientConfig client_config;
+      client_config.my_dc = dc;
+      clients_.push_back(std::make_unique<RcClient>(*bundle.kit, topology_,
+                                                    client_config));
+    }
+  }
+}
+
+RcCluster::~RcCluster() {
+  // Teardown order matters: (1) stop engines so computations parked in
+  // spec_block unwind, (2) drain the work executor so no callback still
+  // references an engine, (3) destroy engines/servers, (4) the network.
+  for (auto& node : nodes_) {
+    if (node->spec_engine) node->spec_engine->begin_shutdown();
+  }
+  work_executor_->shutdown();
+  // Join the timer thread before destroying servers: pending timers (read
+  // retries, service-time completions) capture raw server pointers.
+  net_->wheel().shutdown();
+  clients_.clear();
+  coordinators_.clear();
+  shard_servers_.clear();
+  nodes_.clear();
+  cpus_.clear();
+  logs_.clear();
+  stores_.clear();
+  geo_.reset();
+  net_.reset();
+  work_executor_.reset();
+}
+
+spec::SpecStats RcCluster::spec_stats() const {
+  spec::SpecStats total;
+  for (const auto& node : nodes_) {
+    if (!node->spec_engine) continue;
+    const auto s = node->spec_engine->stats();
+    total.calls_issued += s.calls_issued;
+    total.quorum_calls_issued += s.quorum_calls_issued;
+    total.callbacks_spawned += s.callbacks_spawned;
+    total.reexecutions += s.reexecutions;
+    total.predictions_made += s.predictions_made;
+    total.predictions_correct += s.predictions_correct;
+    total.predictions_incorrect += s.predictions_incorrect;
+    total.branches_abandoned += s.branches_abandoned;
+    total.rollbacks_run += s.rollbacks_run;
+    total.state_msgs_sent += s.state_msgs_sent;
+    total.spec_returns += s.spec_returns;
+    total.spec_blocks += s.spec_blocks;
+  }
+  return total;
+}
+
+}  // namespace srpc::rc

@@ -1,0 +1,86 @@
+// RcCluster — assembles the full Replicated Commit testbed over a simulated
+// geo-network for one RPC framework flavour (the three bars of every RC
+// figure: gRPC stand-in, TradRPC, SpecRPC).
+//
+// Topology per §5.2: 3 datacentres x 3 shard servers (full replication,
+// one server per replica) + 1 coordinator per DC + N client machines per DC.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/cpu_model.h"
+#include "common/flavor.h"
+#include "rc/client.h"
+#include "rc/server.h"
+#include "transport/geo.h"
+#include "transport/sim_network.h"
+
+namespace srpc::rc {
+
+using srpc::Flavor;
+
+struct ClusterConfig {
+  Flavor flavor = Flavor::kTrad;
+  GeoConfig geo;                    // latency matrix (Table 1 by default)
+  int clients_per_dc = 16;
+  std::size_t num_keys = 100'000;
+  std::size_t value_size = 16;
+  /// 0 = unconstrained servers (latency experiments); >0 enables the
+  /// CpuModel with that many virtual cores per server (Figure 13).
+  int server_cores = 0;
+  ServerCosts costs;
+  int executor_threads = 8;
+  Duration call_timeout = std::chrono::seconds(30);
+  std::uint64_t seed = 1;
+  /// Non-empty: each shard server writes an async transaction log
+  /// <log_dir>/<dc>.<shard>.rclog (the paper persists txn logs to SSD).
+  std::string log_dir;
+};
+
+class RcCluster {
+ public:
+  explicit RcCluster(ClusterConfig config);
+  ~RcCluster();
+
+  RcClient& client(int dc, int index) {
+    return *clients_.at(static_cast<std::size_t>(dc * config_.clients_per_dc +
+                                                 index));
+  }
+  int clients_per_dc() const { return config_.clients_per_dc; }
+  int num_dcs() const { return topology_.num_dcs; }
+  const Topology& topology() const { return topology_; }
+  SimNetwork& net() { return *net_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Sum of the SpecRPC stats over all engines (zeroes for other flavours).
+  spec::SpecStats spec_stats() const;
+
+  /// Direct store access for invariants checks in tests.
+  kv::VersionedStore& store(int dc, int shard) {
+    return *stores_.at(static_cast<std::size_t>(dc * kNumShards + shard));
+  }
+
+ private:
+  struct NodeBundle;  // one machine: transport + engine + kit (+ roles)
+
+  NodeBundle& make_node(int dc, const std::string& name);
+
+  ClusterConfig config_;
+  Topology topology_;
+  std::unique_ptr<SimNetwork> net_;
+  /// Engines run callbacks/handlers here, isolated from the network's
+  /// delivery executor: a callback parked in spec_block (§4.1) must never
+  /// stall message delivery, or speculation could deadlock under load.
+  std::unique_ptr<Executor> work_executor_;
+  std::unique_ptr<GeoTopology> geo_;
+  std::vector<std::unique_ptr<NodeBundle>> nodes_;
+  std::vector<std::unique_ptr<kv::VersionedStore>> stores_;
+  std::vector<std::unique_ptr<kv::TxnLog>> logs_;
+  std::vector<std::unique_ptr<CpuModel>> cpus_;
+  std::vector<std::unique_ptr<ShardServer>> shard_servers_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<std::unique_ptr<RcClient>> clients_;
+};
+
+}  // namespace srpc::rc

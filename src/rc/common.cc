@@ -1,0 +1,85 @@
+#include "rc/common.h"
+
+#include <atomic>
+#include <functional>
+
+namespace srpc::rc {
+
+int shard_of(const std::string& key) {
+  return static_cast<int>(std::hash<std::string>{}(key) % kNumShards);
+}
+
+Address Topology::shard_addr(int dc, int shard) const {
+  return dc_names.at(dc) + ".shard" + std::to_string(shard);
+}
+
+Address Topology::coord_addr(int dc) const {
+  return dc_names.at(dc) + ".coord";
+}
+
+std::vector<Address> Topology::all_replicas(int shard) const {
+  std::vector<Address> out;
+  out.reserve(num_dcs);
+  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(shard_addr(dc, shard));
+  return out;
+}
+
+std::vector<Address> Topology::all_coords() const {
+  std::vector<Address> out;
+  out.reserve(num_dcs);
+  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(coord_addr(dc));
+  return out;
+}
+
+Value encode_read_result(const ReadResult& r) {
+  return vlist(r.value, r.version);
+}
+
+ReadResult decode_read_result(const std::string& key, const Value& v) {
+  const ValueList& list = v.as_list();
+  ReadResult r;
+  r.key = key;
+  r.value = list.at(0).as_string();
+  r.version = list.at(1).as_int();
+  return r;
+}
+
+Value encode_reads(const std::vector<kv::ReadValidation>& reads) {
+  ValueList out;
+  out.reserve(reads.size());
+  for (const auto& r : reads) out.push_back(vlist(r.key, r.version));
+  return Value(std::move(out));
+}
+
+std::vector<kv::ReadValidation> decode_reads(const Value& v) {
+  std::vector<kv::ReadValidation> out;
+  for (const auto& e : v.as_list()) {
+    const ValueList& pair = e.as_list();
+    out.push_back(kv::ReadValidation{pair.at(0).as_string(),
+                                     pair.at(1).as_int()});
+  }
+  return out;
+}
+
+Value encode_writes(const std::vector<kv::WriteOp>& writes) {
+  ValueList out;
+  out.reserve(writes.size());
+  for (const auto& w : writes) out.push_back(vlist(w.key, w.value));
+  return Value(std::move(out));
+}
+
+std::vector<kv::WriteOp> decode_writes(const Value& v) {
+  std::vector<kv::WriteOp> out;
+  for (const auto& e : v.as_list()) {
+    const ValueList& pair = e.as_list();
+    out.push_back(kv::WriteOp{pair.at(0).as_string(), pair.at(1).as_string()});
+  }
+  return out;
+}
+
+std::int64_t next_txn_stamp() {
+  static std::atomic<std::int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+}  // namespace srpc::rc

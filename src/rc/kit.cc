@@ -1,0 +1,69 @@
+#include "rc/kit.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace srpc::rc {
+
+void TradKit::register_handler(const std::string& name, AsyncHandler handler) {
+  node_.register_method(
+      name, [handler](const rpc::CallContext&, ValueList args,
+                      rpc::Responder responder) {
+        auto shared = std::make_shared<rpc::Responder>(std::move(responder));
+        handler(std::move(args), [shared](Outcome outcome) {
+          if (outcome.ok) {
+            shared->finish(std::move(outcome.value));
+          } else {
+            shared->fail(outcome.error);
+          }
+        });
+      });
+}
+
+void SpecKit::register_handler(const std::string& name, AsyncHandler handler) {
+  engine_.register_method(
+      name, spec::Handler([handler](const spec::ServerCallPtr& call) {
+        handler(call->args(), [call](Outcome outcome) {
+          if (outcome.ok) {
+            call->finish(std::move(outcome.value));
+          } else {
+            call->fail(outcome.error);
+          }
+        });
+      }));
+}
+
+std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
+                                 int quorum) {
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Outcome> successes;
+    int failures = 0;
+  };
+  auto state = std::make_shared<State>();
+  const int total = static_cast<int>(futures.size());
+  for (const auto& f : futures) {
+    f->then([state, quorum, total](const Outcome& outcome) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (outcome.ok) {
+        if (static_cast<int>(state->successes.size()) < quorum)
+          state->successes.push_back(outcome);
+      } else {
+        state->failures++;
+      }
+      if (static_cast<int>(state->successes.size()) >= quorum ||
+          state->failures > total - quorum) {
+        state->cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return static_cast<int>(state->successes.size()) >= quorum ||
+           state->failures > total - quorum;
+  });
+  return state->successes;
+}
+
+}  // namespace srpc::rc

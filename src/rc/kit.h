@@ -1,0 +1,88 @@
+// RpcKit — the thin framework-independence seam for Replicated Commit.
+//
+// The paper evaluates three builds of the same RC prototype: gRPC, TradRPC
+// and SpecRPC (§5.2, "Our SpecRPC changes do not modify the commit
+// protocol"). RC's servers and its non-speculative client paths are written
+// against this minimal async-RPC surface; the only SpecRPC-specific code is
+// the speculative read chain in the client (mirroring the paper's ~300
+// client-side lines of changes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/timer_wheel.h"
+
+#include "grpcsim/grpcsim.h"
+#include "rpc/node.h"
+#include "specrpc/engine.h"
+
+namespace srpc::rc {
+
+using Future = rpc::Future;
+using FuturePtr = rpc::Future::Ptr;
+using Outcome = rpc::Outcome;
+
+/// Server handler: args in, respond exactly once (possibly later/async).
+using AsyncHandler =
+    std::function<void(ValueList args, std::function<void(Outcome)> respond)>;
+
+class RpcKit {
+ public:
+  virtual ~RpcKit() = default;
+
+  virtual void register_handler(const std::string& name,
+                                AsyncHandler handler) = 0;
+  virtual FuturePtr call(const Address& dst, const std::string& method,
+                         ValueList args) = 0;
+  virtual const Address& address() const = 0;
+  virtual TimerWheel& wheel() = 0;
+
+  /// The SpecRPC engine when this kit wraps one, else nullptr. The RC client
+  /// uses it to build the speculative read chain.
+  virtual spec::SpecEngine* spec_engine() { return nullptr; }
+};
+
+/// Kit over the TradRPC engine (also used, with GrpcSim knobs, for the gRPC
+/// stand-in — construct the rpc::Node with grpcsim::to_node_config).
+class TradKit final : public RpcKit {
+ public:
+  explicit TradKit(rpc::Node& node) : node_(node) {}
+
+  void register_handler(const std::string& name, AsyncHandler handler) override;
+  FuturePtr call(const Address& dst, const std::string& method,
+                 ValueList args) override {
+    return node_.call(dst, method, std::move(args));
+  }
+  const Address& address() const override { return node_.address(); }
+  TimerWheel& wheel() override { return node_.wheel(); }
+
+ private:
+  rpc::Node& node_;
+};
+
+/// Kit over the SpecRPC engine: plain (prediction-less) calls.
+class SpecKit final : public RpcKit {
+ public:
+  explicit SpecKit(spec::SpecEngine& engine) : engine_(engine) {}
+
+  void register_handler(const std::string& name, AsyncHandler handler) override;
+  FuturePtr call(const Address& dst, const std::string& method,
+                 ValueList args) override {
+    return engine_.call(dst, method, std::move(args));
+  }
+  const Address& address() const override { return engine_.address(); }
+  TimerWheel& wheel() override { return engine_.wheel(); }
+  spec::SpecEngine* spec_engine() override { return &engine_; }
+
+ private:
+  spec::SpecEngine& engine_;
+};
+
+/// Blocks for the first `quorum` successful outcomes of `futures`; returns
+/// them. If success becomes impossible, returns what arrived (size < quorum).
+std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
+                                 int quorum);
+
+}  // namespace srpc::rc

@@ -1,0 +1,212 @@
+#include "rc/server.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace srpc::rc {
+
+// ------------------------------------------------------------ ShardServer
+
+ShardServer::ShardServer(RpcKit& kit, kv::VersionedStore& store, CpuModel* cpu,
+                         ServerCosts costs, kv::TxnLog* log)
+    : kit_(kit), store_(store), cpu_(cpu), costs_(costs), log_(log) {
+  kit_.register_handler(
+      kRead, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.read, [this, args = std::move(args),
+                               respond = std::move(respond)] {
+          serve_read(args.at(0).as_string(), std::move(respond),
+                     /*attempt=*/0);
+        });
+      });
+
+  kit_.register_handler(
+      kPrepare, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.prepare, [this, args = std::move(args),
+                                  respond = std::move(respond)] {
+          const auto txn = static_cast<kv::TxnId>(args.at(0).as_int());
+          const auto reads = decode_reads(args.at(1));
+          const auto writes = decode_writes(args.at(2));
+          const bool ok = store_.prepare(txn, reads, writes);
+          respond(Outcome::success(Value(ok)));
+        });
+      });
+
+  kit_.register_handler(
+      kApply, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.apply, [this, args = std::move(args),
+                                respond = std::move(respond)] {
+          const auto txn = static_cast<kv::TxnId>(args.at(0).as_int());
+          const auto writes = decode_writes(args.at(1));
+          const std::int64_t version = args.at(2).as_int();
+          store_.commit(txn, writes, version);
+          if (log_ != nullptr) {
+            log_->append(kv::CommitRecord{txn, version, writes});
+          }
+          respond(Outcome::success(Value(true)));
+        });
+      });
+
+  kit_.register_handler(
+      kAbort, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.apply, [this, args = std::move(args),
+                                respond = std::move(respond)] {
+          store_.abort(static_cast<kv::TxnId>(args.at(0).as_int()));
+          respond(Outcome::success(Value(true)));
+        });
+      });
+}
+
+void ShardServer::serve_read(const std::string& key,
+                             std::function<void(Outcome)> respond,
+                             int attempt) {
+  // A write-locked key has an in-flight commit that may be about to apply;
+  // RC reads wait for the outcome rather than return a possibly-stale value
+  // (this is what makes read-after-commit see the write). Bounded retry so
+  // a stuck lock cannot wedge readers forever.
+  if (store_.is_locked(key) && attempt < 400) {
+    kit_.wheel().schedule_after(
+        std::chrono::microseconds(500),
+        [this, key, respond = std::move(respond), attempt]() mutable {
+          serve_read(key, std::move(respond), attempt + 1);
+        });
+    return;
+  }
+  ReadResult r;
+  r.key = key;
+  if (auto vv = store_.get(key)) {
+    r.value = vv->value;
+    r.version = vv->version;
+  }
+  respond(Outcome::success(encode_read_result(r)));
+}
+
+void ShardServer::with_cpu(Duration cost, std::function<void()> work) {
+  if (cpu_ == nullptr || cost <= Duration::zero()) {
+    work();
+    return;
+  }
+  cpu_->execute(cost, std::move(work));
+}
+
+// ------------------------------------------------------------ Coordinator
+
+Coordinator::Coordinator(RpcKit& kit, Topology topology, int dc, CpuModel* cpu,
+                         ServerCosts costs)
+    : kit_(kit), topology_(std::move(topology)), dc_(dc), cpu_(cpu),
+      costs_(costs) {
+  kit_.register_handler(
+      kCommit, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.commit, [this, args = std::move(args),
+                                 respond = std::move(respond)] {
+          handle_commit(args, respond);
+        });
+      });
+  kit_.register_handler(
+      kDecide, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.commit, [this, args = std::move(args),
+                                 respond = std::move(respond)] {
+          handle_decide(args, respond);
+        });
+      });
+}
+
+void Coordinator::with_cpu(Duration cost, std::function<void()> work) {
+  if (cpu_ == nullptr || cost <= Duration::zero()) {
+    work();
+    return;
+  }
+  cpu_->execute(cost, std::move(work));
+}
+
+namespace {
+
+/// Splits read/write sets by owning shard. Only shards that own at least
+/// one key participate in the local 2PC.
+struct ShardSets {
+  std::vector<kv::ReadValidation> reads;
+  std::vector<kv::WriteOp> writes;
+};
+
+std::map<int, ShardSets> split_by_shard(
+    const std::vector<kv::ReadValidation>& reads,
+    const std::vector<kv::WriteOp>& writes) {
+  std::map<int, ShardSets> out;
+  for (const auto& r : reads) out[shard_of(r.key)].reads.push_back(r);
+  for (const auto& w : writes) out[shard_of(w.key)].writes.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+void Coordinator::handle_commit(ValueList args,
+                                std::function<void(Outcome)> respond) {
+  const std::int64_t txn = args.at(0).as_int();
+  const auto reads = decode_reads(args.at(1));
+  const auto writes = decode_writes(args.at(2));
+  const auto by_shard = split_by_shard(reads, writes);
+  if (by_shard.empty()) {
+    respond(Outcome::success(Value(true)));
+    return;
+  }
+  // Datacentre-local 2PC prepare across the involved shards.
+  struct Agg {
+    std::mutex mu;
+    int remaining;
+    bool ok = true;
+    std::function<void(Outcome)> respond;
+  };
+  auto agg = std::make_shared<Agg>();
+  agg->remaining = static_cast<int>(by_shard.size());
+  agg->respond = std::move(respond);
+  for (const auto& [shard, sets] : by_shard) {
+    ValueList prepare_args;
+    prepare_args.emplace_back(txn);
+    prepare_args.push_back(encode_reads(sets.reads));
+    prepare_args.push_back(encode_writes(sets.writes));
+    auto future = kit_.call(topology_.shard_addr(dc_, shard), kPrepare,
+                            std::move(prepare_args));
+    future->then([agg](const Outcome& outcome) {
+      bool done = false;
+      bool vote = false;
+      {
+        std::lock_guard<std::mutex> lock(agg->mu);
+        if (!outcome.ok || !outcome.value.as_bool()) agg->ok = false;
+        if (--agg->remaining == 0) {
+          done = true;
+          vote = agg->ok;
+        }
+      }
+      if (done) agg->respond(Outcome::success(Value(vote)));
+    });
+  }
+}
+
+void Coordinator::handle_decide(ValueList args,
+                                std::function<void(Outcome)> respond) {
+  const std::int64_t txn = args.at(0).as_int();
+  const bool commit = args.at(1).as_bool();
+  const auto writes = decode_writes(args.at(2));
+  const std::int64_t version = args.at(3).as_int();
+  const auto reads = decode_reads(args.at(4));
+  const auto by_shard = split_by_shard(reads, writes);
+  for (const auto& [shard, sets] : by_shard) {
+    if (commit) {
+      ValueList apply_args;
+      apply_args.emplace_back(txn);
+      apply_args.push_back(encode_writes(sets.writes));
+      apply_args.emplace_back(version);
+      kit_.call(topology_.shard_addr(dc_, shard), kApply,
+                std::move(apply_args));
+    } else {
+      ValueList abort_args;
+      abort_args.emplace_back(txn);
+      kit_.call(topology_.shard_addr(dc_, shard), kAbort,
+                std::move(abort_args));
+    }
+  }
+  respond(Outcome::success(Value(true)));
+}
+
+}  // namespace srpc::rc

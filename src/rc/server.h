@@ -1,0 +1,68 @@
+// Replicated Commit servers: shard replica + per-DC coordinator.
+//
+// ShardServer exposes quorum-read and local-2PC participant operations over
+// one VersionedStore replica. Coordinator runs the datacentre-local 2PC for
+// rc.commit and forwards the global decision to its shards. Both are
+// framework-independent via RpcKit, matching the paper's claim that the RC
+// protocol code is unchanged between the gRPC/TradRPC/SpecRPC builds.
+//
+// An optional CpuModel charges per-request processing time — this is how
+// the Figure 13 experiment limits servers to 2-3 cores (DESIGN.md §3).
+#pragma once
+
+#include <memory>
+
+#include "common/cpu_model.h"
+#include "kvstore/store.h"
+#include "kvstore/txn_log.h"
+#include "rc/common.h"
+#include "rc/kit.h"
+
+namespace srpc::rc {
+
+struct ServerCosts {
+  Duration read{};     // per rc.read
+  Duration prepare{};  // per rc.prepare
+  Duration apply{};    // per rc.apply / rc.abort
+  Duration commit{};   // per rc.commit at the coordinator
+};
+
+class ShardServer {
+ public:
+  /// `log` (optional) receives every applied commit asynchronously — the
+  /// paper's SSD-persisted transaction log, off the critical path.
+  ShardServer(RpcKit& kit, kv::VersionedStore& store, CpuModel* cpu = nullptr,
+              ServerCosts costs = {}, kv::TxnLog* log = nullptr);
+
+  kv::VersionedStore& store() { return store_; }
+
+ private:
+  void with_cpu(Duration cost, std::function<void()> work);
+  void serve_read(const std::string& key,
+                  std::function<void(Outcome)> respond, int attempt);
+
+  RpcKit& kit_;
+  kv::VersionedStore& store_;
+  CpuModel* cpu_;
+  ServerCosts costs_;
+  kv::TxnLog* log_;
+};
+
+class Coordinator {
+ public:
+  Coordinator(RpcKit& kit, Topology topology, int dc, CpuModel* cpu = nullptr,
+              ServerCosts costs = {});
+
+ private:
+  void with_cpu(Duration cost, std::function<void()> work);
+  void handle_commit(ValueList args, std::function<void(Outcome)> respond);
+  void handle_decide(ValueList args, std::function<void(Outcome)> respond);
+
+  RpcKit& kit_;
+  Topology topology_;
+  int dc_;
+  CpuModel* cpu_;
+  ServerCosts costs_;
+};
+
+}  // namespace srpc::rc

@@ -1,0 +1,103 @@
+// Future for asynchronous RPC results.
+//
+// TradRPC is asynchronous: call() returns immediately with a Future; the
+// dependent operation is either a blocking get() or a continuation attached
+// with then(). SpecRPC's SpecFuture (specrpc/future.h) has the same shape
+// but only ever resolves with non-speculative values.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serde/value.h"
+
+namespace srpc::rpc {
+
+/// RPC failure (remote error, timeout, transport shutdown).
+class RpcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Result of a completed call: a value or an error message.
+struct Outcome {
+  bool ok = false;
+  Value value;
+  std::string error;
+
+  static Outcome success(Value v) { return Outcome{true, std::move(v), {}}; }
+  static Outcome failure(std::string e) {
+    return Outcome{false, Value(), std::move(e)};
+  }
+};
+
+class Future {
+ public:
+  using Ptr = std::shared_ptr<Future>;
+  using Continuation = std::function<void(const Outcome&)>;
+
+  static Ptr create() { return std::make_shared<Future>(); }
+
+  /// Blocks until resolution; returns the value or throws RpcError.
+  Value get() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return outcome_.has_value(); });
+    if (!outcome_->ok) throw RpcError(outcome_->error);
+    return outcome_->value;
+  }
+
+  /// Blocks with a timeout; std::nullopt on timeout.
+  std::optional<Outcome> get_for(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [this] { return outcome_.has_value(); }))
+      return std::nullopt;
+    return outcome_;
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcome_.has_value();
+  }
+
+  /// Attaches a continuation; runs inline if already resolved, otherwise on
+  /// the resolving thread.
+  void then(Continuation c) {
+    Outcome snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!outcome_.has_value()) {
+        continuations_.push_back(std::move(c));
+        return;
+      }
+      snapshot = *outcome_;
+    }
+    c(snapshot);
+  }
+
+  /// Resolves the future. Only the first resolution takes effect.
+  void resolve(Outcome outcome) {
+    std::vector<Continuation> continuations;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outcome_.has_value()) return;
+      outcome_ = std::move(outcome);
+      continuations.swap(continuations_);
+    }
+    cv_.notify_all();
+    for (auto& c : continuations) c(*outcome_);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Outcome> outcome_;
+  std::vector<Continuation> continuations_;
+};
+
+}  // namespace srpc::rpc

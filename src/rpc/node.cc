@@ -1,0 +1,215 @@
+#include "rpc/node.h"
+
+#include "common/logging.h"
+#include "serde/io.h"
+
+namespace srpc::rpc {
+
+// NodeCore decouples Responder lifetime from Node lifetime: a Responder can
+// outlive its Node (e.g. a timer completion firing during shutdown) and must
+// then degrade to a no-op instead of touching freed state.
+class NodeCore {
+ public:
+  NodeCore(Transport& transport, const Codec& codec)
+      : transport_(&transport), codec_(codec) {}
+
+  void detach() {
+    std::lock_guard<std::mutex> lock(mu_);
+    transport_ = nullptr;
+  }
+
+  void send_response(const Address& dst, const Response& rsp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (transport_ == nullptr) return;
+    transport_->send(dst, encode_response(rsp, codec_));
+  }
+
+ private:
+  std::mutex mu_;
+  Transport* transport_;
+  const Codec& codec_;
+};
+
+struct Responder::State {
+  std::shared_ptr<NodeCore> core;
+  Address caller;
+  CallId call_id;
+  bool finished = false;
+  std::mutex mu;
+
+  void complete(bool ok, Value result, const std::string& error) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (finished) return;
+      finished = true;
+    }
+    Response rsp;
+    rsp.call_id = call_id;
+    rsp.ok = ok;
+    rsp.result = std::move(result);
+    rsp.error = error;
+    core->send_response(caller, rsp);
+  }
+};
+
+Responder::Responder(std::shared_ptr<NodeCore> core, Address caller,
+                     CallId call_id)
+    : state_(std::make_shared<State>()) {
+  state_->core = std::move(core);
+  state_->caller = std::move(caller);
+  state_->call_id = call_id;
+}
+
+Responder::~Responder() {
+  // Last reference going away without a reply: report an error so the
+  // client does not hang. complete() is a no-op if already finished.
+  if (state_ && state_.use_count() == 1) {
+    state_->complete(false, Value(), "handler dropped the request");
+  }
+}
+
+void Responder::finish(Value result) {
+  state_->complete(true, std::move(result), {});
+}
+
+void Responder::fail(const std::string& error) {
+  state_->complete(false, Value(), error);
+}
+
+void CallContext::finish_after(Duration work, Responder responder,
+                               Value result) const {
+  auto shared = std::make_shared<Responder>(std::move(responder));
+  auto value = std::make_shared<Value>(std::move(result));
+  wheel->schedule_after(work, [shared, value]() mutable {
+    shared->finish(std::move(*value));
+  });
+}
+
+Node::Node(Transport& transport, Executor& executor, TimerWheel& wheel,
+           NodeConfig config)
+    : transport_(transport),
+      executor_(executor),
+      wheel_(wheel),
+      config_(config),
+      core_(std::make_shared<NodeCore>(transport, *config.codec)) {
+  transport_.set_receiver(
+      [this](const Address& src, Bytes frame) { on_message(src, frame); });
+}
+
+Node::~Node() {
+  transport_.set_receiver(nullptr);
+  core_->detach();
+  // Fail anything still pending so callers blocked in get() wake up.
+  std::unordered_map<CallId, Future::Ptr> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(pending_);
+  }
+  for (auto& [_, future] : pending)
+    future->resolve(Outcome::failure("node shut down"));
+}
+
+void Node::register_method(const std::string& name, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  methods_[name] = std::move(handler);
+}
+
+Future::Ptr Node::call(const Address& dst, const std::string& method,
+                       ValueList args) {
+  Request req;
+  req.method = method;
+  req.args = std::move(args);
+  auto future = Future::create();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    req.call_id = next_call_id_++;
+    pending_.emplace(req.call_id, future);
+  }
+  if (config_.call_timeout > Duration::zero()) {
+    const CallId id = req.call_id;
+    wheel_.schedule_after(config_.call_timeout, [this, id] {
+      Future::Ptr future;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        future = it->second;
+        pending_.erase(it);
+      }
+      future->resolve(Outcome::failure("call timed out"));
+    });
+  }
+  transport_.send(dst, encode_request(req, *config_.codec));
+  return future;
+}
+
+void Node::on_message(const Address& src, Bytes frame) {
+  auto dispatch = [this, src, frame = std::move(frame)]() mutable {
+    try {
+      switch (peek_type(frame)) {
+        case MsgType::kRequest:
+          on_request(src, decode_request(frame, *config_.codec));
+          break;
+        case MsgType::kResponse:
+          on_response(decode_response(frame, *config_.codec));
+          break;
+      }
+    } catch (const DecodeError& e) {
+      SRPC_LOG(ERROR) << address() << ": bad frame from " << src << ": "
+                      << e.what();
+    }
+  };
+  if (config_.per_message_overhead > Duration::zero()) {
+    // Model framework processing cost (GrpcSim) as added dispatch latency.
+    wheel_.schedule_after(config_.per_message_overhead,
+                          [this, d = std::move(dispatch)]() mutable {
+                            executor_.post(std::move(d));
+                          });
+  } else {
+    dispatch();
+  }
+}
+
+void Node::on_request(const Address& src, Request req) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = methods_.find(req.method);
+    if (it != methods_.end()) handler = it->second;
+  }
+  Responder responder(core_, src, req.call_id);
+  if (!handler) {
+    responder.fail("unknown method: " + req.method);
+    return;
+  }
+  CallContext ctx;
+  ctx.caller = src;
+  ctx.call_id = req.call_id;
+  ctx.wheel = &wheel_;
+  try {
+    handler(ctx, std::move(req.args), std::move(responder));
+  } catch (const std::exception& e) {
+    // The handler threw before taking ownership of the responder path;
+    // the moved-from responder (if not finished) reports the error.
+    SRPC_LOG(ERROR) << address() << ": handler for " << req.method
+                    << " threw: " << e.what();
+  }
+}
+
+void Node::on_response(Response rsp) {
+  Future::Ptr future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(rsp.call_id);
+    if (it == pending_.end()) return;  // late reply after timeout
+    future = it->second;
+    pending_.erase(it);
+  }
+  if (rsp.ok) {
+    future->resolve(Outcome::success(std::move(rsp.result)));
+  } else {
+    future->resolve(Outcome::failure(rsp.error));
+  }
+}
+
+}  // namespace srpc::rpc

@@ -1,0 +1,116 @@
+// TradRPC node: the asynchronous (non-speculative) RPC engine.
+//
+// A node owns one Transport endpoint and acts as both client and server —
+// servers in the evaluation issue RPCs of their own (e.g. a Replicated
+// Commit coordinator preparing its local shards), so the roles share one
+// endpoint and one wire demultiplexer.
+//
+// Callbacks on futures give TradRPC the same programming model as SpecRPC
+// minus speculation ("TradRPC, an RPC framework sharing much of SpecRPC's
+// code base without speculation", §5). GrpcSim (src/grpcsim) is this same
+// engine configured with a compact codec and a per-message feature-
+// processing overhead, standing in for gRPC (see DESIGN.md §3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/executor.h"
+#include "common/timer_wheel.h"
+#include "rpc/future.h"
+#include "rpc/wire.h"
+#include "transport/transport.h"
+
+namespace srpc::rpc {
+
+struct NodeConfig {
+  const Codec* codec = &binary_codec();
+  /// Extra processing delay applied to every received message before it is
+  /// dispatched (models framework overhead; 0 for TradRPC).
+  Duration per_message_overhead = Duration::zero();
+  /// Calls that have not completed by then fail with a timeout error.
+  Duration call_timeout = std::chrono::seconds(30);
+};
+
+/// Completes one server-side call. Move-only sentinel semantics: finishing
+/// twice is ignored; a Responder destroyed without finishing sends an error
+/// so clients never hang on a dropped request.
+class Responder {
+ public:
+  Responder(std::shared_ptr<class NodeCore> core, Address caller,
+            CallId call_id);
+  Responder(Responder&&) = default;
+  Responder& operator=(Responder&&) = default;
+  ~Responder();
+
+  void finish(Value result);
+  void fail(const std::string& error);
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Context visible to a server-side handler.
+struct CallContext {
+  Address caller;
+  CallId call_id = 0;
+  TimerWheel* wheel = nullptr;
+
+  /// Simulates `work` of service time, then finishes the call. This is how
+  /// benches model the paper's "each RPC requires 10 ms to complete" without
+  /// burning CPU (DESIGN.md §3).
+  void finish_after(Duration work, Responder responder, Value result) const;
+};
+
+class Node {
+ public:
+  using Handler =
+      std::function<void(const CallContext&, ValueList args, Responder)>;
+
+  Node(Transport& transport, Executor& executor, TimerWheel& wheel,
+       NodeConfig config = NodeConfig());
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Server side: registers `name`; re-registration replaces (tests use it).
+  void register_method(const std::string& name, Handler handler);
+
+  /// Client side: issues an asynchronous call; never blocks.
+  Future::Ptr call(const Address& dst, const std::string& method,
+                   ValueList args);
+
+  /// Convenience for tests/examples: blocking call.
+  Value call_sync(const Address& dst, const std::string& method,
+                  ValueList args) {
+    return call(dst, method, std::move(args))->get();
+  }
+
+  const Address& address() const { return transport_.address(); }
+  Executor& executor() { return executor_; }
+  TimerWheel& wheel() { return wheel_; }
+  const Codec& codec() const { return *config_.codec; }
+
+ private:
+  void on_message(const Address& src, Bytes frame);
+  void on_request(const Address& src, Request req);
+  void on_response(Response rsp);
+
+  Transport& transport_;
+  Executor& executor_;
+  TimerWheel& wheel_;
+  NodeConfig config_;
+  std::shared_ptr<NodeCore> core_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, Handler> methods_;
+  std::unordered_map<CallId, Future::Ptr> pending_;
+  CallId next_call_id_ = 1;
+};
+
+}  // namespace srpc::rpc

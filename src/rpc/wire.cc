@@ -1,0 +1,65 @@
+#include "rpc/wire.h"
+
+#include "serde/io.h"
+
+namespace srpc::rpc {
+
+Bytes encode_request(const Request& req, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kRequest));
+  w.u64(req.call_id);
+  w.str32(req.method);
+  w.u32(static_cast<std::uint32_t>(req.args.size()));
+  for (const auto& a : req.args) codec.encode(a, out);
+  return out;
+}
+
+Bytes encode_response(const Response& rsp, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kResponse));
+  w.u64(rsp.call_id);
+  w.u8(rsp.ok ? 1 : 0);
+  if (rsp.ok) {
+    codec.encode(rsp.result, out);
+  } else {
+    w.str32(rsp.error);
+  }
+  return out;
+}
+
+MsgType peek_type(const Bytes& frame) {
+  if (frame.empty()) throw DecodeError("empty frame");
+  return static_cast<MsgType>(frame[0]);
+}
+
+Request decode_request(const Bytes& frame, const Codec& codec) {
+  Reader r(frame);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kRequest)
+    throw DecodeError("not a request");
+  Request req;
+  req.call_id = r.u64();
+  req.method = r.str32();
+  const std::uint32_t n = r.u32();
+  req.args.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) req.args.push_back(codec.decode(r));
+  return req;
+}
+
+Response decode_response(const Bytes& frame, const Codec& codec) {
+  Reader r(frame);
+  if (static_cast<MsgType>(r.u8()) != MsgType::kResponse)
+    throw DecodeError("not a response");
+  Response rsp;
+  rsp.call_id = r.u64();
+  rsp.ok = r.u8() != 0;
+  if (rsp.ok) {
+    rsp.result = codec.decode(r);
+  } else {
+    rsp.error = r.str32();
+  }
+  return rsp;
+}
+
+}  // namespace srpc::rpc

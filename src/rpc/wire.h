@@ -1,0 +1,38 @@
+// TradRPC wire protocol: a plain asynchronous request/response envelope.
+#pragma once
+
+#include <string>
+
+#include "serde/codec.h"
+#include "serde/value.h"
+
+namespace srpc::rpc {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct Request {
+  CallId call_id = 0;
+  std::string method;
+  ValueList args;
+};
+
+struct Response {
+  CallId call_id = 0;
+  bool ok = true;
+  Value result;        // valid when ok
+  std::string error;   // valid when !ok
+};
+
+Bytes encode_request(const Request& req, const Codec& codec);
+Bytes encode_response(const Response& rsp, const Codec& codec);
+
+/// Peeks the message type of an encoded frame.
+MsgType peek_type(const Bytes& frame);
+
+Request decode_request(const Bytes& frame, const Codec& codec);
+Response decode_response(const Bytes& frame, const Codec& codec);
+
+}  // namespace srpc::rpc

@@ -1,0 +1,186 @@
+#include "serde/codec.h"
+
+#include "serde/io.h"
+
+namespace srpc {
+
+Value Codec::decode(const Bytes& in) const {
+  Reader r(in);
+  Value v = decode(r);
+  if (!r.done()) throw DecodeError("trailing bytes after value");
+  return v;
+}
+
+// ---------------------------------------------------------------- Binary
+
+void BinaryCodec::encode(const Value& v, Bytes& out) const {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      w.u8(v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      w.u64(static_cast<std::uint64_t>(v.as_int()));
+      break;
+    case Value::Type::kDouble:
+      w.f64(v.as_double());
+      break;
+    case Value::Type::kString:
+      w.str32(v.as_string());
+      break;
+    case Value::Type::kBytes: {
+      const Bytes& b = v.as_bytes();
+      w.u32(static_cast<std::uint32_t>(b.size()));
+      w.raw(b.data(), b.size());
+      break;
+    }
+    case Value::Type::kList: {
+      const ValueList& l = v.as_list();
+      w.u32(static_cast<std::uint32_t>(l.size()));
+      for (const auto& e : l) encode(e, out);
+      break;
+    }
+    case Value::Type::kMap: {
+      const ValueMap& m = v.as_map();
+      w.u32(static_cast<std::uint32_t>(m.size()));
+      for (const auto& [k, e] : m) {
+        w.str32(k);
+        encode(e, out);
+      }
+      break;
+    }
+  }
+}
+
+Value BinaryCodec::decode(Reader& in) const {
+  const auto type = static_cast<Value::Type>(in.u8());
+  switch (type) {
+    case Value::Type::kNull:
+      return Value();
+    case Value::Type::kBool:
+      return Value(in.u8() != 0);
+    case Value::Type::kInt:
+      return Value(static_cast<std::int64_t>(in.u64()));
+    case Value::Type::kDouble:
+      return Value(in.f64());
+    case Value::Type::kString:
+      return Value(in.str32());
+    case Value::Type::kBytes: {
+      const std::uint32_t len = in.u32();
+      return Value(in.bytes(len));
+    }
+    case Value::Type::kList: {
+      const std::uint32_t n = in.u32();
+      ValueList l;
+      l.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) l.push_back(decode(in));
+      return Value(std::move(l));
+    }
+    case Value::Type::kMap: {
+      const std::uint32_t n = in.u32();
+      ValueMap m;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string k = in.str32();
+        m.emplace(std::move(k), decode(in));
+      }
+      return Value(std::move(m));
+    }
+  }
+  throw DecodeError("bad type byte");
+}
+
+// ---------------------------------------------------------------- Tagged
+
+void TaggedCodec::encode(const Value& v, Bytes& out) const {
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      w.u8(v.as_bool() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      w.svarint(v.as_int());
+      break;
+    case Value::Type::kDouble:
+      w.f64(v.as_double());
+      break;
+    case Value::Type::kString:
+      w.str_v(v.as_string());
+      break;
+    case Value::Type::kBytes: {
+      const Bytes& b = v.as_bytes();
+      w.varint(b.size());
+      w.raw(b.data(), b.size());
+      break;
+    }
+    case Value::Type::kList: {
+      const ValueList& l = v.as_list();
+      w.varint(l.size());
+      for (const auto& e : l) encode(e, out);
+      break;
+    }
+    case Value::Type::kMap: {
+      const ValueMap& m = v.as_map();
+      w.varint(m.size());
+      for (const auto& [k, e] : m) {
+        w.str_v(k);
+        encode(e, out);
+      }
+      break;
+    }
+  }
+}
+
+Value TaggedCodec::decode(Reader& in) const {
+  const auto type = static_cast<Value::Type>(in.u8());
+  switch (type) {
+    case Value::Type::kNull:
+      return Value();
+    case Value::Type::kBool:
+      return Value(in.u8() != 0);
+    case Value::Type::kInt:
+      return Value(in.svarint());
+    case Value::Type::kDouble:
+      return Value(in.f64());
+    case Value::Type::kString:
+      return Value(in.str_v());
+    case Value::Type::kBytes: {
+      const std::uint64_t len = in.varint();
+      return Value(in.bytes(len));
+    }
+    case Value::Type::kList: {
+      const std::uint64_t n = in.varint();
+      ValueList l;
+      l.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) l.push_back(decode(in));
+      return Value(std::move(l));
+    }
+    case Value::Type::kMap: {
+      const std::uint64_t n = in.varint();
+      ValueMap m;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string k = in.str_v();
+        m.emplace(std::move(k), decode(in));
+      }
+      return Value(std::move(m));
+    }
+  }
+  throw DecodeError("bad type byte");
+}
+
+const BinaryCodec& binary_codec() {
+  static BinaryCodec codec;
+  return codec;
+}
+
+const TaggedCodec& tagged_codec() {
+  static TaggedCodec codec;
+  return codec;
+}
+
+}  // namespace srpc

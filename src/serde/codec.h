@@ -1,0 +1,59 @@
+// Codec interface: Value <-> bytes.
+//
+// Two concrete codecs model the serialization difference the paper observes
+// between its frameworks (§5.1, Figure 8c):
+//   * BinaryCodec — straightforward fixed-width encoding; used by TradRPC
+//     and SpecRPC ("TradRPC has higher network bandwidth usage than gRPC").
+//   * TaggedCodec — compact protobuf-like varint encoding; used by the gRPC
+//     stand-in ("gRPC has a more optimized implementation of message
+//     serialization than TradRPC").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serde/value.h"
+
+namespace srpc {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual void encode(const Value& v, Bytes& out) const = 0;
+  /// Decodes one Value from `in`; throws DecodeError on malformed input.
+  virtual Value decode(class Reader& in) const = 0;
+  virtual std::string name() const = 0;
+
+  Bytes encode(const Value& v) const {
+    Bytes out;
+    encode(v, out);
+    return out;
+  }
+  Value decode(const Bytes& in) const;
+};
+
+/// Fixed-width, type-byte-per-node encoding (verbose).
+class BinaryCodec final : public Codec {
+ public:
+  using Codec::decode;
+  using Codec::encode;
+  void encode(const Value& v, Bytes& out) const override;
+  Value decode(Reader& in) const override;
+  std::string name() const override { return "binary"; }
+};
+
+/// Varint/zigzag, compact encoding (protobuf-flavoured).
+class TaggedCodec final : public Codec {
+ public:
+  using Codec::decode;
+  using Codec::encode;
+  void encode(const Value& v, Bytes& out) const override;
+  Value decode(Reader& in) const override;
+  std::string name() const override { return "tagged"; }
+};
+
+const BinaryCodec& binary_codec();
+const TaggedCodec& tagged_codec();
+
+}  // namespace srpc

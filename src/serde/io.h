@@ -1,0 +1,180 @@
+// Byte-buffer reader/writer primitives shared by the codecs and the RPC wire
+// protocols. Little-endian fixed-width encodings plus LEB128 varints.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.h"
+
+namespace srpc {
+
+/// Thrown on malformed/truncated input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// ZigZag-encoded signed varint.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+
+  /// u32 length prefix + bytes (the "verbose" framing used by BinaryCodec).
+  void str32(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// varint length prefix + bytes (compact framing used by TaggedCodec).
+  void str_v(const std::string& s) {
+    varint(s.size());
+    raw(s.data(), s.size());
+  }
+
+  Bytes& buffer() { return out_; }
+
+ private:
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : p_(data), end_(data + len) {}
+  explicit Reader(const Bytes& data) : Reader(data.data(), data.size()) {}
+
+  bool done() const { return p_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  std::uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(p_[0]) |
+                      static_cast<std::uint16_t>(p_[1]) << 8;
+    p_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return v;
+  }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      const std::uint8_t b = *p_++;
+      if (shift >= 64) throw DecodeError("varint too long");
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  std::string str32() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return s;
+  }
+
+  std::string str_v() {
+    const std::uint64_t len = varint();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return s;
+  }
+
+  Bytes bytes(std::size_t len) {
+    need(len);
+    Bytes b(p_, p_ + len);
+    p_ += len;
+    return b;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated input");
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace srpc

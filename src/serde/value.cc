@@ -1,0 +1,90 @@
+#include "serde/value.h"
+
+#include <sstream>
+
+namespace srpc {
+namespace {
+
+void render(const Value& v, std::ostringstream& os) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      os << "null";
+      break;
+    case Value::Type::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case Value::Type::kInt:
+      os << v.as_int();
+      break;
+    case Value::Type::kDouble:
+      os << v.as_double();
+      break;
+    case Value::Type::kString:
+      os << '"' << v.as_string() << '"';
+      break;
+    case Value::Type::kBytes:
+      os << "bytes[" << v.as_bytes().size() << "]";
+      break;
+    case Value::Type::kList: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.as_list()) {
+        if (!first) os << ", ";
+        first = false;
+        render(e, os);
+      }
+      os << ']';
+      break;
+    }
+    case Value::Type::kMap: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << ": ";
+        render(e, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  render(*this, os);
+  return os.str();
+}
+
+std::size_t Value::approx_size() const {
+  switch (type()) {
+    case Type::kNull:
+      return 1;
+    case Type::kBool:
+      return 1;
+    case Type::kInt:
+      return 8;
+    case Type::kDouble:
+      return 8;
+    case Type::kString:
+      return as_string().size() + 4;
+    case Type::kBytes:
+      return as_bytes().size() + 4;
+    case Type::kList: {
+      std::size_t sum = 4;
+      for (const auto& e : as_list()) sum += e.approx_size();
+      return sum;
+    }
+    case Type::kMap: {
+      std::size_t sum = 4;
+      for (const auto& [k, e] : as_map()) sum += k.size() + e.approx_size();
+      return sum;
+    }
+  }
+  return 0;
+}
+
+}  // namespace srpc

@@ -1,0 +1,116 @@
+// Dynamic value type used for RPC arguments and return values.
+//
+// The original SpecRPC is a Java framework whose RPC payloads are Objects
+// described by runtime signatures. We mirror that with a small dynamic Value
+// (null / bool / int64 / double / string / bytes / list / map), which keeps
+// the method registry, the wire protocol, and prediction comparison
+// (deep equality) simple. Typed convenience wrappers live in the RPC layers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace srpc {
+
+class Value;
+using ValueList = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+/// Thrown by checked accessors on type mismatch.
+class ValueTypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull = 0,
+    kBool = 1,
+    kInt = 2,
+    kDouble = 3,
+    kString = 4,
+    kBytes = 5,
+    kList = 6,
+    kMap = 7,
+  };
+
+  Value() : v_(std::monostate{}) {}
+  Value(std::nullptr_t) : v_(std::monostate{}) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : v_(b) {}                         // NOLINT(runtime/explicit)
+  Value(std::int64_t i) : v_(i) {}                 // NOLINT(runtime/explicit)
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::uint64_t i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                       // NOLINT(runtime/explicit)
+  Value(std::string s) : v_(std::move(s)) {}       // NOLINT(runtime/explicit)
+  Value(const char* s) : v_(std::string(s)) {}     // NOLINT(runtime/explicit)
+  Value(Bytes b) : v_(std::move(b)) {}             // NOLINT(runtime/explicit)
+  Value(ValueList l) : v_(std::move(l)) {}         // NOLINT(runtime/explicit)
+  Value(ValueMap m) : v_(std::move(m)) {}          // NOLINT(runtime/explicit)
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  std::int64_t as_int() const { return get<std::int64_t>("int"); }
+  double as_double() const { return get<double>("double"); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Bytes& as_bytes() const { return get<Bytes>("bytes"); }
+  const ValueList& as_list() const { return get<ValueList>("list"); }
+  const ValueMap& as_map() const { return get<ValueMap>("map"); }
+
+  ValueList& mutable_list() { return get_mut<ValueList>("list"); }
+  ValueMap& mutable_map() { return get_mut<ValueMap>("map"); }
+
+  /// Deep structural equality — this is what decides whether a prediction
+  /// was correct (paper §3.3).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Deterministic ordering so Values can key ordered containers.
+  friend bool operator<(const Value& a, const Value& b) { return a.v_ < b.v_; }
+
+  /// Human-readable rendering for logs and test diagnostics.
+  std::string to_string() const;
+
+  /// Rough in-memory footprint (used by byte-accounting sanity checks).
+  std::size_t approx_size() const;
+
+ private:
+  template <typename T>
+  const T& get(const char* want) const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw ValueTypeError(std::string("Value is not a ") + want +
+                         " (actual type index " +
+                         std::to_string(v_.index()) + ")");
+  }
+  template <typename T>
+  T& get_mut(const char* want) {
+    if (T* p = std::get_if<T>(&v_)) return *p;
+    throw ValueTypeError(std::string("Value is not a ") + want);
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Bytes,
+               ValueList, ValueMap>
+      v_;
+};
+
+/// Convenience builder: vlist(1, "a", 2.5) -> Value list.
+template <typename... Args>
+Value vlist(Args&&... args) {
+  ValueList list;
+  list.reserve(sizeof...(args));
+  (list.emplace_back(Value(std::forward<Args>(args))), ...);
+  return Value(std::move(list));
+}
+
+}  // namespace srpc

@@ -1,0 +1,87 @@
+// User-facing SpecRPC programming model (paper §2, Figure 1).
+//
+// The original Java framework expresses dependent operations as callback
+// objects created by user factories (SpecRpcCallbackFactory) so that every
+// speculation branch gets a fresh, isolated object. The C++ equivalent is a
+// factory std::function that returns a fresh callable per branch; any state
+// the callback accumulates lives in that callable's captures, which is the
+// same isolation guarantee.
+//
+//   auto factory = [] {                       // CallbackFactory
+//     return [](SpecContext& ctx, const Value& rpc_result) -> CallbackResult {
+//       return Value(rpc_result.as_int() + 1);    // the paper's IncCB
+//     };
+//   };
+//   SpecFuturePtr f = engine.call(server, "plus", {Value(1), Value(2)},
+//                                 {Value(3)} /* predictions */, factory);
+//   f->get();  // blocks until the *non-speculative* result: 4
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/future.h"
+#include "serde/value.h"
+#include "specrpc/errors.h"
+#include "specrpc/state.h"
+#include "transport/transport.h"
+
+namespace srpc::spec {
+
+/// A SpecRPC future resolves exclusively with non-speculative results
+/// ("the framework ensures that the method returns a non-speculative
+/// result", §2). Structurally identical to the TradRPC future.
+using SpecFuture = rpc::Future;
+using SpecFuturePtr = rpc::Future::Ptr;
+using Outcome = rpc::Outcome;
+
+class SpecContext;
+
+/// What a callback's run() produces: either a plain value (ends the chain)
+/// or a future from a nested call (continues the chain; the enclosing
+/// future resolves from it once this callback is non-speculative).
+struct CallbackResult {
+  CallbackResult(Value v) : value(std::move(v)) {}  // NOLINT
+  CallbackResult(SpecFuturePtr f) : future(std::move(f)) {}  // NOLINT
+
+  bool is_future() const { return future != nullptr; }
+
+  Value value;
+  SpecFuturePtr future;
+};
+
+/// The body of a callback object (the paper's SpecRpcCallback::run). The
+/// Value parameter is the RPC return value — possibly a prediction.
+using CallbackFn =
+    std::function<CallbackResult(SpecContext& ctx, const Value& rpc_result)>;
+
+/// Creates a fresh callback per speculation branch (SpecRpcCallbackFactory).
+using CallbackFactory = std::function<CallbackFn()>;
+
+/// Picks the actual result of a quorum call from the first `quorum`
+/// responses (§4.1: Replicated Commit quorum reads).
+using Combiner = std::function<Value(const std::vector<Value>& responses)>;
+
+class ServerCall;
+using ServerCallPtr = std::shared_ptr<ServerCall>;
+
+/// The body of an RPC object (the paper's SpecRpcHost method). Handlers may
+/// respond synchronously, via ServerCall::finish_after, or from nested
+/// speculative callbacks that captured the ServerCallPtr.
+using Handler = std::function<void(const ServerCallPtr& call)>;
+
+/// Creates a fresh handler per request (SpecRpcHostFactory).
+using HandlerFactory = std::function<Handler()>;
+
+/// Builds a ValueList from heterogeneous arguments.
+template <typename... Args>
+ValueList make_args(Args&&... args) {
+  ValueList list;
+  list.reserve(sizeof...(args));
+  (list.emplace_back(Value(std::forward<Args>(args))), ...);
+  return list;
+}
+
+}  // namespace srpc::spec

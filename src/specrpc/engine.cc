@@ -1,0 +1,904 @@
+#include "specrpc/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "common/logging.h"
+#include "serde/io.h"
+
+namespace srpc::spec {
+
+namespace {
+
+// Implicit execution context (the paper threads speculative state through
+// callback/RPC objects — "specObj"; we additionally track which node is
+// currently executing on this thread so nested calls pick up the right
+// parent without explicit plumbing).
+struct ExecScope {
+  ExecScope(const SpecEngine* engine, SpecNode::Ptr n);
+  ~ExecScope();
+
+  const SpecEngine* engine;
+  SpecNode::Ptr node;
+  ExecScope* prev;
+};
+
+thread_local ExecScope* tl_scope = nullptr;
+
+// Call ids must be globally unique: servers key incoming RPCs, predicted
+// responses and state-change messages by id alone, and several engines talk
+// to one server. High bits: engine instance; low 40 bits: per-engine counter.
+std::atomic<std::uint64_t> g_engine_instance{1};
+
+ExecScope::ExecScope(const SpecEngine* engine_in, SpecNode::Ptr n)
+    : engine(engine_in), node(std::move(n)), prev(tl_scope) {
+  tl_scope = this;
+}
+
+ExecScope::~ExecScope() { tl_scope = prev; }
+
+}  // namespace
+
+SpecEngine::SpecEngine(Transport& transport, Executor& executor,
+                       TimerWheel& wheel, SpecConfig config)
+    : transport_(transport),
+      executor_(executor),
+      wheel_(wheel),
+      config_(config) {
+  next_call_id_ = (g_engine_instance.fetch_add(1) << 40) + 1;
+  root_ = std::make_shared<SpecNode>();
+  root_->kind = SpecNode::Kind::kRoot;
+  root_->state = SpecState::kCorrect;
+  root_->debug_id = next_debug_id_++;
+  transport_.set_receiver(
+      [this](const Address& src, Bytes frame) { on_message(src, frame); });
+}
+
+SpecEngine::~SpecEngine() { begin_shutdown(); }
+
+void SpecEngine::begin_shutdown() {
+  transport_.set_receiver(nullptr);
+  std::vector<SpecFuturePtr> futures;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [_, rec] : outgoing_) futures.push_back(rec->future);
+    outgoing_.clear();
+    wire_to_logical_.clear();
+    incoming_.clear();
+  }
+  cv_.notify_all();
+  for (auto& f : futures) f->resolve(Outcome::failure("engine shut down"));
+}
+
+const Address& SpecEngine::address() const { return transport_.address(); }
+
+SpecStats SpecEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+SpecEngine::DebugSizes SpecEngine::debug_sizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DebugSizes{outgoing_.size(), incoming_.size(),
+                    wire_to_logical_.size(), early_state_.size()};
+}
+
+void SpecEngine::set_transition_observer(TransitionObserver observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+void SpecEngine::register_method(const std::string& name,
+                                 HandlerFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  methods_[name] = std::move(factory);
+}
+
+void SpecEngine::register_method(const std::string& name, Handler handler) {
+  register_method(name, HandlerFactory([handler] { return handler; }));
+}
+
+// --------------------------------------------------------------- context
+
+SpecNode::Ptr SpecEngine::context_node() const {
+  if (tl_scope != nullptr && tl_scope->engine == this) return tl_scope->node;
+  return root_;
+}
+
+void SpecEngine::check_live(const SpecNode::Ptr& node) const {
+  if (node->state == SpecState::kIncorrect) throw SpeculationAbandoned();
+}
+
+bool SpecEngine::speculative() const {
+  const SpecNode::Ptr node = context_node();
+  std::lock_guard<std::mutex> lock(mu_);
+  return !is_terminal(node->state);
+}
+
+void SpecEngine::set_rollback(std::function<void()> rollback) {
+  const SpecNode::Ptr node = context_node();
+  if (node == root_) return;  // nothing to roll back on the app thread
+  bool fire_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (node->state == SpecState::kIncorrect && node->executed &&
+        !node->rollback_fired) {
+      node->rollback_fired = true;
+      fire_now = true;
+      stats_.rollbacks_run++;
+    } else {
+      node->rollback = std::move(rollback);
+    }
+  }
+  if (fire_now) rollback();
+}
+
+void SpecEngine::spec_block() {
+  const SpecNode::Ptr node = context_node();
+  if (node == root_) return;  // application thread is never speculative
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_.spec_blocks++;
+  cv_.wait(lock, [&] { return is_terminal(node->state) || stopping_; });
+  if (node->state == SpecState::kIncorrect) throw MisspeculationError();
+}
+
+void SpecEngine::block_on(const SpecNode::Ptr& node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return is_terminal(node->state) || stopping_; });
+}
+
+// --------------------------------------------------------------- tree
+
+SpecNode::Ptr SpecEngine::make_node(SpecNode::Kind kind, SpecNode::Ptr parent) {
+  auto node = std::make_shared<SpecNode>();
+  node->kind = kind;
+  node->parent = parent;
+  node->debug_id = next_debug_id_++;
+  if (parent) parent->children.push_back(node);
+  return node;
+}
+
+SpecState SpecEngine::compute_state(const SpecNode& node) const {
+  switch (node.kind) {
+    case SpecNode::Kind::kRoot:
+      return SpecState::kCorrect;
+    case SpecNode::Kind::kMirror:
+      // Driven externally by state-change messages (§3.4); otherwise keeps
+      // the state derived from the request's caller_speculative flag.
+      return node.forced ? node.forced_state : node.state;
+    case SpecNode::Kind::kCall: {
+      const SpecState p = node.parent ? node.parent->state : SpecState::kCorrect;
+      if (p == SpecState::kCorrect) return SpecState::kCorrect;
+      if (p == SpecState::kIncorrect) return SpecState::kIncorrect;
+      return SpecState::kCallerSpeculative;  // Figure 5a
+    }
+    case SpecNode::Kind::kCallback: {
+      const SpecState p = node.parent ? node.parent->state : SpecState::kCorrect;
+      if (node.value_status == ValueStatus::kIncorrect ||
+          p == SpecState::kIncorrect)
+        return SpecState::kIncorrect;
+      if (node.value_status == ValueStatus::kUnknown)
+        return SpecState::kCalleeSpeculative;  // running on a prediction
+      return p == SpecState::kCorrect ? SpecState::kCorrect
+                                      : SpecState::kCallerSpeculative;  // 5b
+    }
+  }
+  return SpecState::kIncorrect;
+}
+
+void SpecEngine::apply_transition(const SpecNode::Ptr& node, SpecState next,
+                                  Actions& actions) {
+  if (node->state == next || is_terminal(node->state)) return;
+  const SpecState old = node->state;
+  node->state = next;
+  if (observer_) {
+    actions.push_back([obs = observer_, kind = node->kind,
+                       id = node->debug_id, old, next] {
+      obs(kind, id, old, next);
+    });
+  }
+  if (!is_terminal(next)) return;
+  // Terminal: fire listeners once, run rollback on abandonment, wake
+  // specBlock waiters.
+  auto listeners = std::move(node->terminal_listeners);
+  node->terminal_listeners.clear();
+  for (auto& l : listeners) {
+    actions.push_back([l = std::move(l), next] { l(next); });
+  }
+  if (next == SpecState::kIncorrect) {
+    stats_.branches_abandoned++;
+    if (node->executed && node->rollback && !node->rollback_fired) {
+      node->rollback_fired = true;
+      stats_.rollbacks_run++;
+      actions.push_back([rb = node->rollback] { rb(); });
+    }
+  }
+  cv_.notify_all();
+}
+
+void SpecEngine::recompute_subtree(const SpecNode::Ptr& node,
+                                   Actions& actions) {
+  const SpecState next = compute_state(*node);
+  if (next == node->state) return;
+  if (is_terminal(node->state)) return;  // terminal states are sticky
+  apply_transition(node, next, actions);
+  for (auto& weak_child : node->children) {
+    if (SpecNode::Ptr child = weak_child.lock()) {
+      recompute_subtree(child, actions);
+    }
+  }
+}
+
+void SpecEngine::set_value_status(const SpecNode::Ptr& cb_node, ValueStatus vs,
+                                  Actions& actions) {
+  if (cb_node->value_status != ValueStatus::kUnknown) return;  // sticky
+  cb_node->value_status = vs;
+  recompute_subtree(cb_node, actions);
+}
+
+bool SpecEngine::locally_resolved(const SpecNode::Ptr& ctx,
+                                  const SpecNode::Ptr& mirror) const {
+  const SpecNode* walk = ctx.get();
+  while (walk != nullptr) {
+    if (walk == mirror.get()) return true;
+    if (walk->kind == SpecNode::Kind::kCallback &&
+        walk->value_status != ValueStatus::kCorrect)
+      return false;
+    walk = walk->parent.get();
+  }
+  // Context is not under this RPC's mirror (e.g. a captured ServerCall used
+  // from an unrelated computation): fall back to global resolution.
+  return ctx->state == SpecState::kCorrect;
+}
+
+// --------------------------------------------------------------- client
+
+SpecFuturePtr SpecEngine::call(const Address& dst, const std::string& method,
+                               ValueList args, ValueList predictions,
+                               CallbackFactory factory) {
+  const SpecNode::Ptr caller = context_node();
+  Actions actions;
+  SpecFuturePtr future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check_live(caller);  // §3.3: abandoned computations may not issue RPCs
+    future = start_call(caller, {dst}, 1, method, std::move(args),
+                        std::move(predictions), nullptr, std::move(factory));
+  }
+  for (auto& a : actions) a();
+  return future;
+}
+
+SpecFuturePtr SpecEngine::call_quorum(const std::vector<Address>& dsts,
+                                      int quorum, const std::string& method,
+                                      ValueList args, Combiner combiner,
+                                      CallbackFactory factory) {
+  assert(!dsts.empty());
+  assert(quorum >= 1 && quorum <= static_cast<int>(dsts.size()));
+  const SpecNode::Ptr caller = context_node();
+  SpecFuturePtr future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    check_live(caller);
+    stats_.quorum_calls_issued++;
+    future = start_call(caller, dsts, quorum, method, std::move(args), {},
+                        std::move(combiner), std::move(factory));
+  }
+  return future;
+}
+
+SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
+                                     std::vector<Address> dsts, int quorum,
+                                     const std::string& method, ValueList args,
+                                     ValueList predictions, Combiner combiner,
+                                     CallbackFactory factory) {
+  auto rec = std::make_shared<OutgoingCall>();
+  rec->id = next_call_id_++;
+  rec->dsts = std::move(dsts);
+  rec->method = method;
+  rec->quorum = quorum;
+  rec->combiner = std::move(combiner);
+  rec->factory = std::move(factory);
+  rec->future = SpecFuture::create();
+  rec->node = make_node(SpecNode::Kind::kCall, std::move(caller));
+  rec->node->state = compute_state(*rec->node);
+  stats_.calls_issued++;
+
+  if (stopping_) {
+    rec->future->resolve(Outcome::failure("engine shut down"));
+    return rec->future;
+  }
+  outgoing_.emplace(rec->id, rec);
+
+  const bool caller_speculative = rec->node->state != SpecState::kCorrect;
+  for (const auto& dst : rec->dsts) {
+    const CallId wire_id = next_call_id_++;
+    rec->wire_ids.push_back(wire_id);
+    wire_to_logical_.emplace(wire_id, rec->id);
+    RequestMsg msg;
+    msg.call_id = wire_id;
+    msg.caller_speculative = caller_speculative;
+    msg.method = method;
+    msg.args = args;  // copied per destination (quorum fan-out)
+    transport_.send(dst, encode(msg, *config_.codec));
+  }
+
+  // Cross-machine dependency edge (§3.4): when this call's caller chain
+  // resolves, tell every executing server so its RPC object (and its own
+  // children) follow.
+  if (!is_terminal(rec->node->state)) {
+    rec->node->terminal_listeners.push_back([this, rec](SpecState s) {
+      Actions actions;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+        StateChangeMsg msg;
+        msg.correct = (s == SpecState::kCorrect);
+        for (std::size_t i = 0; i < rec->dsts.size(); ++i) {
+          msg.call_id = rec->wire_ids[i];
+          transport_.send(rec->dsts[i], encode(msg, *config_.codec));
+          stats_.state_msgs_sent++;
+        }
+        if (s == SpecState::kCorrect) {
+          deliver_direct(rec, actions);
+        }
+        maybe_gc_outgoing(rec->id);
+      }
+      for (auto& a : actions) a();
+    });
+  }
+
+  // Client-side speculation (§2.1): each distinct predicted value starts a
+  // fresh callback immediately — even before the request reaches the server.
+  if (rec->factory) {
+    Actions actions;  // spawn posts only; safe to run after we return
+    for (auto& p : predictions) {
+      bool dup = false;
+      for (const auto& b : rec->branches) {
+        if (b->from_prediction && b->predicted_value == p) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) spawn_branch(rec, std::move(p), ValueStatus::kUnknown, actions);
+    }
+    for (auto& a : actions) a();
+  }
+
+  if (config_.call_timeout > Duration::zero()) {
+    rec->timeout_timer = wheel_.schedule_after(
+        config_.call_timeout, [this, id = rec->id] { on_timeout(id); });
+  }
+  return rec->future;
+}
+
+void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
+                              Value value, ValueStatus vs, Actions& actions) {
+  auto branch = std::make_shared<Branch>();
+  branch->node = make_node(SpecNode::Kind::kCallback, rec->node);
+  branch->node->value_status = vs;
+  branch->node->state = compute_state(*branch->node);
+  branch->predicted_value = value;
+  branch->from_prediction = (vs == ValueStatus::kUnknown);
+  rec->branches.push_back(branch);
+  stats_.callbacks_spawned++;
+  if (vs == ValueStatus::kUnknown) stats_.predictions_made++;
+
+  if (branch->node->state == SpecState::kIncorrect) return;  // dead on arrival
+
+  if (!is_terminal(branch->node->state)) {
+    branch->node->terminal_listeners.push_back(
+        [this, rec, branch](SpecState s) {
+          Actions inner;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (s == SpecState::kCorrect) {
+              maybe_deliver_branch(rec, branch, inner);
+            }
+            maybe_gc_outgoing(rec->id);
+          }
+          for (auto& a : inner) a();
+        });
+  }
+
+  actions.push_back([this, rec, branch, value = std::move(value)] {
+    executor_.post([this, rec, branch, value] {
+      // Factory + run happen on an executor thread, outside the engine lock.
+      bool start = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (branch->node->state != SpecState::kIncorrect) {
+          branch->node->executed = true;
+          start = true;
+        }
+      }
+      if (!start) return;
+      CallbackFn fn;
+      try {
+        fn = rec->factory();
+      } catch (const std::exception& e) {
+        SRPC_LOG(ERROR) << "callback factory threw: " << e.what();
+        return;
+      }
+      SpecContext ctx(*this, branch->node);
+      ExecScope scope(this, branch->node);
+      Actions inner;
+      try {
+        CallbackResult result = fn(ctx, value);
+        std::lock_guard<std::mutex> lock(mu_);
+        branch->run_done = true;
+        if (result.is_future()) {
+          branch->result_future = result.future;
+        } else {
+          branch->result_value = std::move(result.value);
+        }
+        maybe_deliver_branch(rec, branch, inner);
+        maybe_gc_outgoing(rec->id);
+      } catch (const SpeculationAbandoned&) {
+        std::lock_guard<std::mutex> lock(mu_);
+        branch->run_done = true;
+        branch->failed = true;
+        branch->error = "abandoned";
+        maybe_gc_outgoing(rec->id);
+      } catch (const MisspeculationError&) {
+        std::lock_guard<std::mutex> lock(mu_);
+        branch->run_done = true;
+        branch->failed = true;
+        branch->error = "misspeculation";
+        maybe_gc_outgoing(rec->id);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        branch->run_done = true;
+        branch->failed = true;
+        branch->error = e.what();
+        maybe_deliver_branch(rec, branch, inner);
+        maybe_gc_outgoing(rec->id);
+      }
+      for (auto& a : inner) a();
+    });
+  });
+}
+
+void SpecEngine::maybe_deliver_branch(const std::shared_ptr<OutgoingCall>& rec,
+                                      const std::shared_ptr<Branch>& branch,
+                                      Actions& actions) {
+  if (branch->delivered || !branch->run_done) return;
+  if (branch->node->state != SpecState::kCorrect) return;
+  branch->delivered = true;
+  SpecFuturePtr future = rec->future;
+  if (branch->failed) {
+    actions.push_back([future, error = branch->error] {
+      future->resolve(Outcome::failure(error));
+    });
+  } else if (branch->result_future) {
+    // Chained call (§2): the enclosing future acquires the value of the
+    // final non-speculative callback of the nested chain.
+    actions.push_back([future, sub = branch->result_future] {
+      sub->then([future](const Outcome& o) { future->resolve(o); });
+    });
+  } else {
+    actions.push_back([future, value = branch->result_value] {
+      future->resolve(Outcome::success(value));
+    });
+  }
+}
+
+void SpecEngine::deliver_direct(const std::shared_ptr<OutgoingCall>& rec,
+                                Actions& actions) {
+  // Resolution path for calls with no dependent callback (plain async call)
+  // and for error outcomes: deliver the RPC's own outcome once the call is
+  // globally non-speculative.
+  if (!rec->actual_done || rec->branch_matched) return;
+  if (rec->node->state != SpecState::kCorrect) return;
+  if (rec->actual.ok && rec->factory) return;  // a re-executed branch delivers
+  actions.push_back([future = rec->future, outcome = rec->actual] {
+    future->resolve(outcome);
+  });
+}
+
+void SpecEngine::process_actual(const std::shared_ptr<OutgoingCall>& rec,
+                                Outcome outcome, Actions& actions) {
+  if (rec->actual_done) return;
+  rec->actual_done = true;
+  rec->actual = std::move(outcome);
+  if (rec->timeout_timer != 0) {
+    wheel_.cancel(rec->timeout_timer);
+    rec->timeout_timer = 0;
+  }
+  if (rec->node->state == SpecState::kIncorrect) {
+    maybe_gc_outgoing(rec->id);
+    return;
+  }
+  // Validate every outstanding prediction (§3.3).
+  for (auto& branch : rec->branches) {
+    if (branch->node->value_status != ValueStatus::kUnknown) continue;
+    const bool match =
+        rec->actual.ok && branch->predicted_value == rec->actual.value;
+    if (match) {
+      stats_.predictions_correct++;
+      rec->branch_matched = true;
+    } else {
+      stats_.predictions_incorrect++;
+    }
+    set_value_status(branch->node,
+                     match ? ValueStatus::kCorrect : ValueStatus::kIncorrect,
+                     actions);
+  }
+  if (!rec->branch_matched) {
+    if (rec->actual.ok && rec->factory) {
+      // No prediction was correct: re-execute on the actual result so
+      // forward progress never depends on prediction accuracy (§3.3).
+      stats_.reexecutions++;
+      spawn_branch(rec, rec->actual.value, ValueStatus::kCorrect, actions);
+    } else {
+      deliver_direct(rec, actions);
+    }
+  }
+  flush_pending_finishes(actions);
+  maybe_gc_outgoing(rec->id);
+}
+
+void SpecEngine::maybe_gc_outgoing(CallId id) {
+  auto it = outgoing_.find(id);
+  if (it == outgoing_.end()) return;
+  const auto& rec = it->second;
+  // The record is only needed to route wire messages; once the call is
+  // terminally incorrect, or its actual result has been processed, nothing
+  // further can arrive that matters. Branch delivery keeps working after GC
+  // because listeners and run wrappers capture rec/branch by shared_ptr.
+  if (!is_terminal(rec->node->state)) return;
+  if (rec->node->state == SpecState::kCorrect && !rec->actual_done) return;
+  if (rec->timeout_timer != 0) {
+    wheel_.cancel(rec->timeout_timer);
+    rec->timeout_timer = 0;
+  }
+  for (CallId wire_id : rec->wire_ids) wire_to_logical_.erase(wire_id);
+  outgoing_.erase(it);
+}
+
+void SpecEngine::on_timeout(CallId logical_id) {
+  Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = outgoing_.find(logical_id);
+    if (it == outgoing_.end() || it->second->actual_done) return;
+    const auto& rec = it->second;
+    SRPC_LOG(WARN) << address() << ": call " << rec->method << " (id "
+                   << rec->id << ", quorum " << rec->quorum << ", responses "
+                   << rec->responses.size() << ", node state "
+                   << to_string(rec->node->state) << ", branches "
+                   << rec->branches.size() << ") timed out";
+    process_actual(it->second, Outcome::failure("spec call timed out"),
+                   actions);
+  }
+  for (auto& a : actions) a();
+}
+
+// --------------------------------------------------------------- server
+
+void SpecEngine::server_spec_return(CallId id, Value value) {
+  const SpecNode::Ptr ctx = context_node();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ctx != root_ && ctx->state == SpecState::kIncorrect)
+    throw SpeculationAbandoned();  // §3.3
+  auto it = incoming_.find(id);
+  if (it == incoming_.end()) return;
+  auto& rec = *it->second;
+  if (rec.actual_sent) return;
+  for (const auto& sent : rec.predictions_sent) {
+    if (sent == value) return;  // duplicate prediction; client dedups anyway
+  }
+  rec.predictions_sent.push_back(value);
+  stats_.spec_returns++;
+  PredictedResponseMsg msg;
+  msg.call_id = id;
+  msg.value = std::move(value);
+  transport_.send(rec.caller, encode(msg, *config_.codec));
+}
+
+void SpecEngine::send_actual_response(IncomingRpc& rec, const Outcome& outcome,
+                                      Actions& actions) {
+  if (rec.actual_sent) return;
+  rec.actual_sent = true;
+  ActualResponseMsg msg;
+  msg.call_id = rec.id;
+  msg.ok = outcome.ok;
+  msg.value = outcome.value;
+  msg.error = outcome.error;
+  transport_.send(rec.caller, encode(msg, *config_.codec));
+  // Clear only after the message is built: `outcome` may alias an entry of
+  // rec.pending. GC is the caller's job (iterator safety).
+  rec.pending.clear();
+}
+
+void SpecEngine::server_finish(CallId id, SpecNode::Ptr ctx, Outcome outcome) {
+  Actions actions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = incoming_.find(id);
+    if (it == incoming_.end()) return;
+    auto& rec = *it->second;
+    if (ctx == nullptr) ctx = rec.mirror;
+    if (ctx->state == SpecState::kIncorrect) return;  // abandoned: drop
+    if (rec.actual_sent) return;
+    if (locally_resolved(ctx, rec.mirror)) {
+      send_actual_response(rec, outcome, actions);
+      maybe_gc_incoming(id);
+    } else {
+      // The producing computation still depends on predictions: the value
+      // travels as a *predicted* response (Figure 3b step 5); the actual
+      // response follows once the chain value-resolves (step 9).
+      if (outcome.ok) {
+        bool dup = false;
+        for (const auto& sent : rec.predictions_sent) {
+          if (sent == outcome.value) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) {
+          rec.predictions_sent.push_back(outcome.value);
+          PredictedResponseMsg msg;
+          msg.call_id = id;
+          msg.value = outcome.value;
+          transport_.send(rec.caller, encode(msg, *config_.codec));
+        }
+      }
+      rec.pending.push_back(PendingFinish{std::move(ctx), std::move(outcome)});
+    }
+  }
+  for (auto& a : actions) a();
+}
+
+void SpecEngine::flush_pending_finishes(Actions& actions) {
+  // Snapshot: sending an actual response can trigger GC of incoming_
+  // entries, which must not invalidate this iteration.
+  std::vector<std::shared_ptr<IncomingRpc>> snapshot;
+  snapshot.reserve(incoming_.size());
+  for (auto& [_, rec] : incoming_) snapshot.push_back(rec);
+  for (auto& rec : snapshot) {
+    if (rec->actual_sent || rec->pending.empty()) continue;
+    auto& pending = rec->pending;
+    // Drop finishes from abandoned branches; send the first value-resolved.
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->ctx->state == SpecState::kIncorrect) {
+        it = pending.erase(it);
+        continue;
+      }
+      if (locally_resolved(it->ctx, rec->mirror)) {
+        const Outcome outcome = it->outcome;  // copy: send clears pending
+        send_actual_response(*rec, outcome, actions);
+        maybe_gc_incoming(rec->id);
+        break;
+      }
+      ++it;
+    }
+  }
+}
+
+void SpecEngine::maybe_gc_incoming(CallId id) {
+  auto it = incoming_.find(id);
+  if (it == incoming_.end()) return;
+  const auto& rec = it->second;
+  if (rec->mirror->state == SpecState::kIncorrect ||
+      (rec->mirror->state == SpecState::kCorrect && rec->actual_sent)) {
+    incoming_.erase(it);
+  }
+}
+
+// --------------------------------------------------------------- ingress
+
+void SpecEngine::on_message(const Address& src, Bytes frame) {
+  Actions actions;
+  try {
+    const MsgType type = peek_type(frame);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    switch (type) {
+      case MsgType::kRequest:
+        on_request(src, decode_request(frame, *config_.codec), actions);
+        break;
+      case MsgType::kPredictedResponse:
+        on_predicted(decode_predicted(frame, *config_.codec), actions);
+        break;
+      case MsgType::kActualResponse:
+        on_actual(decode_actual(frame, *config_.codec), actions);
+        break;
+      case MsgType::kStateChange:
+        on_state_change(decode_state_change(frame, *config_.codec), actions);
+        break;
+    }
+  } catch (const DecodeError& e) {
+    SRPC_LOG(ERROR) << address() << ": bad frame from " << src << ": "
+                    << e.what();
+  }
+  for (auto& a : actions) a();
+}
+
+void SpecEngine::on_request(const Address& src, RequestMsg msg,
+                            Actions& actions) {
+  auto rec = std::make_shared<IncomingRpc>();
+  rec->id = msg.call_id;
+  rec->caller = src;
+  rec->method = msg.method;
+  rec->args = std::move(msg.args);
+  rec->mirror = make_node(SpecNode::Kind::kMirror, nullptr);
+  rec->mirror->state = msg.caller_speculative ? SpecState::kCallerSpeculative
+                                              : SpecState::kCorrect;
+  // A state-change message can beat the request (independent links, or TCP
+  // reconnect); apply it now.
+  if (auto early = early_state_.find(msg.call_id);
+      early != early_state_.end()) {
+    rec->mirror->forced = true;
+    rec->mirror->forced_state =
+        early->second ? SpecState::kCorrect : SpecState::kIncorrect;
+    rec->mirror->state = rec->mirror->forced_state;
+    early_state_.erase(early);
+  }
+  if (rec->mirror->state == SpecState::kIncorrect) return;  // dead on arrival
+  if (!incoming_.emplace(rec->id, rec).second) {
+    SRPC_LOG(ERROR) << address() << ": duplicate incoming call id " << rec->id
+                    << " from " << src << " — dropping request";
+    return;
+  }
+
+  if (!is_terminal(rec->mirror->state)) {
+    rec->mirror->terminal_listeners.push_back([this,
+                                               id = rec->id](SpecState s) {
+      Actions inner;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        flush_pending_finishes(inner);
+        maybe_gc_incoming(id);
+      }
+      for (auto& a : inner) a();
+    });
+  }
+
+  auto mit = methods_.find(msg.method);
+  if (mit == methods_.end()) {
+    Outcome err = Outcome::failure("unknown method: " + msg.method);
+    send_actual_response(*rec, err, actions);
+    maybe_gc_incoming(rec->id);
+    return;
+  }
+  HandlerFactory factory = mit->second;
+  actions.push_back([this, id = rec->id, factory = std::move(factory)] {
+    executor_.post([this, id, factory] {
+      std::shared_ptr<IncomingRpc> rec;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = incoming_.find(id);
+        if (it == incoming_.end()) return;
+        rec = it->second;
+        if (rec->mirror->state == SpecState::kIncorrect) return;
+        rec->mirror->executed = true;
+      }
+      Handler handler;
+      try {
+        handler = factory();
+      } catch (const std::exception& e) {
+        SRPC_LOG(ERROR) << "handler factory threw: " << e.what();
+        return;
+      }
+      auto call = std::make_shared<ServerCall>(*this, id, rec->caller,
+                                               rec->method, rec->args,
+                                               rec->mirror);
+      ExecScope scope(this, rec->mirror);
+      try {
+        handler(call);
+      } catch (const SpeculationAbandoned&) {
+        // Cooperative termination of an abandoned RPC object (§3.3).
+      } catch (const MisspeculationError&) {
+      } catch (const std::exception& e) {
+        call->fail(e.what());
+      }
+    });
+  });
+}
+
+void SpecEngine::on_predicted(PredictedResponseMsg msg, Actions& actions) {
+  auto wit = wire_to_logical_.find(msg.call_id);
+  if (wit == wire_to_logical_.end()) return;
+  auto it = outgoing_.find(wit->second);
+  if (it == outgoing_.end()) return;
+  auto& rec = it->second;
+  if (rec->actual_done || !rec->factory) return;
+  if (rec->node->state == SpecState::kIncorrect) return;
+  for (const auto& b : rec->branches) {
+    if (b->from_prediction && b->predicted_value == msg.value) return;  // dup
+  }
+  spawn_branch(rec, std::move(msg.value), ValueStatus::kUnknown, actions);
+}
+
+void SpecEngine::on_actual(ActualResponseMsg msg, Actions& actions) {
+  auto wit = wire_to_logical_.find(msg.call_id);
+  if (wit == wire_to_logical_.end()) return;
+  auto it = outgoing_.find(wit->second);
+  if (it == outgoing_.end()) return;
+  auto& rec = it->second;
+  Outcome outcome = msg.ok ? Outcome::success(std::move(msg.value))
+                           : Outcome::failure(msg.error);
+  if (rec->quorum > 1) {
+    if (rec->actual_done) return;
+    if (!outcome.ok) {
+      // Keep the failure model simple: any replica error fails the logical
+      // quorum call (the RC evaluation never exercises replica failures).
+      process_actual(rec, std::move(outcome), actions);
+      return;
+    }
+    rec->responses.push_back(outcome.value);
+    // First response doubles as the prediction for the quorum result (§4.1).
+    if (rec->responses.size() == 1 && rec->factory) {
+      bool dup = false;
+      for (const auto& b : rec->branches) {
+        if (b->from_prediction && b->predicted_value == outcome.value) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup && rec->node->state != SpecState::kIncorrect) {
+        spawn_branch(rec, outcome.value, ValueStatus::kUnknown, actions);
+      }
+    }
+    if (static_cast<int>(rec->responses.size()) >= rec->quorum) {
+      Value combined = rec->combiner
+                           ? rec->combiner(rec->responses)
+                           : rec->responses.front();
+      process_actual(rec, Outcome::success(std::move(combined)), actions);
+    }
+    return;
+  }
+  process_actual(rec, std::move(outcome), actions);
+}
+
+void SpecEngine::on_state_change(StateChangeMsg msg, Actions& actions) {
+  auto it = incoming_.find(msg.call_id);
+  if (it == incoming_.end()) {
+    early_state_.emplace(msg.call_id, msg.correct);
+    return;
+  }
+  auto& rec = it->second;
+  rec->mirror->forced = true;
+  rec->mirror->forced_state =
+      msg.correct ? SpecState::kCorrect : SpecState::kIncorrect;
+  recompute_subtree(rec->mirror, actions);
+  flush_pending_finishes(actions);
+  maybe_gc_incoming(msg.call_id);
+}
+
+// --------------------------------------------------------------- ServerCall
+
+void ServerCall::spec_return(Value prediction) {
+  engine_.server_spec_return(id_, std::move(prediction));
+}
+
+void ServerCall::finish(Value result) {
+  SpecNode::Ptr ctx;
+  if (tl_scope != nullptr && tl_scope->engine == &engine_) ctx = tl_scope->node;
+  engine_.server_finish(id_, std::move(ctx),
+                        Outcome::success(std::move(result)));
+}
+
+void ServerCall::fail(std::string error) {
+  SpecNode::Ptr ctx;
+  if (tl_scope != nullptr && tl_scope->engine == &engine_) ctx = tl_scope->node;
+  engine_.server_finish(id_, std::move(ctx),
+                        Outcome::failure(std::move(error)));
+}
+
+void ServerCall::finish_after(Duration work, Value result) {
+  SpecNode::Ptr ctx;
+  if (tl_scope != nullptr && tl_scope->engine == &engine_) ctx = tl_scope->node;
+  auto self = shared_from_this();
+  engine_.wheel().schedule_after(
+      work, [self, ctx, result = std::move(result)]() mutable {
+        self->engine_.server_finish(self->id_, ctx,
+                                    Outcome::success(std::move(result)));
+      });
+}
+
+}  // namespace srpc::spec

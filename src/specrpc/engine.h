@@ -1,0 +1,360 @@
+// SpecEngine — the per-process SpecRPC controller (paper §3, Figure 4).
+//
+// One engine per machine owns that machine's half of the distributed
+// dependency tree: it creates call/callback/mirror nodes, runs state
+// transitions (Figure 5), propagates terminal transitions downward and —
+// for cross-machine edges — via dedicated state-change messages (§3.4),
+// validates predictions against actual results, abandons incorrect branches
+// (running rollbacks, §3.3/§3.5.2), re-executes on the actual value when no
+// prediction matched, and resolves futures only with non-speculative
+// results.
+//
+// Like rpc::Node, an engine is client and server at once: server-side
+// handlers routinely issue speculative calls of their own (multi-level
+// speculation, §2.2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/timer_wheel.h"
+#include "specrpc/api.h"
+#include "specrpc/node.h"
+#include "specrpc/wire.h"
+
+namespace srpc::spec {
+
+struct SpecConfig {
+  const Codec* codec = &binary_codec();
+  /// A call whose actual result has not arrived by then fails. 0 disables.
+  Duration call_timeout = std::chrono::seconds(60);
+};
+
+/// Counters exposed for tests, benches and EXPERIMENTS.md (snapshot is
+/// internally consistent).
+struct SpecStats {
+  std::uint64_t calls_issued = 0;
+  std::uint64_t quorum_calls_issued = 0;
+  std::uint64_t callbacks_spawned = 0;      // all branches, incl. re-executions
+  std::uint64_t reexecutions = 0;           // branches spawned on actual value
+                                            // after every prediction missed
+  std::uint64_t predictions_made = 0;       // client + server + quorum-first
+  std::uint64_t predictions_correct = 0;
+  std::uint64_t predictions_incorrect = 0;
+  std::uint64_t branches_abandoned = 0;     // nodes that reached kIncorrect
+  std::uint64_t rollbacks_run = 0;
+  std::uint64_t state_msgs_sent = 0;
+  std::uint64_t spec_returns = 0;
+  std::uint64_t spec_blocks = 0;
+};
+
+class SpecEngine {
+ public:
+  SpecEngine(Transport& transport, Executor& executor, TimerWheel& wheel,
+             SpecConfig config = SpecConfig());
+  ~SpecEngine();
+
+  SpecEngine(const SpecEngine&) = delete;
+  SpecEngine& operator=(const SpecEngine&) = delete;
+
+  /// Stops accepting work, fails outstanding futures and wakes spec_block
+  /// waiters. Call before draining the executor that runs this engine's
+  /// callbacks, so parked computations can unwind; the destructor calls it
+  /// too. Idempotent.
+  void begin_shutdown();
+
+  // ------------------------------------------------------------- server
+
+  /// Registers an RPC by name with a per-request handler factory (the
+  /// paper's SpecRpcServer::register with an RPC host factory).
+  void register_method(const std::string& name, HandlerFactory factory);
+
+  /// Convenience overload for stateless handlers.
+  void register_method(const std::string& name, Handler handler);
+
+  // ------------------------------------------------------------- client
+
+  /// Issues an RPC. Returns immediately with a future that acquires the
+  /// return value of the final non-speculative callback in the chain (§2).
+  ///
+  /// `predictions` are client-side predicted return values (§2.1); each
+  /// distinct value speculatively executes a fresh callback from `factory`.
+  /// A null factory means "no dependent operation": the future resolves
+  /// with the RPC's own result.
+  ///
+  /// Called from inside a running callback/handler, the new call becomes a
+  /// child of that computation in the dependency tree (implicit context).
+  SpecFuturePtr call(const Address& dst, const std::string& method,
+                     ValueList args, ValueList predictions = {},
+                     CallbackFactory factory = nullptr);
+
+  /// Issues one logical call fanned out to `dsts`, completing when `quorum`
+  /// responses arrived; `combiner` picks the actual result from them. The
+  /// first response doubles as a prediction (§4.1: "we can use the first
+  /// response to speculatively execute the next read operation").
+  SpecFuturePtr call_quorum(const std::vector<Address>& dsts, int quorum,
+                            const std::string& method, ValueList args,
+                            Combiner combiner, CallbackFactory factory);
+
+  /// Blocks the calling computation until it is non-speculative; throws
+  /// MisspeculationError if its speculation was incorrect (§3.5.2).
+  /// No-op on a non-speculative application thread.
+  void spec_block();
+
+  /// True if the current computation context is speculative.
+  bool speculative() const;
+
+  /// Installs a rollback for the current computation (§3.5.2).
+  void set_rollback(std::function<void()> rollback);
+
+  // ------------------------------------------------------------- misc
+
+  const Address& address() const;
+  Executor& executor() { return executor_; }
+  TimerWheel& wheel() { return wheel_; }
+  SpecStats stats() const;
+
+  /// Diagnostic: live bookkeeping sizes {outgoing calls, incoming RPCs,
+  /// wire-id routes, stashed early state changes}. After a quiesced
+  /// workload these must drain back to ~zero (GC hygiene; tested).
+  struct DebugSizes {
+    std::size_t outgoing = 0;
+    std::size_t incoming = 0;
+    std::size_t wire_routes = 0;
+    std::size_t early_state = 0;
+  };
+  DebugSizes debug_sizes() const;
+
+  /// Test hook: observes every state transition (old -> new) of every node.
+  /// Runs outside the engine lock, after the transition batch.
+  using TransitionObserver = std::function<void(
+      SpecNode::Kind kind, std::uint64_t debug_id, SpecState from,
+      SpecState to)>;
+  void set_transition_observer(TransitionObserver observer);
+
+ private:
+  friend class SpecContext;
+  friend class ServerCall;
+
+  struct Branch {
+    SpecNode::Ptr node;
+    Value predicted_value;     // the value run() received
+    bool from_prediction;      // value_status started kUnknown
+    bool run_done = false;
+    bool failed = false;
+    std::string error;
+    Value result_value;
+    SpecFuturePtr result_future;
+    bool delivered = false;
+  };
+
+  struct OutgoingCall {
+    CallId id = 0;
+    std::vector<Address> dsts;
+    std::vector<CallId> wire_ids;
+    std::string method;
+    SpecNode::Ptr node;
+    SpecFuturePtr future;
+    CallbackFactory factory;
+    std::vector<std::shared_ptr<Branch>> branches;
+    bool actual_done = false;
+    Outcome actual;
+    bool branch_matched = false;
+    // Quorum mode:
+    int quorum = 1;
+    Combiner combiner;
+    std::vector<Value> responses;
+    TimerId timeout_timer = 0;
+  };
+
+  struct PendingFinish {
+    SpecNode::Ptr ctx;
+    Outcome outcome;
+  };
+
+  struct IncomingRpc {
+    CallId id = 0;
+    Address caller;
+    std::string method;
+    SpecNode::Ptr mirror;
+    ValueList args;
+    std::vector<Value> predictions_sent;
+    bool actual_sent = false;
+    std::vector<PendingFinish> pending;
+  };
+
+  using Actions = std::vector<std::function<void()>>;
+
+  // Wire ingress.
+  void on_message(const Address& src, Bytes frame);
+  void on_request(const Address& src, RequestMsg msg, Actions& actions);
+  void on_predicted(PredictedResponseMsg msg, Actions& actions);
+  void on_actual(ActualResponseMsg msg, Actions& actions);
+  void on_state_change(StateChangeMsg msg, Actions& actions);
+  void on_timeout(CallId logical_id);
+
+  // Tree machinery (all under mu_).
+  SpecState compute_state(const SpecNode& node) const;
+  void recompute_subtree(const SpecNode::Ptr& node, Actions& actions);
+  void apply_transition(const SpecNode::Ptr& node, SpecState next,
+                        Actions& actions);
+  void set_value_status(const SpecNode::Ptr& cb_node, ValueStatus vs,
+                        Actions& actions);
+  bool locally_resolved(const SpecNode::Ptr& ctx,
+                        const SpecNode::Ptr& mirror) const;
+  SpecNode::Ptr make_node(SpecNode::Kind kind, SpecNode::Ptr parent);
+
+  // Call progress (under mu_).
+  SpecFuturePtr start_call(SpecNode::Ptr caller, std::vector<Address> dsts,
+                           int quorum, const std::string& method,
+                           ValueList args, ValueList predictions,
+                           Combiner combiner, CallbackFactory factory);
+  void spawn_branch(const std::shared_ptr<OutgoingCall>& rec, Value value,
+                    ValueStatus vs, Actions& actions);
+  void process_actual(const std::shared_ptr<OutgoingCall>& rec,
+                      Outcome outcome, Actions& actions);
+  void maybe_deliver_branch(const std::shared_ptr<OutgoingCall>& rec,
+                            const std::shared_ptr<Branch>& branch,
+                            Actions& actions);
+  void deliver_direct(const std::shared_ptr<OutgoingCall>& rec,
+                      Actions& actions);
+  void maybe_gc_outgoing(CallId id);
+  void maybe_gc_incoming(CallId id);
+  void flush_pending_finishes(Actions& actions);
+  void send_actual_response(IncomingRpc& rec, const Outcome& outcome,
+                            Actions& actions);
+
+  // Context plumbing used by SpecContext / ServerCall.
+  SpecNode::Ptr context_node() const;
+  void check_live(const SpecNode::Ptr& node) const;  // throws if kIncorrect
+  void server_spec_return(CallId id, Value value);
+  void server_finish(CallId id, SpecNode::Ptr ctx, Outcome outcome);
+  void run_callback(const std::shared_ptr<OutgoingCall>& rec,
+                    const std::shared_ptr<Branch>& branch, CallbackFn fn);
+  void run_handler(CallId id, Handler handler);
+  void block_on(const SpecNode::Ptr& node);
+
+  Transport& transport_;
+  Executor& executor_;
+  TimerWheel& wheel_;
+  SpecConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // spec_block waiters
+  SpecNode::Ptr root_;
+  std::unordered_map<CallId, std::shared_ptr<OutgoingCall>> outgoing_;
+  std::unordered_map<CallId, CallId> wire_to_logical_;
+  std::unordered_map<CallId, std::shared_ptr<IncomingRpc>> incoming_;
+  std::unordered_map<CallId, bool> early_state_;  // state msg beat request
+  std::unordered_map<std::string, HandlerFactory> methods_;
+  CallId next_call_id_ = 1;
+  std::uint64_t next_debug_id_ = 1;
+  SpecStats stats_;
+  TransitionObserver observer_;
+  bool stopping_ = false;
+};
+
+/// Execution context passed to callbacks; also constructible on the server
+/// side. Wraps the implicit current-node context.
+class SpecContext {
+ public:
+  SpecContext(SpecEngine& engine, SpecNode::Ptr node)
+      : engine_(engine), node_(std::move(node)) {}
+
+  SpecFuturePtr call(const Address& dst, const std::string& method,
+                     ValueList args, ValueList predictions = {},
+                     CallbackFactory factory = nullptr) {
+    return engine_.call(dst, method, std::move(args), std::move(predictions),
+                        std::move(factory));
+  }
+
+  SpecFuturePtr call_quorum(const std::vector<Address>& dsts, int quorum,
+                            const std::string& method, ValueList args,
+                            Combiner combiner, CallbackFactory factory) {
+    return engine_.call_quorum(dsts, quorum, method, std::move(args),
+                               std::move(combiner), std::move(factory));
+  }
+
+  void spec_block() { engine_.spec_block(); }
+  bool speculative() const { return engine_.speculative(); }
+  void set_rollback(std::function<void()> rollback) {
+    engine_.set_rollback(std::move(rollback));
+  }
+
+  SpecEngine& engine() { return engine_; }
+  const SpecNode::Ptr& node() const { return node_; }
+
+ private:
+  SpecEngine& engine_;
+  SpecNode::Ptr node_;
+};
+
+/// Server-side view of one incoming RPC (the paper's RPC object surface).
+/// Handlers (and callbacks that captured the ServerCallPtr) use it to return
+/// predictions and the actual result.
+class ServerCall : public std::enable_shared_from_this<ServerCall> {
+ public:
+  ServerCall(SpecEngine& engine, CallId id, Address caller, std::string method,
+             ValueList args, SpecNode::Ptr mirror)
+      : engine_(engine),
+        id_(id),
+        caller_(std::move(caller)),
+        method_(std::move(method)),
+        args_(std::move(args)),
+        mirror_(std::move(mirror)) {}
+
+  const ValueList& args() const { return args_; }
+  const std::string& method() const { return method_; }
+  const Address& caller() const { return caller_; }
+  CallId call_id() const { return id_; }
+
+  /// Sends a predicted return value to the caller mid-execution (§2.1
+  /// specReturn). Throws SpeculationAbandoned from a dead branch.
+  void spec_return(Value prediction);
+
+  /// Provides the RPC's return value. Sent to the caller as the actual
+  /// response once the producing computation is value-resolved; until then
+  /// it travels as a predicted response (Figure 3b, steps 5 and 9).
+  /// Silently ignored from an abandoned branch.
+  void finish(Value result);
+
+  /// Fails the call (actual error response; never sent speculatively).
+  void fail(std::string error);
+
+  /// Simulates `work` of service time before finish(result). The execution
+  /// context is captured now, so speculation semantics match finish().
+  void finish_after(Duration work, Value result);
+
+  // Speculative operations, delegated to the engine's implicit context.
+  SpecFuturePtr call(const Address& dst, const std::string& method,
+                     ValueList args, ValueList predictions = {},
+                     CallbackFactory factory = nullptr) {
+    return engine_.call(dst, method, std::move(args), std::move(predictions),
+                        std::move(factory));
+  }
+  void spec_block() { engine_.spec_block(); }
+  bool speculative() const { return engine_.speculative(); }
+  void set_rollback(std::function<void()> rollback) {
+    engine_.set_rollback(std::move(rollback));
+  }
+
+  SpecEngine& engine() { return engine_; }
+
+ private:
+  friend class SpecEngine;
+
+  SpecEngine& engine_;
+  CallId id_;
+  Address caller_;
+  std::string method_;
+  ValueList args_;
+  SpecNode::Ptr mirror_;
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,33 @@
+// SpecRPC error types (paper §3.3, §3.5.2).
+#pragma once
+
+#include <stdexcept>
+
+namespace srpc::spec {
+
+/// Base class for SpecRPC framework errors.
+class SpecRpcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown out of specBlock() when the blocking computation turns out to be
+/// based on an incorrect speculation ("the specBlock function will throw a
+/// mis-speculation exception", §3.5.2).
+class MisspeculationError : public SpecRpcError {
+ public:
+  MisspeculationError() : SpecRpcError("speculation was incorrect") {}
+};
+
+/// Thrown when an abandoned (speculation-incorrect) callback or RPC attempts
+/// a further framework operation — issuing an RPC, returning a prediction,
+/// or blocking (§3.3: "SpecRPC immediately terminates these callbacks and
+/// RPCs if they attempt to perform further speculative operations").
+/// The framework's run() wrappers swallow this exception; user code should
+/// let it propagate.
+class SpeculationAbandoned : public SpecRpcError {
+ public:
+  SpeculationAbandoned() : SpecRpcError("speculative branch abandoned") {}
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,66 @@
+// SpecNode — one vertex of the speculation dependency tree (paper §3.2).
+//
+// The tree is distributed: a call issued to a remote server exists as a
+// kCall node on the caller's machine (authoritative) and a kMirror node on
+// the executing machine, synchronized with dedicated state-change messages
+// (§3.4). Callback objects are kCallback nodes, children of their call node.
+// Each node tracks only its children; state changes propagate downward
+// (§3.5.1: "each node only tracks its child nodes").
+//
+// All mutation happens under the owning SpecEngine's lock; SpecNode itself
+// is a passive data holder.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serde/value.h"
+#include "specrpc/state.h"
+
+namespace srpc::spec {
+
+struct SpecNode {
+  enum class Kind : std::uint8_t {
+    kRoot,      // non-speculative application context; always kCorrect
+    kCall,      // an issued RPC, caller side (the paper's "RPC" node)
+    kMirror,    // the same RPC, executing side; follows the kCall replica
+    kCallback,  // a callback object
+  };
+
+  using Ptr = std::shared_ptr<SpecNode>;
+  using WeakPtr = std::weak_ptr<SpecNode>;
+
+  Kind kind = Kind::kCallback;
+  SpecState state = SpecState::kCallerSpeculative;
+
+  /// Strong upward edge: a live descendant keeps its ancestry alive so state
+  /// computation always has the full path. Downward edges are weak; a dead
+  /// child is a child nobody (record, running lambda, listener) observes.
+  Ptr parent;
+  std::vector<WeakPtr> children;
+
+  /// kCallback only: has this callback's input value been validated?
+  ValueStatus value_status = ValueStatus::kUnknown;
+
+  /// kMirror only: terminal state imposed by a remote state-change message.
+  bool forced = false;
+  SpecState forced_state = SpecState::kCorrect;
+
+  /// Fired exactly once when the node reaches a terminal state. Listeners
+  /// run outside the engine lock.
+  std::vector<std::function<void(SpecState)>> terminal_listeners;
+
+  /// Optional user rollback (§3.5.2), run when the node transitions to
+  /// kIncorrect after having started execution.
+  std::function<void()> rollback;
+  bool executed = false;        // run()/handler started
+  bool rollback_fired = false;  // rollback runs at most once
+
+  /// Diagnostic id (monotonic per engine) used in logs and tests.
+  std::uint64_t debug_id = 0;
+
+  bool terminal() const { return is_terminal(state); }
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,68 @@
+#include "specrpc/registry.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace srpc::spec {
+
+void Registry::publish(const RpcSignature& sig, const Address& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[sig.qualified()] = Entry{address, sig.arity};
+}
+
+std::optional<Registry::Entry> Registry::lookup(
+    const std::string& qualified_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(qualified_name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+SpecStub Registry::bind(SpecEngine& engine, const RpcSignature& sig) const {
+  auto entry = lookup(sig.qualified());
+  if (!entry) {
+    throw std::out_of_range("no registry entry for " + sig.qualified());
+  }
+  RpcSignature resolved = sig;
+  if (resolved.arity < 0) resolved.arity = entry->arity;
+  return SpecStub(engine, entry->address, std::move(resolved));
+}
+
+SpecStub Registry::bind(SpecEngine& engine, const std::string& host_class,
+                        const std::string& method) const {
+  return bind(engine, RpcSignature{host_class, method, -1});
+}
+
+void Registry::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write registry file " + path);
+  out << "# SpecRPC signature registry: <name> <address> <arity>\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    out << name << " " << entry.address << " " << entry.arity << "\n";
+  }
+}
+
+void Registry::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read registry file " + path);
+  std::string line;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name;
+    Entry entry;
+    if (fields >> name >> entry.address >> entry.arity) {
+      entries_[name] = entry;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace srpc::spec

@@ -1,0 +1,53 @@
+// Signature registry (paper §3.5): "RPCs are registered by servers as
+// signatures containing an RPC name, a return type, parameters and a server
+// address. RPC signatures are stored in a file that is synchronized between
+// the servers and clients using third-party tools, such as ZooKeeper."
+//
+// This reproduction keeps the same deployment shape without the external
+// coordinator: Registry is an in-memory name -> (address, arity) map with
+// save/load to the simple line format
+//
+//     <qualified-name> <address> <arity>
+//
+// so a file really can be shipped between processes; tests and the TCP
+// example exercise that path.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "specrpc/stub.h"
+
+namespace srpc::spec {
+
+class Registry {
+ public:
+  struct Entry {
+    Address address;
+    int arity = -1;
+  };
+
+  /// Publishes a signature hosted at `address`; overwrites existing.
+  void publish(const RpcSignature& sig, const Address& address);
+
+  std::optional<Entry> lookup(const std::string& qualified_name) const;
+
+  /// Resolves a signature to a stub. Throws std::out_of_range if unknown.
+  SpecStub bind(SpecEngine& engine, const RpcSignature& sig) const;
+  SpecStub bind(SpecEngine& engine, const std::string& host_class,
+                const std::string& method) const;
+
+  /// File round trip (whitespace-separated lines; '#' comments).
+  void save(const std::string& path) const;
+  void load(const std::string& path);  // merges; throws on unreadable file
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace srpc::spec

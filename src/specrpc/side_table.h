@@ -1,0 +1,79 @@
+// SpecSideTable — speculative state outside callback objects, §3.5.2.
+//
+// "An application can optionally install a rollback function for
+//  mis-speculation in a callback or RPC. ... This enables an application to
+//  extend its speculative states beyond the fields inside a callback or RPC
+//  object. For example, an application can store speculative states in a
+//  local database and issue a rollback for a mis-speculation."
+//
+// SpecSideTable is that "local database" with the rollback wired up
+// automatically: a put() from a speculative computation records an undo
+// entry and registers a rollback with the current execution context; if the
+// branch is abandoned the previous value is restored. Puts from
+// non-speculative contexts are plain writes.
+//
+// Limitations (documented, matching the paper's advisory model): undo is
+// per-branch last-writer-wins; two *concurrent speculative branches* writing
+// the same key still race, exactly like any shared mutable state under the
+// advisory model — prefer callback-object state for branch-parallel data.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "specrpc/engine.h"
+
+namespace srpc::spec {
+
+class SpecSideTable {
+ public:
+  explicit SpecSideTable(SpecEngine& engine) : engine_(engine) {}
+
+  /// Writes key=value. From a speculative context, registers a rollback
+  /// restoring the previous state of `key` if this branch is abandoned.
+  void put(const std::string& key, Value value) {
+    std::optional<Value> previous;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = data_.find(key);
+      if (it != data_.end()) previous = it->second;
+      data_[key] = std::move(value);
+    }
+    if (engine_.speculative()) {
+      engine_.set_rollback([this, key, previous] {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (previous.has_value()) {
+          data_[key] = *previous;
+        } else {
+          data_.erase(key);
+        }
+      });
+    }
+  }
+
+  std::optional<Value> get(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.erase(key);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size();
+  }
+
+ private:
+  SpecEngine& engine_;
+  mutable std::mutex mu_;
+  std::map<std::string, Value> data_;
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,48 @@
+// Speculative states (paper §3.1, Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace srpc::spec {
+
+/// The speculation status of a callback or RPC object.
+///
+/// RPC (call) objects use: kCallerSpeculative -> {kCorrect, kIncorrect},
+/// starting at kCorrect when the caller is not speculative (Figure 5a).
+/// Callback objects additionally use kCalleeSpeculative while running on a
+/// predicted — not yet validated — return value (Figure 5b).
+enum class SpecState : std::uint8_t {
+  kCallerSpeculative = 0,
+  kCalleeSpeculative = 1,
+  kCorrect = 2,    // "speculation correct"   (terminal)
+  kIncorrect = 3,  // "speculation incorrect" (terminal)
+};
+
+inline bool is_terminal(SpecState s) {
+  return s == SpecState::kCorrect || s == SpecState::kIncorrect;
+}
+
+inline const char* to_string(SpecState s) {
+  switch (s) {
+    case SpecState::kCallerSpeculative:
+      return "CallerSpeculative";
+    case SpecState::kCalleeSpeculative:
+      return "CalleeSpeculative";
+    case SpecState::kCorrect:
+      return "SpeculationCorrect";
+    case SpecState::kIncorrect:
+      return "SpeculationIncorrect";
+  }
+  return "?";
+}
+
+/// Whether a callback's input value (the RPC return value it ran with) has
+/// been validated against the actual RPC result yet.
+enum class ValueStatus : std::uint8_t {
+  kUnknown = 0,    // ran on a prediction; actual result not yet compared
+  kCorrect = 1,    // ran on the actual value, or the prediction matched it
+  kIncorrect = 2,  // the prediction did not match the actual value
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,93 @@
+// Client-side binding sugar — the paper's Figure 1(b) API surface.
+//
+//   RpcSignature plus("Math", "plus", 2);
+//   SpecStub stub = SpecStub::bind(engine, registry, plus);
+//   auto future = stub.call({Value(3)}, factory, 1, 2);
+//
+// A signature names a remote method and its arity; bind() resolves the
+// hosting server through the Registry (paper §3.5: signatures live in a
+// file synchronized between servers and clients). Arity is checked at call
+// time — the dynamic Value payload carries the rest of the typing, as in
+// the Java original's runtime-checked Object signatures.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "specrpc/engine.h"
+
+namespace srpc::spec {
+
+/// Identifies one remotely callable method.
+struct RpcSignature {
+  std::string host_class;  // e.g. "Math"
+  std::string method;      // e.g. "plus"
+  int arity = -1;          // -1: unchecked
+
+  /// The wire-level method name ("Math.plus").
+  std::string qualified() const { return host_class + "." + method; }
+};
+
+/// Thrown when a call does not match its bound signature.
+class SignatureMismatch : public SpecRpcError {
+ public:
+  using SpecRpcError::SpecRpcError;
+};
+
+class SpecStub {
+ public:
+  SpecStub(SpecEngine& engine, Address server, RpcSignature signature)
+      : engine_(&engine),
+        server_(std::move(server)),
+        signature_(std::move(signature)) {}
+
+  /// Issues the RPC with optional predictions and a callback factory
+  /// (Figure 1: stub.call(preds, new CBFactory(), 1, 2)).
+  template <typename... Args>
+  SpecFuturePtr call(ValueList predictions, CallbackFactory factory,
+                     Args&&... args) {
+    return call_args(std::move(predictions), std::move(factory),
+                     make_args(std::forward<Args>(args)...));
+  }
+
+  /// Prediction-less convenience.
+  template <typename... Args>
+  SpecFuturePtr call_plain(Args&&... args) {
+    return call_args({}, nullptr, make_args(std::forward<Args>(args)...));
+  }
+
+  SpecFuturePtr call_args(ValueList predictions, CallbackFactory factory,
+                          ValueList args) {
+    if (signature_.arity >= 0 &&
+        static_cast<int>(args.size()) != signature_.arity) {
+      throw SignatureMismatch(signature_.qualified() + " expects " +
+                              std::to_string(signature_.arity) +
+                              " arguments, got " +
+                              std::to_string(args.size()));
+    }
+    return engine_->call(server_, signature_.qualified(), std::move(args),
+                         std::move(predictions), std::move(factory));
+  }
+
+  const RpcSignature& signature() const { return signature_; }
+  const Address& server() const { return server_; }
+
+ private:
+  SpecEngine* engine_;
+  Address server_;
+  RpcSignature signature_;
+};
+
+/// Registers a handler under its qualified signature name.
+inline void register_signature(SpecEngine& engine, const RpcSignature& sig,
+                               HandlerFactory factory) {
+  engine.register_method(sig.qualified(), std::move(factory));
+}
+inline void register_signature(SpecEngine& engine, const RpcSignature& sig,
+                               Handler handler) {
+  engine.register_method(sig.qualified(), std::move(handler));
+}
+
+}  // namespace srpc::spec

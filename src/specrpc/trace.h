@@ -1,0 +1,101 @@
+// Speculation tracing — a developer-facing event log built on the engine's
+// transition observer.
+//
+// The paper argues SpecRPC's value is making speculation *adoptable*; in
+// practice that requires being able to see what speculated, what was
+// abandoned, and why a chain resolved the way it did. SpecTrace records
+// every dependency-tree transition with timestamps and renders a compact
+// textual timeline, e.g.
+//
+//   +0.000ms  callback #12  CalleeSpeculative -> SpeculationCorrect
+//   +0.113ms  call     #13  CallerSpeculative -> SpeculationIncorrect
+//
+// Attach with `trace.attach(engine)`; detach by destroying the trace or
+// re-setting the engine's observer.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "specrpc/engine.h"
+
+namespace srpc::spec {
+
+class SpecTrace {
+ public:
+  struct Event {
+    Duration at{};  // since attach
+    SpecNode::Kind kind;
+    std::uint64_t node_id;
+    SpecState from;
+    SpecState to;
+  };
+
+  /// Starts recording `engine`'s transitions (replaces any observer).
+  void attach(SpecEngine& engine) {
+    start_ = Clock::now();
+    engine.set_transition_observer(
+        [this](SpecNode::Kind kind, std::uint64_t id, SpecState from,
+               SpecState to) {
+          std::lock_guard<std::mutex> lock(mu_);
+          events_.push_back(Event{Clock::now() - start_, kind, id, from, to});
+        });
+  }
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+  /// Number of recorded transitions into `state`.
+  std::size_t count_into(SpecState state) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e.to == state) ? 1 : 0;
+    return n;
+  }
+
+  std::string render() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    for (const auto& e : events_) {
+      os << "+" << to_ms(e.at) << "ms\t" << kind_name(e.kind) << " #"
+         << e.node_id << "\t" << to_string(e.from) << " -> "
+         << to_string(e.to) << "\n";
+    }
+    return os.str();
+  }
+
+  static const char* kind_name(SpecNode::Kind kind) {
+    switch (kind) {
+      case SpecNode::Kind::kRoot:
+        return "root    ";
+      case SpecNode::Kind::kCall:
+        return "call    ";
+      case SpecNode::Kind::kMirror:
+        return "rpc     ";
+      case SpecNode::Kind::kCallback:
+        return "callback";
+    }
+    return "?";
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TimePoint start_{};
+  std::vector<Event> events_;
+};
+
+}  // namespace srpc::spec

@@ -1,0 +1,108 @@
+#include "specrpc/wire.h"
+
+#include "serde/io.h"
+
+namespace srpc::spec {
+
+MsgType peek_type(const Bytes& frame) {
+  if (frame.empty()) throw DecodeError("empty frame");
+  return static_cast<MsgType>(frame[0]);
+}
+
+Bytes encode(const RequestMsg& m, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kRequest));
+  w.u64(m.call_id);
+  w.u8(m.caller_speculative ? 1 : 0);
+  w.str32(m.method);
+  w.u32(static_cast<std::uint32_t>(m.args.size()));
+  for (const auto& a : m.args) codec.encode(a, out);
+  return out;
+}
+
+Bytes encode(const PredictedResponseMsg& m, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kPredictedResponse));
+  w.u64(m.call_id);
+  codec.encode(m.value, out);
+  return out;
+}
+
+Bytes encode(const ActualResponseMsg& m, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kActualResponse));
+  w.u64(m.call_id);
+  w.u8(m.ok ? 1 : 0);
+  if (m.ok) {
+    codec.encode(m.value, out);
+  } else {
+    w.str32(m.error);
+  }
+  return out;
+}
+
+Bytes encode(const StateChangeMsg& m, const Codec& codec) {
+  Bytes out;
+  Writer w(out);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateChange));
+  w.u64(m.call_id);
+  w.u8(m.correct ? 1 : 0);
+  return out;
+}
+
+namespace {
+
+Reader open(const Bytes& frame, MsgType want) {
+  Reader r(frame);
+  if (static_cast<MsgType>(r.u8()) != want)
+    throw DecodeError("unexpected message type");
+  return r;
+}
+
+}  // namespace
+
+RequestMsg decode_request(const Bytes& frame, const Codec& codec) {
+  Reader r = open(frame, MsgType::kRequest);
+  RequestMsg m;
+  m.call_id = r.u64();
+  m.caller_speculative = r.u8() != 0;
+  m.method = r.str32();
+  const std::uint32_t n = r.u32();
+  m.args.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.args.push_back(codec.decode(r));
+  return m;
+}
+
+PredictedResponseMsg decode_predicted(const Bytes& frame, const Codec& codec) {
+  Reader r = open(frame, MsgType::kPredictedResponse);
+  PredictedResponseMsg m;
+  m.call_id = r.u64();
+  m.value = codec.decode(r);
+  return m;
+}
+
+ActualResponseMsg decode_actual(const Bytes& frame, const Codec& codec) {
+  Reader r = open(frame, MsgType::kActualResponse);
+  ActualResponseMsg m;
+  m.call_id = r.u64();
+  m.ok = r.u8() != 0;
+  if (m.ok) {
+    m.value = codec.decode(r);
+  } else {
+    m.error = r.str32();
+  }
+  return m;
+}
+
+StateChangeMsg decode_state_change(const Bytes& frame, const Codec& codec) {
+  Reader r = open(frame, MsgType::kStateChange);
+  StateChangeMsg m;
+  m.call_id = r.u64();
+  m.correct = r.u8() != 0;
+  return m;
+}
+
+}  // namespace srpc::spec

@@ -1,0 +1,69 @@
+// SpecRPC wire protocol (paper §3.4).
+//
+// Four message types:
+//   kRequest            caller -> callee   RPC invocation; carries whether
+//                                          the caller is speculative so the
+//                                          callee creates its RPC object in
+//                                          the right state.
+//   kPredictedResponse  callee -> caller   a specReturn'd prediction, or an
+//                                          actual return value produced by a
+//                                          still-speculative branch.
+//   kActualResponse     callee -> caller   the RPC's actual return value
+//                                          (or an error).
+//   kStateChange        caller -> callee   the caller resolved to a terminal
+//                                          state; the remote RPC object (and
+//                                          transitively its own calls) must
+//                                          follow (§3.4).
+#pragma once
+
+#include <string>
+
+#include "serde/codec.h"
+#include "serde/value.h"
+
+namespace srpc::spec {
+
+enum class MsgType : std::uint8_t {
+  kRequest = 10,
+  kPredictedResponse = 11,
+  kActualResponse = 12,
+  kStateChange = 13,
+};
+
+struct RequestMsg {
+  CallId call_id = 0;
+  bool caller_speculative = false;
+  std::string method;
+  ValueList args;
+};
+
+struct PredictedResponseMsg {
+  CallId call_id = 0;
+  Value value;
+};
+
+struct ActualResponseMsg {
+  CallId call_id = 0;
+  bool ok = true;
+  Value value;
+  std::string error;
+};
+
+struct StateChangeMsg {
+  CallId call_id = 0;
+  bool correct = false;
+};
+
+MsgType peek_type(const Bytes& frame);
+
+Bytes encode(const RequestMsg& m, const Codec& codec);
+Bytes encode(const PredictedResponseMsg& m, const Codec& codec);
+Bytes encode(const ActualResponseMsg& m, const Codec& codec);
+Bytes encode(const StateChangeMsg& m, const Codec& codec);
+
+RequestMsg decode_request(const Bytes& frame, const Codec& codec);
+PredictedResponseMsg decode_predicted(const Bytes& frame, const Codec& codec);
+ActualResponseMsg decode_actual(const Bytes& frame, const Codec& codec);
+StateChangeMsg decode_state_change(const Bytes& frame, const Codec& codec);
+
+}  // namespace srpc::spec

@@ -1,0 +1,137 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace srpc::stats {
+
+Histogram::Histogram() : buckets_(kSubBuckets * kRanges, 0) {}
+
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  sum_us_ = other.sum_us_;
+  min_us_ = other.min_us_;
+  max_us_ = other.max_us_;
+}
+
+Histogram::Histogram(Histogram&& other) noexcept : Histogram(other) {}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  Histogram snapshot(other);
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_ = std::move(snapshot.buckets_);
+  count_ = snapshot.count_;
+  sum_us_ = snapshot.sum_us_;
+  min_us_ = snapshot.min_us_;
+  max_us_ = snapshot.max_us_;
+  return *this;
+}
+
+int Histogram::bucket_for(double us) {
+  if (us < 1.0) us = 1.0;
+  const int range = std::min(kRanges - 1, static_cast<int>(std::log2(us)));
+  const double lo = std::pow(2.0, range);
+  int sub = static_cast<int>((us - lo) / lo * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return range * kSubBuckets + sub;
+}
+
+double Histogram::bucket_mid_us(int bucket) {
+  const int range = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const double lo = std::pow(2.0, range);
+  return lo + (sub + 0.5) * lo / kSubBuckets;
+}
+
+void Histogram::record(Duration latency) {
+  record_us(std::chrono::duration<double, std::micro>(latency).count());
+}
+
+void Histogram::record_us(double us) {
+  if (us < 0) us = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[static_cast<std::size_t>(bucket_for(us))]++;
+  if (count_ == 0 || us < min_us_) min_us_ = us;
+  if (count_ == 0 || us > max_us_) max_us_ = us;
+  count_++;
+  sum_us_ += us;
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Lock ordering by address avoids deadlock on concurrent cross-merges.
+  if (this == &other) return;
+  const Histogram* first = this < &other ? this : &other;
+  const Histogram* second = this < &other ? &other : this;
+  std::lock_guard<std::mutex> lock1(first->mu_);
+  std::lock_guard<std::mutex> lock2(second->mu_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_us_ < min_us_) min_us_ = other.min_us_;
+    if (count_ == 0 || other.max_us_ > max_us_) max_us_ = other.max_us_;
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::mean_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::min_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_us_;
+}
+
+double Histogram::max_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_us_;
+}
+
+double Histogram::percentile_us(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0)
+      return bucket_mid_us(static_cast<int>(i));
+  }
+  return max_us_;
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0) return out;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    out.emplace_back(bucket_mid_us(static_cast<int>(i)),
+                     static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_us_ = 0;
+  min_us_ = 0;
+  max_us_ = 0;
+}
+
+}  // namespace srpc::stats

@@ -1,0 +1,86 @@
+// Latency statistics for the benchmark harness.
+//
+// Histogram: log-bucketed (HDR-flavoured) over microseconds; supports mean,
+// arbitrary percentiles and CDF extraction — the evaluation reports means
+// (Figures 8, 9, 13), medians and p99s (Figure 10) and full CDFs (Figure 11).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace srpc::stats {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Copy/move snapshot the source under its lock; the mutex itself is not
+  /// transferred (results structs are returned by value from run drivers).
+  Histogram(const Histogram& other);
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(const Histogram& other);
+
+  void record(Duration latency);
+  void record_us(double us);
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const;
+  double mean_us() const;
+  double percentile_us(double p) const;  // p in [0, 100]
+  double min_us() const;
+  double max_us() const;
+
+  double mean_ms() const { return mean_us() / 1000.0; }
+  double percentile_ms(double p) const { return percentile_us(p) / 1000.0; }
+
+  /// (latency_us, cumulative_fraction) pairs, one per non-empty bucket.
+  std::vector<std::pair<double, double>> cdf() const;
+
+  void reset();
+
+ private:
+  // Buckets: 128 per power of two, covering 1us .. ~1200s.
+  static constexpr int kSubBuckets = 128;
+  static constexpr int kRanges = 40;
+
+  static int bucket_for(double us);
+  static double bucket_mid_us(int bucket);
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double min_us_ = 0;
+  double max_us_ = 0;
+};
+
+/// Convenience: throughput + latency accumulator for one closed-loop run.
+class RunStats {
+ public:
+  void record(Duration latency) { hist_.record(latency); }
+  Histogram& histogram() { return hist_; }
+  const Histogram& histogram() const { return hist_; }
+
+  void start() { start_ = Clock::now(); }
+  void stop() { stop_ = Clock::now(); }
+  double elapsed_s() const {
+    return std::chrono::duration<double>(stop_ - start_).count();
+  }
+  double throughput_per_s() const {
+    const double s = elapsed_s();
+    return s > 0 ? static_cast<double>(hist_.count()) / s : 0.0;
+  }
+
+ private:
+  Histogram hist_;
+  TimePoint start_{};
+  TimePoint stop_{};
+};
+
+}  // namespace srpc::stats

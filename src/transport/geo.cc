@@ -1,0 +1,49 @@
+#include "transport/geo.h"
+
+#include <stdexcept>
+
+namespace srpc {
+
+GeoConfig uniform_geo(double rtt_ms, int num_dcs) {
+  GeoConfig config;
+  config.dc_names.clear();
+  config.dc_rtt_ms.assign(num_dcs, std::vector<double>(num_dcs, rtt_ms));
+  for (int i = 0; i < num_dcs; ++i) {
+    config.dc_names.push_back("dc" + std::to_string(i));
+    config.dc_rtt_ms[i][i] = 0.0;
+  }
+  return config;
+}
+
+GeoTopology::GeoTopology(SimNetwork& net, GeoConfig config)
+    : net_(net), config_(std::move(config)) {
+  machines_.resize(config_.dc_names.size());
+}
+
+Address GeoTopology::address(int dc, const std::string& name) const {
+  return config_.dc_names.at(dc) + "." + name;
+}
+
+Duration GeoTopology::rtt(int dc_a, int dc_b) const {
+  return from_ms(config_.dc_rtt_ms.at(dc_a).at(dc_b) * config_.scale);
+}
+
+Transport& GeoTopology::add_machine(int dc, const std::string& name) {
+  if (dc < 0 || dc >= num_dcs()) throw std::out_of_range("bad dc index");
+  const Address addr = address(dc, name);
+  Transport& transport = net_.add_node(addr);
+  const Duration jitter = from_ms(config_.jitter_ms * config_.scale);
+  // Wire this machine to every machine already registered.
+  for (int other_dc = 0; other_dc < num_dcs(); ++other_dc) {
+    for (const Address& peer : machines_[other_dc]) {
+      const double rtt_ms = (other_dc == dc)
+                                ? config_.lan_rtt_ms
+                                : config_.dc_rtt_ms[dc][other_dc];
+      net_.set_rtt(addr, peer, from_ms(rtt_ms * config_.scale), jitter);
+    }
+  }
+  machines_[dc].push_back(addr);
+  return transport;
+}
+
+}  // namespace srpc

@@ -1,0 +1,61 @@
+// Geo-distributed topology presets.
+//
+// Table 1 of the paper gives the emulated RTTs between the three datacentres
+// of the Replicated Commit evaluation (taken from Mu et al. [28]):
+//
+//              Ireland   Seoul
+//   Oregon       140      122      (ms, round trip)
+//   Ireland       -       243
+//
+// GeoTopology wires a SimNetwork accordingly: every machine in a datacentre
+// shares the DC's WAN coordinates; intra-DC hops cost `lan_rtt`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transport/sim_network.h"
+
+namespace srpc {
+
+struct GeoConfig {
+  std::vector<std::string> dc_names = {"oregon", "ireland", "seoul"};
+  /// dc_rtt[i][j] = RTT between DC i and DC j (ms before scaling).
+  std::vector<std::vector<double>> dc_rtt_ms = {
+      {0.0, 140.0, 122.0},
+      {140.0, 0.0, 243.0},
+      {122.0, 243.0, 0.0},
+  };
+  double lan_rtt_ms = 0.5;   // machine <-> machine inside one DC
+  double jitter_ms = 0.05;   // per message, uniform
+  /// All latencies are multiplied by this factor (see DESIGN.md §3).
+  double scale = 1.0;
+};
+
+/// Uniform 3-DC topology with the same RTT everywhere (used by Figure 13's
+/// 5 ms-RTT saturation experiment).
+GeoConfig uniform_geo(double rtt_ms, int num_dcs = 3);
+
+class GeoTopology {
+ public:
+  GeoTopology(SimNetwork& net, GeoConfig config);
+
+  /// Registers a machine in datacentre `dc`; returns its transport.
+  Transport& add_machine(int dc, const std::string& name);
+
+  int num_dcs() const { return static_cast<int>(config_.dc_names.size()); }
+  const GeoConfig& config() const { return config_; }
+
+  /// Address of a machine previously added as (dc, name).
+  Address address(int dc, const std::string& name) const;
+
+  /// Effective (scaled) RTT between two DCs.
+  Duration rtt(int dc_a, int dc_b) const;
+
+ private:
+  SimNetwork& net_;
+  GeoConfig config_;
+  std::vector<std::vector<Address>> machines_;  // per DC
+};
+
+}  // namespace srpc

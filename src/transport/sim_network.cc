@@ -1,0 +1,175 @@
+#include "transport/sim_network.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace srpc {
+
+class SimNetwork::Node final : public Transport {
+ public:
+  Node(SimNetwork& net, Address addr, Executor& executor)
+      : net_(net), addr_(std::move(addr)), strand_(Strand::create(executor)) {}
+
+  const Address& address() const override { return addr_; }
+
+  void send(const Address& dst, Bytes payload) override {
+    net_.do_send(*this, dst, std::move(payload));
+  }
+
+  void set_receiver(Receiver receiver) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    receiver_ = std::move(receiver);
+  }
+
+  /// Called (via strand) when a message arrives.
+  void deliver(const Address& src, Bytes payload) {
+    Receiver receiver;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.msgs_recv++;
+      stats_.bytes_recv += payload.size();
+      receiver = receiver_;
+    }
+    if (receiver) {
+      receiver(src, std::move(payload));
+    } else {
+      // Normal during teardown: engines detach before the network drains.
+      SRPC_LOG(DEBUG) << addr_ << ": dropping message from " << src
+                      << " (no receiver installed)";
+    }
+  }
+
+  void account_send(std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.msgs_sent++;
+    stats_.bytes_sent += bytes;
+  }
+
+  TrafficStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
+
+  Strand& strand() { return *strand_; }
+
+ private:
+  SimNetwork& net_;
+  Address addr_;
+  std::shared_ptr<Strand> strand_;
+  mutable std::mutex mu_;
+  Receiver receiver_;
+  TrafficStats stats_;
+};
+
+SimNetwork::SimNetwork(Config config)
+    : config_(config),
+      executor_(config.executor_threads, "simnet"),
+      rng_(config.seed) {}
+
+SimNetwork::~SimNetwork() {
+  // Stop timers first so no delivery fires into a dying executor.
+  wheel_.shutdown();
+  executor_.shutdown();
+}
+
+Transport& SimNetwork::add_node(const Address& addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      nodes_.emplace(addr, std::make_unique<Node>(*this, addr, executor_));
+  if (!inserted) throw std::invalid_argument("duplicate node: " + addr);
+  return *it->second;
+}
+
+void SimNetwork::set_one_way(const Address& a, const Address& b,
+                             Duration delay, Duration jitter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Link& link = link_for(a, b);
+  link.delay = delay;
+  link.jitter = jitter;
+}
+
+void SimNetwork::set_rtt(const Address& a, const Address& b, Duration rtt,
+                         Duration jitter) {
+  set_one_way(a, b, rtt / 2, jitter);
+  set_one_way(b, a, rtt / 2, jitter);
+}
+
+void SimNetwork::partition(const Address& a, const Address& b, bool blocked) {
+  std::lock_guard<std::mutex> lock(mu_);
+  link_for(a, b).blocked = blocked;
+  link_for(b, a).blocked = blocked;
+}
+
+SimNetwork::Link& SimNetwork::link_for(const Address& a, const Address& b) {
+  auto key = std::make_pair(a, b);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_
+             .emplace(std::move(key),
+                      Link{config_.default_delay, config_.default_jitter})
+             .first;
+  }
+  return it->second;
+}
+
+void SimNetwork::do_send(Node& src, const Address& dst, Bytes payload) {
+  Node* dst_node = nullptr;
+  TimePoint deliver_at;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(dst);
+    if (it == nodes_.end()) {
+      SRPC_LOG(WARN) << src.address() << ": send to unknown node " << dst;
+      return;
+    }
+    dst_node = it->second.get();
+    Link& link = link_for(src.address(), dst);
+    if (link.blocked) return;  // partitioned: silently dropped
+    Duration delay = link.delay;
+    if (link.jitter > Duration::zero()) {
+      delay += Duration(static_cast<Duration::rep>(
+          rng_.uniform(static_cast<std::uint64_t>(link.jitter.count()) + 1)));
+    }
+    deliver_at = Clock::now() + delay;
+    // FIFO per directed pair: never schedule before an earlier message.
+    if (deliver_at <= link.last_delivery) {
+      deliver_at = link.last_delivery + std::chrono::nanoseconds(1);
+    }
+    link.last_delivery = deliver_at;
+  }
+  src.account_send(payload.size());
+  const Address src_addr = src.address();
+  auto shared = std::make_shared<Bytes>(std::move(payload));
+  wheel_.schedule_at(deliver_at, [dst_node, src_addr, shared] {
+    dst_node->strand().post([dst_node, src_addr, shared]() mutable {
+      dst_node->deliver(src_addr, std::move(*shared));
+    });
+  });
+}
+
+TrafficStats SimNetwork::stats(const Address& addr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(addr);
+  if (it == nodes_.end()) return {};
+  return it->second->stats();
+}
+
+TrafficStats SimNetwork::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrafficStats total;
+  for (const auto& [_, node] : nodes_) total += node->stats();
+  return total;
+}
+
+void SimNetwork::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, node] : nodes_) node->reset_stats();
+}
+
+}  // namespace srpc

@@ -1,0 +1,87 @@
+// In-process simulated network.
+//
+// Models the paper's testbed: machines connected by links with configurable
+// one-way delay and jitter (the paper injects WAN RTTs with `tc`, Table 1).
+// Each registered node gets a Transport endpoint; send() accounts bytes,
+// draws a link delay, and schedules delivery through the shared TimerWheel.
+// Delivery runs on a per-destination Strand, preserving FIFO order per
+// directed pair — the same guarantee TCP gives the original system.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/executor.h"
+#include "common/rng.h"
+#include "common/strand.h"
+#include "common/timer_wheel.h"
+#include "transport/transport.h"
+
+namespace srpc {
+
+struct SimConfig {
+  int executor_threads = 8;
+  /// Link delay when no explicit entry exists (one-way).
+  Duration default_delay = std::chrono::microseconds(50);
+  /// Uniform jitter in [0, jitter] added per message.
+  Duration default_jitter = Duration::zero();
+  std::uint64_t seed = 1;
+};
+
+class SimNetwork {
+ public:
+  using Config = SimConfig;
+
+  explicit SimNetwork(Config config = Config());
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers a node; the returned Transport is owned by the network and
+  /// valid until the network is destroyed.
+  Transport& add_node(const Address& addr);
+
+  /// Sets the one-way delay (and optional jitter) for messages a -> b only.
+  void set_one_way(const Address& a, const Address& b, Duration delay,
+                   Duration jitter = Duration::zero());
+
+  /// Symmetric helper: RTT/2 each way.
+  void set_rtt(const Address& a, const Address& b, Duration rtt,
+               Duration jitter = Duration::zero());
+
+  TrafficStats stats(const Address& addr) const;
+  TrafficStats total_stats() const;
+  void reset_stats();
+
+  /// Drops all queued-but-undelivered messages (fault injection in tests).
+  void partition(const Address& a, const Address& b, bool blocked);
+
+  TimerWheel& wheel() { return wheel_; }
+  Executor& executor() { return executor_; }
+
+ private:
+  class Node;
+  struct Link {
+    Duration delay;
+    Duration jitter;
+    bool blocked = false;
+    TimePoint last_delivery{};  // enforces per-pair FIFO
+  };
+
+  void do_send(Node& src, const Address& dst, Bytes payload);
+  Link& link_for(const Address& a, const Address& b);
+
+  Config config_;
+  Executor executor_;
+  TimerWheel wheel_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::unordered_map<Address, std::unique_ptr<Node>> nodes_;
+  std::map<std::pair<Address, Address>, Link> links_;
+};
+
+}  // namespace srpc

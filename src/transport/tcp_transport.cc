@@ -1,0 +1,315 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace srpc {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::pair<std::string, std::uint16_t> split_addr(const Address& addr) {
+  const auto pos = addr.find_last_of(':');
+  if (pos == std::string::npos)
+    throw std::invalid_argument("bad address: " + addr);
+  return {addr.substr(0, pos),
+          static_cast<std::uint16_t>(std::stoi(addr.substr(pos + 1)))};
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(Executor& executor, std::uint16_t port)
+    : executor_(executor) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+    throw std::runtime_error("bind() failed");
+  if (listen(listen_fd_, 128) != 0) throw std::runtime_error("listen() failed");
+
+  socklen_t len = sizeof(sa);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+  addr_ = "127.0.0.1:" + std::to_string(ntohs(sa.sin_port));
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = epoll_create1(0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stopping_.store(true);
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& [fd, conn] : conns_) close(fd);
+  close(listen_fd_);
+  close(epoll_fd_);
+  close(wake_fd_);
+}
+
+void TcpTransport::set_receiver(Receiver receiver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  receiver_ = std::move(receiver);
+}
+
+TrafficStats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TcpTransport::wake() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] auto n = write(wake_fd_, &one, sizeof(one));
+}
+
+void TcpTransport::queue_frame(Conn& conn, const Bytes& payload) {
+  put_u32(conn.outbuf, static_cast<std::uint32_t>(payload.size()));
+  conn.outbuf.insert(conn.outbuf.end(), payload.begin(), payload.end());
+  conn.want_write = true;
+  stats_.msgs_sent++;
+  stats_.bytes_sent += payload.size();
+}
+
+TcpTransport::Conn* TcpTransport::connect_to(const Address& dst) {
+  const auto [host, port] = split_addr(dst);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  inet_pton(AF_INET, host.c_str(), &sa.sin_addr);
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  // Non-blocking connect: EINPROGRESS is fine, frames queue until writable.
+  if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
+      errno != EINPROGRESS) {
+    close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->peer = dst;
+  conn->strand = Strand::create(executor_);
+  // Handshake: announce our listening address so the peer can attribute and
+  // reply on this connection.
+  Bytes hello(addr_.begin(), addr_.end());
+  put_u32(conn->outbuf, static_cast<std::uint32_t>(hello.size() + 1));
+  conn->outbuf.push_back(0x01);  // handshake marker
+  conn->outbuf.insert(conn->outbuf.end(), hello.begin(), hello.end());
+  conn->want_write = true;
+  Conn* raw = conn.get();
+  conns_.emplace(fd, std::move(conn));
+  by_peer_.emplace(dst, fd);
+  return raw;
+}
+
+void TcpTransport::send(const Address& dst, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Conn* conn = nullptr;
+    auto it = by_peer_.find(dst);
+    if (it != by_peer_.end()) {
+      conn = conns_.at(it->second).get();
+    } else {
+      conn = connect_to(dst);
+      if (conn == nullptr) {
+        SRPC_LOG(WARN) << addr_ << ": connect to " << dst << " failed";
+        return;
+      }
+    }
+    // Data frames carry a 0x00 marker so they are distinguishable from the
+    // handshake frame.
+    Bytes framed;
+    framed.reserve(payload.size() + 1);
+    framed.push_back(0x00);
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    queue_frame(*conn, framed);
+    stats_.bytes_sent -= 1;  // don't count the marker byte as payload
+  }
+  wake();
+}
+
+void TcpTransport::io_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load()) {
+    // Refresh write interest.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [fd, conn] : conns_) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+        ev.data.fd = fd;
+        if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0 &&
+            errno == ENOENT) {
+          epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+        }
+      }
+    }
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t buf;
+        [[maybe_unused]] auto r = read(wake_fd_, &buf, sizeof(buf));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int cfd = accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          set_nodelay(cfd);
+          auto conn = std::make_unique<Conn>();
+          conn->fd = cfd;
+          conn->strand = Strand::create(executor_);
+          std::lock_guard<std::mutex> lock(mu_);
+          conns_.emplace(cfd, std::move(conn));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+        }
+        continue;
+      }
+      Conn* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        conn = it->second.get();
+      }
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) handle_writable(*conn);
+      if (events[i].events & EPOLLIN) handle_readable(*conn);
+    }
+  }
+}
+
+void TcpTransport::handle_writable(Conn& conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.out_off,
+                              conn.outbuf.size() - conn.out_off);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      return;  // error: EPOLLERR will fire and close the connection
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+  conn.want_write = false;
+}
+
+void TcpTransport::handle_readable(Conn& conn) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n == 0) {
+      close_conn(conn.fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.fd);
+      return;
+    }
+    conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+  }
+  // Extract complete frames.
+  std::size_t off = 0;
+  for (;;) {
+    if (conn.inbuf.size() - off < 4) break;
+    const std::uint32_t len = get_u32(conn.inbuf.data() + off);
+    if (conn.inbuf.size() - off - 4 < len) break;
+    const std::uint8_t* frame = conn.inbuf.data() + off + 4;
+    off += 4 + len;
+    if (len == 0) continue;
+    const std::uint8_t marker = frame[0];
+    if (marker == 0x01) {
+      // Handshake: learn the peer's listening address.
+      Address peer(reinterpret_cast<const char*>(frame + 1), len - 1);
+      std::lock_guard<std::mutex> lock(mu_);
+      conn.peer = peer;
+      by_peer_.emplace(peer, conn.fd);
+      continue;
+    }
+    Bytes payload(frame + 1, frame + len);
+    Address src;
+    Receiver receiver;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      src = conn.peer;
+      receiver = receiver_;
+      stats_.msgs_recv++;
+      stats_.bytes_recv += payload.size();
+    }
+    if (receiver && !src.empty()) {
+      auto shared = std::make_shared<Bytes>(std::move(payload));
+      conn.strand->post([receiver, src, shared]() mutable {
+        receiver(src, std::move(*shared));
+      });
+    }
+  }
+  if (off > 0) conn.inbuf.erase(conn.inbuf.begin(), conn.inbuf.begin() + off);
+}
+
+void TcpTransport::close_conn(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (!it->second->peer.empty()) by_peer_.erase(it->second->peer);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace srpc

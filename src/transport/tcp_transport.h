@@ -1,0 +1,71 @@
+// Real TCP transport (epoll, non-blocking, length-prefixed frames).
+//
+// Used by the examples and integration tests to show the frameworks running
+// over genuine sockets; benches use SimNetwork for controlled latency.
+//
+// Frame format: u32 little-endian payload length, then payload bytes. The
+// first frame on every outbound connection is a handshake that announces the
+// sender's listening address ("host:port"), so the receiver can attribute
+// inbound frames and reuse the connection for replies.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/executor.h"
+#include "common/strand.h"
+#include "transport/transport.h"
+
+namespace srpc {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (port 0 picks a free port).
+  /// Receiver callbacks run on `executor`, serialized per peer.
+  explicit TcpTransport(Executor& executor, std::uint16_t port = 0);
+  ~TcpTransport() override;
+
+  const Address& address() const override { return addr_; }
+  void send(const Address& dst, Bytes payload) override;
+  void set_receiver(Receiver receiver) override;
+
+  TrafficStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Address peer;        // empty until handshake received (inbound conns)
+    Bytes inbuf;
+    Bytes outbuf;
+    std::size_t out_off = 0;
+    bool want_write = false;
+    std::shared_ptr<Strand> strand;
+  };
+
+  void io_loop();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void close_conn(int fd);
+  Conn* connect_to(const Address& dst);  // caller holds mu_
+  void queue_frame(Conn& conn, const Bytes& payload);  // caller holds mu_
+  void wake();
+
+  Executor& executor_;
+  Address addr_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread io_thread_;
+
+  mutable std::mutex mu_;
+  Receiver receiver_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd
+  std::unordered_map<Address, int> by_peer_;                   // peer -> fd
+  TrafficStats stats_;
+};
+
+}  // namespace srpc

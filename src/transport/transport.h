@@ -1,0 +1,55 @@
+// Abstract message transport.
+//
+// Both RPC engines (TradRPC/GrpcSim and SpecRPC) are written against this
+// interface, so they run unchanged over the in-process simulated network
+// (benches, deterministic tests) and over real TCP (examples, integration
+// tests).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace srpc {
+
+/// Opaque node address. SimNetwork uses logical names ("dc0.server1");
+/// TcpTransport uses "host:port".
+using Address = std::string;
+
+class Transport {
+ public:
+  /// Delivery callback: (source address, payload). Implementations invoke
+  /// receivers serially per transport (FIFO per source under the hood).
+  using Receiver = std::function<void(const Address& src, Bytes payload)>;
+
+  virtual ~Transport() = default;
+
+  virtual const Address& address() const = 0;
+
+  /// Fire-and-forget datagram-with-TCP-semantics: reliable, FIFO per
+  /// (src,dst) pair. `payload` is moved out.
+  virtual void send(const Address& dst, Bytes payload) = 0;
+
+  /// Must be set before the first message can be delivered.
+  virtual void set_receiver(Receiver receiver) = 0;
+};
+
+/// Byte/message counters per transport endpoint, split by direction.
+/// Figure 8c reports exactly these four series.
+struct TrafficStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_recv += o.msgs_recv;
+    bytes_recv += o.bytes_recv;
+    return *this;
+  }
+};
+
+}  // namespace srpc

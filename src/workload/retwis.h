@@ -1,0 +1,114 @@
+// Retwis workload — the Twitter-like transaction mix of Table 2 (taken from
+// Zhang et al., TAPIR [46]):
+//
+//   Transaction type   #gets  #puts  share
+//   Add User             1      3      5%
+//   Follow/Unfollow      2      2     15%
+//   Post Tweet           3      5     30%
+//   Load Timeline    rand(1,10)  0    50%
+//
+// Gets and puts pair up as read-modify-write where counts allow, matching
+// the usual Retwis implementation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rc/common.h"
+
+namespace srpc::wl {
+
+enum class RetwisTxnType : int {
+  kAddUser = 0,
+  kFollow = 1,
+  kPostTweet = 2,
+  kLoadTimeline = 3,
+};
+
+inline const char* to_string(RetwisTxnType t) {
+  switch (t) {
+    case RetwisTxnType::kAddUser:
+      return "AddUser";
+    case RetwisTxnType::kFollow:
+      return "Follow/Unfollow";
+    case RetwisTxnType::kPostTweet:
+      return "PostTweet";
+    case RetwisTxnType::kLoadTimeline:
+      return "LoadTimeline";
+  }
+  return "?";
+}
+
+struct RetwisTxn {
+  RetwisTxnType type = RetwisTxnType::kLoadTimeline;
+  std::vector<rc::Op> ops;
+};
+
+struct RetwisConfig {
+  double zipf_alpha = 0.75;
+  std::uint64_t num_keys = 100'000;
+  std::size_t value_size = 16;
+};
+
+class RetwisWorkload {
+ public:
+  RetwisWorkload(RetwisConfig config, std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        zipf_(config.num_keys, config.zipf_alpha) {}
+
+  RetwisTxn next_txn() {
+    RetwisTxn txn;
+    const double roll = rng_.uniform01();
+    if (roll < 0.05) {
+      txn.type = RetwisTxnType::kAddUser;
+      build(txn.ops, /*gets=*/1, /*puts=*/3);
+    } else if (roll < 0.20) {
+      txn.type = RetwisTxnType::kFollow;
+      build(txn.ops, 2, 2);
+    } else if (roll < 0.50) {
+      txn.type = RetwisTxnType::kPostTweet;
+      build(txn.ops, 3, 5);
+    } else {
+      txn.type = RetwisTxnType::kLoadTimeline;
+      build(txn.ops, static_cast<int>(rng_.uniform_range(1, 10)), 0);
+    }
+    return txn;
+  }
+
+  const RetwisConfig& config() const { return config_; }
+
+ private:
+  /// Emits `gets` reads and `puts` writes. The first min(gets, puts) keys
+  /// are read-modify-write pairs; remaining puts are blind writes.
+  void build(std::vector<rc::Op>& ops, int gets, int puts) {
+    const int pairs = std::min(gets, puts);
+    for (int i = 0; i < pairs; ++i) {
+      const std::string key = pick_key();
+      ops.push_back(rc::Op{true, key, {}});
+      ops.push_back(rc::Op{false, key, value()});
+    }
+    for (int i = pairs; i < gets; ++i) ops.push_back(rc::Op{true, pick_key(), {}});
+    for (int i = pairs; i < puts; ++i)
+      ops.push_back(rc::Op{false, pick_key(), value()});
+  }
+
+  std::string value() const { return std::string(config_.value_size, 'w'); }
+
+  std::string pick_key() {
+    const std::uint64_t rank = zipf_.sample(rng_);
+    const std::uint64_t idx = fnv_scramble(rank, config_.num_keys);
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08llu",
+                  static_cast<unsigned long long>(idx));
+    return key;
+  }
+
+  RetwisConfig config_;
+  Rng rng_;
+  Zipf zipf_;
+};
+
+}  // namespace srpc::wl

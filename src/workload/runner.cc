@@ -1,0 +1,58 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace srpc::wl {
+
+RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
+                               const WorkloadFactory& workload_factory,
+                               Duration warmup, Duration measure) {
+  RcRunResult result;
+  std::mutex result_mu;
+  const TimePoint start = Clock::now();
+  const TimePoint measure_from = start + warmup;
+  const TimePoint measure_until = measure_from + measure;
+
+  std::vector<std::thread> threads;
+  const int per_dc = cluster.clients_per_dc();
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    for (int i = 0; i < per_dc; ++i) {
+      const int global_index = dc * per_dc + i;
+      threads.emplace_back([&, dc, i, global_index] {
+        auto next_txn = workload_factory(global_index);
+        rc::RcClient& client = cluster.client(dc, i);
+        while (Clock::now() < measure_until) {
+          const TimePoint t0 = Clock::now();
+          rc::TxnResult txn;
+          try {
+            txn = client.run(next_txn());
+          } catch (const std::exception& e) {
+            SRPC_LOG(WARN) << "txn failed: " << e.what();
+            continue;
+          }
+          if (t0 < measure_from || t0 >= measure_until) continue;
+          std::lock_guard<std::mutex> lock(result_mu);
+          if (txn.committed) {
+            result.committed++;
+            if (txn.read_only) result.read_only++;
+            result.txn_latency.record(txn.total);
+            if (!txn.read_only) result.commit_latency.record(txn.commit_phase);
+          } else {
+            result.aborted++;
+            result.abort_latency.record(txn.total);
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = std::chrono::duration<double>(measure).count();
+  return result;
+}
+
+}  // namespace srpc::wl

@@ -1,0 +1,45 @@
+// Closed-loop benchmark driver for Replicated Commit (§5.2: "a client sends
+// transactions back-to-back, and there are 16 clients in each datacentre").
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "rc/cluster.h"
+#include "stats/histogram.h"
+
+namespace srpc::wl {
+
+struct RcRunResult {
+  stats::Histogram txn_latency;     // completion time of committed txns
+  stats::Histogram commit_latency;  // commit phase of committed r/w txns
+  stats::Histogram abort_latency;   // completion time of aborted txns
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t read_only = 0;
+  double elapsed_s = 0;
+
+  double committed_per_s() const {
+    return elapsed_s > 0 ? static_cast<double>(committed) / elapsed_s : 0;
+  }
+  double abort_rate() const {
+    const auto total = committed + aborted;
+    return total > 0 ? static_cast<double>(aborted) /
+                           static_cast<double>(total)
+                     : 0;
+  }
+};
+
+/// Per-client transaction source; must be safe to use from that client's
+/// thread only. The int argument is the global client index.
+using WorkloadFactory =
+    std::function<std::function<std::vector<rc::Op>()>(int client_index)>;
+
+/// Runs every client of `cluster` in a closed loop for warmup+measure,
+/// recording only transactions that *start* inside the measurement window
+/// (the paper measures the middle of each run for the same reason).
+RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
+                               const WorkloadFactory& workload_factory,
+                               Duration warmup, Duration measure);
+
+}  // namespace srpc::wl

@@ -1,0 +1,61 @@
+// YCSB+T workload (§5.2.2): YCSB with transactional wrapping — each
+// transaction performs `ops_per_txn` operations, each a read with
+// probability `read_fraction`, keys drawn from a scrambled Zipfian
+// distribution (default alpha 0.75, matching the paper).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rc/common.h"
+
+namespace srpc::wl {
+
+struct YcsbtConfig {
+  int ops_per_txn = 5;
+  double read_fraction = 0.5;  // 1:1 read/write ratio by default (Fig 9)
+  double zipf_alpha = 0.75;
+  std::uint64_t num_keys = 100'000;
+  std::size_t value_size = 16;
+};
+
+class YcsbtWorkload {
+ public:
+  YcsbtWorkload(YcsbtConfig config, std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        zipf_(config.num_keys, config.zipf_alpha) {}
+
+  std::vector<rc::Op> next_txn() {
+    std::vector<rc::Op> ops;
+    ops.reserve(static_cast<std::size_t>(config_.ops_per_txn));
+    for (int i = 0; i < config_.ops_per_txn; ++i) {
+      rc::Op op;
+      op.is_read = rng_.flip(config_.read_fraction);
+      op.key = pick_key();
+      if (!op.is_read) op.value = std::string(config_.value_size, 'w');
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  }
+
+  const YcsbtConfig& config() const { return config_; }
+
+ private:
+  std::string pick_key() {
+    const std::uint64_t rank = zipf_.sample(rng_);
+    const std::uint64_t idx = fnv_scramble(rank, config_.num_keys);
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08llu",
+                  static_cast<unsigned long long>(idx));
+    return key;
+  }
+
+  YcsbtConfig config_;
+  Rng rng_;
+  Zipf zipf_;
+};
+
+}  // namespace srpc::wl

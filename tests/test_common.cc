@@ -1,0 +1,241 @@
+// Substrate tests: executor, strand, timer wheel, RNG/Zipfian, CPU model,
+// synchronization helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/cpu_model.h"
+#include "common/executor.h"
+#include "common/rng.h"
+#include "common/strand.h"
+#include "common/sync.h"
+#include "common/timer_wheel.h"
+
+namespace srpc {
+namespace {
+
+TEST(Executor, RunsAllTasks) {
+  Executor executor(4, "test");
+  std::atomic<int> count{0};
+  WaitGroup wg;
+  for (int i = 0; i < 200; ++i) {
+    wg.add();
+    ASSERT_TRUE(executor.post([&] {
+      count.fetch_add(1);
+      wg.done();
+    }));
+  }
+  wg.wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(Executor, ShutdownDrainsQueueAndRejectsNewWork) {
+  auto executor = std::make_unique<Executor>(2, "test");
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    executor->post([&] { count.fetch_add(1); });
+  }
+  executor->shutdown();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_FALSE(executor->post([] {}));
+}
+
+TEST(Executor, SurvivesThrowingTasks) {
+  Executor executor(2, "test");
+  Event done;
+  executor.post([] { throw std::runtime_error("boom"); });
+  executor.post([&] { done.set(); });
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
+}
+
+TEST(Strand, SerializesAndPreservesOrder) {
+  Executor executor(4, "test");
+  auto strand = Strand::create(executor);
+  std::vector<int> order;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  WaitGroup wg;
+  for (int i = 0; i < 100; ++i) {
+    wg.add();
+    strand->post([&, i] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int expected = max_concurrent.load();
+      while (now > expected &&
+             !max_concurrent.compare_exchange_weak(expected, now)) {
+      }
+      order.push_back(i);  // safe: strand serializes
+      concurrent.fetch_sub(1);
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(max_concurrent.load(), 1);
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  std::mutex mu;
+  WaitGroup wg;
+  const auto now = Clock::now();
+  for (int i : {5, 1, 3, 2, 4}) {
+    wg.add();
+    wheel.schedule_at(now + std::chrono::milliseconds(10 * i), [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired.push_back(i);
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(TimerWheel, EqualDeadlinesFireFifo) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  std::mutex mu;
+  WaitGroup wg;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(20);
+  for (int i = 0; i < 20; ++i) {
+    wg.add();
+    wheel.schedule_at(deadline, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      fired.push_back(i);
+      wg.done();
+    });
+  }
+  wg.wait();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel;
+  std::atomic<bool> fired{false};
+  const TimerId id = wheel.schedule_after(std::chrono::milliseconds(50),
+                                          [&] { fired.store(true); });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel is a no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TimerWheel, ImmediateDeadlineFires) {
+  TimerWheel wheel;
+  Event done;
+  wheel.schedule_after(Duration::zero(), [&] { done.set(); });
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+    const auto v = rng.uniform_range(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, FlipMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), 0.3, 0.01);
+}
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, HotKeysDominateProportionally) {
+  const double alpha = GetParam();
+  Zipf zipf(10000, alpha);
+  Rng rng(5);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(10000, 0);
+  for (int i = 0; i < kSamples; ++i) counts[zipf.sample(rng)]++;
+  // Rank 0 must be the most frequent, and the frequency ratio between rank
+  // 0 and rank 9 should approximate (10/1)^alpha.
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  EXPECT_EQ(counts[0], max_count);
+  const double expected_ratio = std::pow(10.0, alpha);
+  const double measured_ratio =
+      static_cast<double>(counts[0]) / std::max(1, counts[9]);
+  EXPECT_NEAR(measured_ratio, expected_ratio, expected_ratio * 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.5, 0.75, 0.9, 1.1, 1.3));
+
+TEST(Zipf, ScrambleSpreadsAndStaysInRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto s = fnv_scramble(i, 100000);
+    EXPECT_LT(s, 100000u);
+    seen.insert(s);
+  }
+  EXPECT_GT(seen.size(), 950u);  // few collisions
+}
+
+TEST(CpuModel, SingleCoreSerializesWork) {
+  TimerWheel wheel;
+  CpuModel cpu(wheel, 1);
+  const auto t0 = Clock::now();
+  WaitGroup wg;
+  for (int i = 0; i < 5; ++i) {
+    wg.add();
+    cpu.execute(std::chrono::milliseconds(20), [&] { wg.done(); });
+  }
+  wg.wait();
+  // 5 x 20ms on one core: at least ~100ms of virtual serialization.
+  EXPECT_GE(to_ms(Clock::now() - t0), 90.0);
+}
+
+TEST(CpuModel, MoreCoresMoreThroughput) {
+  TimerWheel wheel;
+  CpuModel cpu2(wheel, 2);
+  const auto t0 = Clock::now();
+  WaitGroup wg;
+  for (int i = 0; i < 6; ++i) {
+    wg.add();
+    cpu2.execute(std::chrono::milliseconds(20), [&] { wg.done(); });
+  }
+  wg.wait();
+  const double two_core_ms = to_ms(Clock::now() - t0);
+  // 6 x 20ms over 2 cores ~ 60ms; must be well under the 120ms 1-core time.
+  EXPECT_LT(two_core_ms, 100.0);
+  EXPECT_GE(two_core_ms, 50.0);
+}
+
+TEST(WaitGroupAndEvent, Basics) {
+  WaitGroup wg;
+  wg.add(2);
+  std::thread t1([&] { wg.done(); });
+  std::thread t2([&] { wg.done(); });
+  EXPECT_TRUE(wg.wait_for(std::chrono::seconds(5)));
+  t1.join();
+  t2.join();
+
+  Event e;
+  EXPECT_FALSE(e.is_set());
+  EXPECT_FALSE(e.wait_for(std::chrono::milliseconds(10)));
+  e.set();
+  EXPECT_TRUE(e.is_set());
+  e.wait();  // returns immediately
+}
+
+}  // namespace
+}  // namespace srpc

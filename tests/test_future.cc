@@ -1,0 +1,106 @@
+// rpc::Future semantics (shared by TradRPC and SpecRPC futures).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "rpc/future.h"
+
+namespace srpc::rpc {
+namespace {
+
+TEST(Future, GetBlocksUntilResolved) {
+  auto future = Future::create();
+  std::thread resolver([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    future->resolve(Outcome::success(Value(7)));
+  });
+  const auto t0 = Clock::now();
+  EXPECT_EQ(future->get(), Value(7));
+  EXPECT_GE(to_ms(Clock::now() - t0), 25.0);
+  resolver.join();
+}
+
+TEST(Future, GetThrowsOnFailure) {
+  auto future = Future::create();
+  future->resolve(Outcome::failure("nope"));
+  EXPECT_THROW(future->get(), RpcError);
+}
+
+TEST(Future, FirstResolutionWins) {
+  auto future = Future::create();
+  future->resolve(Outcome::success(Value(1)));
+  future->resolve(Outcome::success(Value(2)));
+  future->resolve(Outcome::failure("late"));
+  EXPECT_EQ(future->get(), Value(1));
+}
+
+TEST(Future, MultipleContinuationsAllFire) {
+  auto future = Future::create();
+  std::atomic<int> fired{0};
+  for (int i = 0; i < 5; ++i) {
+    future->then([&](const Outcome& o) {
+      EXPECT_TRUE(o.ok);
+      fired.fetch_add(1);
+    });
+  }
+  future->resolve(Outcome::success(Value(1)));
+  EXPECT_EQ(fired.load(), 5);
+}
+
+TEST(Future, ContinuationAfterResolveRunsInline) {
+  auto future = Future::create();
+  future->resolve(Outcome::success(Value(3)));
+  bool ran = false;
+  future->then([&](const Outcome& o) {
+    ran = true;
+    EXPECT_EQ(o.value, Value(3));
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Future, GetForTimesOut) {
+  auto future = Future::create();
+  const auto t0 = Clock::now();
+  auto outcome = future->get_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(outcome.has_value());
+  EXPECT_GE(to_ms(Clock::now() - t0), 35.0);
+  future->resolve(Outcome::success(Value(9)));
+  outcome = future->get_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->value, Value(9));
+}
+
+TEST(Future, ReadyReflectsState) {
+  auto future = Future::create();
+  EXPECT_FALSE(future->ready());
+  future->resolve(Outcome::success(Value(0)));
+  EXPECT_TRUE(future->ready());
+}
+
+TEST(Future, ConcurrentThenAndResolveIsSafe) {
+  for (int round = 0; round < 50; ++round) {
+    auto future = Future::create();
+    std::atomic<int> fired{0};
+    std::thread a([&] {
+      for (int i = 0; i < 10; ++i)
+        future->then([&](const Outcome&) { fired.fetch_add(1); });
+    });
+    std::thread b([&] { future->resolve(Outcome::success(Value(1))); });
+    a.join();
+    b.join();
+    EXPECT_EQ(fired.load(), 10);
+  }
+}
+
+TEST(Future, ChainingThroughThen) {
+  // The pattern the spec engine uses to link nested chain futures.
+  auto inner = Future::create();
+  auto outer = Future::create();
+  inner->then([outer](const Outcome& o) { outer->resolve(o); });
+  inner->resolve(Outcome::success(Value("chained")));
+  EXPECT_EQ(outer->get(), Value("chained"));
+}
+
+}  // namespace
+}  // namespace srpc::rpc

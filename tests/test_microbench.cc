@@ -1,0 +1,112 @@
+// The §5.1 microbenchmark driver itself: sanity of both prediction modes,
+// the speedup ordering Figure 8 relies on, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include "workload/microbench.h"
+
+namespace srpc::wl {
+namespace {
+
+MicroConfig quick(Flavor flavor) {
+  MicroConfig config;
+  config.flavor = flavor;
+  config.num_clients = 4;
+  config.rpcs_per_request = 4;
+  config.service_time = std::chrono::milliseconds(5);
+  config.requests_per_s = 40;
+  config.seed = 3;
+  return config;
+}
+
+constexpr auto kWarm = std::chrono::milliseconds(100);
+constexpr auto kMeasure = std::chrono::milliseconds(600);
+
+TEST(Microbench, SequentialBaselineLatencyIsChainSum) {
+  auto result = run_microbench(quick(Flavor::kTrad), kWarm, kMeasure);
+  ASSERT_GT(result.requests, 10u);
+  // 4 x (5ms service + ~0.2ms network): ~21ms.
+  EXPECT_NEAR(result.mean_ms(), 21.0, 4.0);
+}
+
+TEST(Microbench, PerfectPredictionApproachesOneRpcTime) {
+  auto config = quick(Flavor::kSpec);
+  config.correct_rate = 1.0;
+  auto result = run_microbench(config, kWarm, kMeasure);
+  ASSERT_GT(result.requests, 10u);
+  EXPECT_LT(result.mean_ms(), 10.0);  // ~1 RPC time + slack, not 21ms
+}
+
+TEST(Microbench, ZeroPredictionMatchesBaselineWithSmallOverhead) {
+  auto config = quick(Flavor::kSpec);
+  config.correct_rate = 0.0;
+  auto spec = run_microbench(config, kWarm, kMeasure);
+  auto trad = run_microbench(quick(Flavor::kTrad), kWarm, kMeasure);
+  ASSERT_GT(spec.requests, 10u);
+  // All predictions wrong: sequential re-execution, bounded overhead.
+  EXPECT_GT(spec.mean_ms(), trad.mean_ms() * 0.9);
+  EXPECT_LT(spec.mean_ms(), trad.mean_ms() * 1.35);
+}
+
+TEST(Microbench, ServerSidePredictionHelpsButLessThanClientSide) {
+  auto client_side = quick(Flavor::kSpec);
+  client_side.correct_rate = 1.0;
+  auto server_side = client_side;
+  server_side.server_side_prediction = true;
+  server_side.server_handoff_fraction = 0.3;
+  auto trad = run_microbench(quick(Flavor::kTrad), kWarm, kMeasure);
+  auto cs = run_microbench(client_side, kWarm, kMeasure);
+  auto ss = run_microbench(server_side, kWarm, kMeasure);
+  EXPECT_LT(cs.mean_ms(), ss.mean_ms());   // Fig 2b beats Fig 2c
+  EXPECT_LT(ss.mean_ms(), trad.mean_ms()); // which still beats sequential
+}
+
+TEST(Microbench, GrpcSimSlowerThanTradRpc) {
+  // Use a large, unmistakable modelled overhead so host-scheduling noise
+  // cannot flip the comparison: the default 75 us/message is within the
+  // noise floor of a busy 1-core CI machine.
+  auto grpc_config = quick(Flavor::kGrpc);
+  auto trad_config = quick(Flavor::kTrad);
+  grpc_config.num_clients = 1;
+  trad_config.num_clients = 1;
+  auto grpc = run_microbench(grpc_config, kWarm, kMeasure);
+  auto trad = run_microbench(trad_config, kWarm, kMeasure);
+  // GrpcSim charges 2 x 75 us per RPC; 4 RPCs -> ~0.6 ms per request.
+  // Compare medians (robust) with half that margin.
+  EXPECT_GT(grpc.latency.percentile_ms(50),
+            trad.latency.percentile_ms(50) + 0.2);
+}
+
+TEST(Microbench, TrafficAccountingIsSymmetricAndNonzero) {
+  auto result = run_microbench(quick(Flavor::kTrad), kWarm, kMeasure);
+  EXPECT_GT(result.client_traffic.bytes_sent, 0u);
+  // Requests and responses pair up client<->server; messages in flight at
+  // the window edges may be counted on one side only, so allow slack.
+  const auto near = [](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t delta = a > b ? a - b : b - a;
+    return delta <= 32;
+  };
+  EXPECT_TRUE(near(result.client_traffic.msgs_sent,
+                   result.server_traffic.msgs_recv))
+      << result.client_traffic.msgs_sent << " vs "
+      << result.server_traffic.msgs_recv;
+  EXPECT_TRUE(near(result.server_traffic.msgs_sent,
+                   result.client_traffic.msgs_recv))
+      << result.server_traffic.msgs_sent << " vs "
+      << result.client_traffic.msgs_recv;
+}
+
+TEST(Microbench, SpecUsesMoreBandwidthThanTradAtPartialAccuracy) {
+  auto spec_config = quick(Flavor::kSpec);
+  spec_config.correct_rate = 0.5;  // plenty of re-executions
+  auto spec = run_microbench(spec_config, kWarm, kMeasure);
+  auto trad = run_microbench(quick(Flavor::kTrad), kWarm, kMeasure);
+  ASSERT_GT(spec.requests, 10u);
+  const double spec_bytes_per_req =
+      static_cast<double>(spec.client_traffic.bytes_sent) / spec.requests;
+  const double trad_bytes_per_req =
+      static_cast<double>(trad.client_traffic.bytes_sent) / trad.requests;
+  EXPECT_GT(spec_bytes_per_req, trad_bytes_per_req);
+}
+
+}  // namespace
+}  // namespace srpc::wl

@@ -1,0 +1,116 @@
+// Optimizer speedup model (§4.2, Equations (1)-(5), Figure 7): closed-form
+// checks, optimality properties, and the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optmodel/model.h"
+
+namespace srpc::opt {
+namespace {
+
+TEST(OptModel, PredictionRateIsCdfShaped) {
+  EXPECT_DOUBLE_EQ(exp_prediction_rate(3.0, 0.0, 1.0), 0.0);
+  EXPECT_NEAR(exp_prediction_rate(3.0, 1.0, 1.0), 1.0 - std::exp(-3.0), 1e-12);
+  // Monotone in t.
+  double prev = 0;
+  for (double t = 0; t <= 1.0; t += 0.05) {
+    const double p = exp_prediction_rate(2.0, t, 1.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(OptModel, StageCostBoundaries) {
+  // h(0) = T (prediction never made => full re-execution... actually
+  // P(0)=0 so cost = T); h(T) = T (hand-off at completion buys nothing).
+  EXPECT_DOUBLE_EQ(stage_cost(3.0, 0.0, 1.0), 1.0);
+  EXPECT_NEAR(stage_cost(3.0, 1.0, 1.0), 1.0, 1e-12);
+  // Interior hand-off is strictly cheaper for lambda > 0.
+  EXPECT_LT(stage_cost(3.0, 0.4, 1.0), 1.0);
+}
+
+TEST(OptModel, OptimalHandoffSolvesEquation5) {
+  for (double lambda : {0.5, 1.0, 3.0, 6.0, 9.0}) {
+    const double t = optimal_handoff(lambda, 1.0);
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1.0);
+    EXPECT_NEAR(equation5_lhs(lambda, t, 1.0), 0.0, 1e-6) << lambda;
+  }
+}
+
+TEST(OptModel, OptimalHandoffShrinksWithLambda) {
+  // Faster convergence => earlier profitable hand-off.
+  double prev = 1.0;
+  for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double t = optimal_handoff(lambda, 1.0);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(OptModel, Figure7Anchors) {
+  // Values read off Figure 7: ~1.5x for 2 stages at lambda=9; ~2.1-2.2x for
+  // 5 stages at lambda=9; all curves near 1 at small lambda.
+  EXPECT_NEAR(max_speedup(2, 9.0), 1.5, 0.07);
+  EXPECT_NEAR(max_speedup(5, 9.0), 2.15, 0.12);
+  EXPECT_NEAR(max_speedup(2, 0.1), 1.0, 0.03);
+  EXPECT_NEAR(max_speedup(5, 0.1), 1.0, 0.06);
+}
+
+TEST(OptModel, SpeedupIncreasesWithStagesAndLambda) {
+  for (double lambda : {1.0, 3.0, 9.0}) {
+    double prev = 1.0;
+    for (int stages = 2; stages <= 5; ++stages) {
+      const double s = max_speedup(stages, lambda);
+      EXPECT_GT(s, prev) << "stages=" << stages << " lambda=" << lambda;
+      prev = s;
+    }
+  }
+  for (int stages = 2; stages <= 5; ++stages) {
+    double prev = 1.0;
+    for (double lambda : {0.5, 1.0, 2.0, 4.0, 9.0}) {
+      const double s = max_speedup(stages, lambda);
+      EXPECT_GT(s, prev * 0.999) << "stages=" << stages;
+      prev = s;
+    }
+  }
+}
+
+TEST(OptModel, SpeedupBoundedByStageStructure) {
+  // Even with perfect prediction, stage i still costs t_i > 0, so speedup
+  // is below n (and below n*T / (T + (n-1)*t*)).
+  for (int stages = 2; stages <= 5; ++stages) {
+    EXPECT_LT(max_speedup(stages, 9.0), stages);
+  }
+}
+
+TEST(OptModel, MaxBeatsArbitraryHandoffs) {
+  const double best = max_speedup(3, 4.0);
+  for (double t : {0.05, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_GE(best + 1e-9, speedup(3, 4.0, t));
+  }
+}
+
+TEST(OptModel, GeneralizedModelMatchesUniformCase) {
+  std::vector<Stage> stages(4, Stage{1.0, 3.0});
+  EXPECT_NEAR(max_speedup_general(stages), max_speedup(4, 3.0), 1e-9);
+}
+
+TEST(OptModel, GeneralizedModelHandlesHeterogeneousStages) {
+  // A slow, well-predicted stage followed by fast, poorly-predicted ones.
+  std::vector<Stage> stages = {{4.0, 8.0}, {1.0, 0.5}, {1.0, 0.5}};
+  const double s = max_speedup_general(stages);
+  EXPECT_GT(s, 1.0);
+  EXPECT_LT(s, 3.0);
+  // Degenerate single stage: no speculation possible.
+  EXPECT_DOUBLE_EQ(max_speedup_general({Stage{2.0, 5.0}}), 1.0);
+}
+
+TEST(OptModel, ScaleInvarianceInT) {
+  // Speedup depends on lambda (in 1/T units), not on absolute T.
+  EXPECT_NEAR(max_speedup(3, 5.0, 1.0), max_speedup(3, 5.0, 40.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace srpc::opt

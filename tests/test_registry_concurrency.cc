@@ -1,0 +1,60 @@
+// Registry under concurrent publish/lookup/bind, and stub behaviour as the
+// registry evolves (bind snapshots; later publishes don't move a stub).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "specrpc/registry.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+TEST(RegistryConcurrency, ParallelPublishAndLookup) {
+  Registry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 500; ++i) {
+        RpcSignature sig{"Svc" + std::to_string(t),
+                         "m" + std::to_string(i % 20), 1};
+        registry.publish(sig, "host" + std::to_string(t));
+        auto entry = registry.lookup(sig.qualified());
+        ASSERT_TRUE(entry.has_value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.size(), 4u * 20u);
+}
+
+TEST(RegistryConcurrency, RepublishMovesService) {
+  SimNetwork net;
+  SpecEngine old_server(net.add_node("old"), net.executor(), net.wheel());
+  SpecEngine new_server(net.add_node("new"), net.executor(), net.wheel());
+  SpecEngine client(net.add_node("client"), net.executor(), net.wheel());
+  const RpcSignature sig{"Svc", "who", 0};
+  register_signature(old_server, sig, Handler([](const ServerCallPtr& c) {
+    c->finish(Value("old"));
+  }));
+  register_signature(new_server, sig, Handler([](const ServerCallPtr& c) {
+    c->finish(Value("new"));
+  }));
+
+  Registry registry;
+  registry.publish(sig, "old");
+  SpecStub stub_before = registry.bind(client, "Svc", "who");
+  registry.publish(sig, "new");  // service moved
+  SpecStub stub_after = registry.bind(client, "Svc", "who");
+
+  // A stub is a snapshot of the registry at bind time.
+  EXPECT_EQ(stub_before.call_plain()->get(), Value("old"));
+  EXPECT_EQ(stub_after.call_plain()->get(), Value("new"));
+
+  client.begin_shutdown();
+  old_server.begin_shutdown();
+  new_server.begin_shutdown();
+}
+
+}  // namespace
+}  // namespace srpc::spec

@@ -1,0 +1,195 @@
+// TradRPC engine (and the GrpcSim flavour): async calls, futures,
+// continuations, handler errors, timeouts, server-to-server calls,
+// simulated service time, and the GrpcSim overhead/codec deltas.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "grpcsim/grpcsim.h"
+#include "rpc/node.h"
+#include "transport/sim_network.h"
+
+namespace srpc::rpc {
+namespace {
+
+class RpcNodeTest : public ::testing::Test {
+ protected:
+  RpcNodeTest() {
+    SimConfig config;
+    config.default_delay = std::chrono::milliseconds(1);
+    net_ = std::make_unique<SimNetwork>(config);
+    server_ = std::make_unique<Node>(net_->add_node("server"),
+                                     net_->executor(), net_->wheel());
+    client_ = std::make_unique<Node>(net_->add_node("client"),
+                                     net_->executor(), net_->wheel());
+    server_->register_method(
+        "plus", [](const CallContext&, ValueList args, Responder responder) {
+          responder.finish(Value(args.at(0).as_int() + args.at(1).as_int()));
+        });
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<Node> server_;
+  std::unique_ptr<Node> client_;
+};
+
+TEST_F(RpcNodeTest, SyncCall) {
+  EXPECT_EQ(client_->call_sync("server", "plus", {Value(2), Value(3)}),
+            Value(5));
+}
+
+TEST_F(RpcNodeTest, AsyncCallReturnsImmediately) {
+  const auto t0 = Clock::now();
+  auto future = client_->call("server", "plus", {Value(1), Value(1)});
+  EXPECT_LT(to_ms(Clock::now() - t0), 5.0);  // no blocking on issue
+  EXPECT_EQ(future->get(), Value(2));
+}
+
+TEST_F(RpcNodeTest, ContinuationRunsOnResolution) {
+  Value seen;
+  std::atomic<bool> ran{false};
+  auto future = client_->call("server", "plus", {Value(4), Value(6)});
+  future->then([&](const Outcome& outcome) {
+    seen = outcome.value;
+    ran.store(true);
+  });
+  future->get();
+  for (int i = 0; i < 100 && !ran.load(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(seen, Value(10));
+}
+
+TEST_F(RpcNodeTest, ContinuationOnAlreadyResolvedFutureRunsInline) {
+  auto future = client_->call("server", "plus", {Value(1), Value(2)});
+  future->get();
+  bool ran = false;
+  future->then([&](const Outcome&) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(RpcNodeTest, UnknownMethodFails) {
+  auto future = client_->call("server", "nope", {});
+  EXPECT_THROW(future->get(), RpcError);
+}
+
+TEST_F(RpcNodeTest, HandlerExceptionReportsError) {
+  server_->register_method(
+      "boom", [](const CallContext&, ValueList, Responder responder) {
+        throw std::runtime_error("bad");
+      });
+  auto future = client_->call("server", "boom", {});
+  EXPECT_THROW(future->get(), RpcError);  // dropped responder -> error reply
+}
+
+TEST_F(RpcNodeTest, ExplicitFailure) {
+  server_->register_method(
+      "fail", [](const CallContext&, ValueList, Responder responder) {
+        responder.fail("nope");
+      });
+  auto future = client_->call("server", "fail", {});
+  try {
+    future->get();
+    FAIL() << "expected RpcError";
+  } catch (const RpcError& e) {
+    EXPECT_STREQ(e.what(), "nope");
+  }
+}
+
+TEST_F(RpcNodeTest, FinishAfterSimulatesServiceTime) {
+  server_->register_method(
+      "slow", [](const CallContext& ctx, ValueList, Responder responder) {
+        ctx.finish_after(std::chrono::milliseconds(30), std::move(responder),
+                         Value("done"));
+      });
+  const auto t0 = Clock::now();
+  EXPECT_EQ(client_->call_sync("server", "slow", {}), Value("done"));
+  EXPECT_GE(to_ms(Clock::now() - t0), 30.0);
+}
+
+TEST_F(RpcNodeTest, ServerToServerCalls) {
+  // A handler that itself calls another node (RC coordinator pattern).
+  auto relay = std::make_unique<Node>(net_->add_node("relay"),
+                                      net_->executor(), net_->wheel());
+  relay->register_method(
+      "relay_plus",
+      [&](const CallContext&, ValueList args, Responder responder) {
+        auto shared = std::make_shared<Responder>(std::move(responder));
+        relay->call("server", "plus", std::move(args))
+            ->then([shared](const Outcome& outcome) {
+              if (outcome.ok) {
+                shared->finish(outcome.value);
+              } else {
+                shared->fail(outcome.error);
+              }
+            });
+      });
+  EXPECT_EQ(client_->call_sync("relay", "relay_plus", {Value(7), Value(8)}),
+            Value(15));
+}
+
+TEST_F(RpcNodeTest, CallTimeoutFiresWhenServerSilent) {
+  server_->register_method(
+      "blackhole", [](const CallContext&, ValueList, Responder responder) {
+        // Park the responder so no reply is ever sent (and no drop error).
+        static std::vector<Responder> parked;
+        parked.push_back(std::move(responder));
+      });
+  NodeConfig config;
+  config.call_timeout = std::chrono::milliseconds(100);
+  Node impatient(net_->add_node("impatient"), net_->executor(), net_->wheel(),
+                 config);
+  const auto t0 = Clock::now();
+  auto future = impatient.call("server", "blackhole", {});
+  EXPECT_THROW(future->get(), RpcError);
+  EXPECT_GE(to_ms(Clock::now() - t0), 95.0);
+}
+
+TEST_F(RpcNodeTest, ConcurrentCallsAllComplete) {
+  std::vector<Future::Ptr> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(client_->call("server", "plus", {Value(i), Value(1)}));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)]->get(), Value(i + 1));
+  }
+}
+
+TEST(GrpcSim, OverheadSlowsCallsDown) {
+  SimConfig sim_config;
+  sim_config.default_delay = std::chrono::microseconds(100);
+  SimNetwork net(sim_config);
+
+  Node trad_server(net.add_node("ts"), net.executor(), net.wheel());
+  Node trad_client(net.add_node("tc"), net.executor(), net.wheel());
+  grpcsim::GrpcSimConfig grpc_config;
+  grpc_config.per_message_overhead = std::chrono::milliseconds(2);
+  grpcsim::GrpcNode grpc_server(net.add_node("gs"), net.executor(),
+                                net.wheel(), grpc_config);
+  grpcsim::GrpcNode grpc_client(net.add_node("gc"), net.executor(),
+                                net.wheel(), grpc_config);
+  auto echo = [](const CallContext&, ValueList args, Responder responder) {
+    responder.finish(args.empty() ? Value() : args[0]);
+  };
+  trad_server.register_method("echo", echo);
+  grpc_server.register_method("echo", echo);
+
+  auto time_call = [](Node& node, const Address& dst) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < 5; ++i) node.call_sync(dst, "echo", {Value(i)});
+    return to_ms(Clock::now() - t0) / 5;
+  };
+  const double trad_ms = time_call(trad_client, "ts");
+  const double grpc_ms = time_call(grpc_client, "gs");
+  // 2 ms per message, 2 messages per RPC: ~4 ms extra.
+  EXPECT_GT(grpc_ms, trad_ms + 3.0);
+}
+
+TEST(GrpcSim, UsesCompactCodec) {
+  auto config = grpcsim::to_node_config(grpcsim::GrpcSimConfig{});
+  EXPECT_EQ(config.codec->name(), "tagged");
+  EXPECT_EQ(NodeConfig{}.codec->name(), "binary");
+}
+
+}  // namespace
+}  // namespace srpc::rpc

@@ -1,0 +1,187 @@
+// Value semantics and codec round-trips, including randomized
+// property-style sweeps over deep value trees and codec size comparisons
+// (the Figure 8c premise: tagged < binary on the wire).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serde/codec.h"
+#include "serde/io.h"
+
+namespace srpc {
+namespace {
+
+TEST(Value, TypeAccessorsAndErrors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_THROW(Value(42).as_string(), ValueTypeError);
+  EXPECT_THROW(Value("hi").as_int(), ValueTypeError);
+  EXPECT_THROW(Value().as_list(), ValueTypeError);
+}
+
+TEST(Value, DeepEqualityDecidesPredictions) {
+  // Prediction correctness is deep structural equality (§3.3).
+  Value a = vlist("key", 42, vlist(1.5, false));
+  Value b = vlist("key", 42, vlist(1.5, false));
+  Value c = vlist("key", 42, vlist(1.5, true));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ValueMap m1{{"x", Value(1)}, {"y", Value("z")}};
+  ValueMap m2{{"y", Value("z")}, {"x", Value(1)}};
+  EXPECT_EQ(Value(m1), Value(m2));  // map order canonical
+}
+
+TEST(Value, ToStringRendersAllTypes) {
+  Value v = vlist(Value(), true, 7, "s", Value(Bytes{1, 2, 3}));
+  EXPECT_EQ(v.to_string(), "[null, true, 7, \"s\", bytes[3]]");
+  ValueMap m{{"k", Value(1)}};
+  EXPECT_EQ(Value(m).to_string(), "{k: 1}");
+}
+
+TEST(IoPrimitives, VarintBoundaries) {
+  Bytes buf;
+  Writer w(buf);
+  const std::uint64_t cases[] = {0, 1, 127, 128, 16383, 16384,
+                                 ~0ULL, 1ULL << 63};
+  for (auto v : cases) w.varint(v);
+  Reader r(buf);
+  for (auto v : cases) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(IoPrimitives, ZigZagRoundTrip) {
+  Bytes buf;
+  Writer w(buf);
+  const std::int64_t cases[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (auto v : cases) w.svarint(v);
+  Reader r(buf);
+  for (auto v : cases) EXPECT_EQ(r.svarint(), v);
+}
+
+TEST(IoPrimitives, TruncatedInputThrows) {
+  Bytes buf;
+  Writer w(buf);
+  w.str32("hello");
+  buf.resize(buf.size() - 2);
+  Reader r(buf);
+  EXPECT_THROW(r.str32(), DecodeError);
+}
+
+class CodecTest : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(CodecTest, ScalarRoundTrips) {
+  const Codec& codec = *GetParam();
+  for (const Value& v :
+       {Value(), Value(true), Value(false), Value(0), Value(-1),
+        Value(INT64_MAX), Value(INT64_MIN), Value(3.14159), Value(-0.0),
+        Value(""), Value(std::string(1000, 'x')), Value(Bytes{}),
+        Value(Bytes{0, 255, 128})}) {
+    EXPECT_EQ(codec.decode(codec.encode(v)), v) << v.to_string();
+  }
+}
+
+TEST_P(CodecTest, NestedRoundTrips) {
+  const Codec& codec = *GetParam();
+  ValueMap inner{{"a", Value(1)}, {"b", vlist(2, 3)}};
+  Value v = vlist("txn", 42, Value(inner), vlist(vlist(vlist(0))));
+  EXPECT_EQ(codec.decode(codec.encode(v)), v);
+}
+
+TEST_P(CodecTest, RejectsTrailingGarbage) {
+  const Codec& codec = *GetParam();
+  Bytes encoded = codec.encode(Value(7));
+  encoded.push_back(0x00);
+  EXPECT_THROW(codec.decode(encoded), DecodeError);
+}
+
+TEST_P(CodecTest, RejectsTruncation) {
+  const Codec& codec = *GetParam();
+  Bytes encoded = codec.encode(vlist("hello", 12345));
+  for (std::size_t cut = 1; cut < encoded.size(); cut += 3) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_THROW(codec.decode(truncated), DecodeError) << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCodecs, CodecTest,
+                         ::testing::Values(&binary_codec(), &tagged_codec()),
+                         [](const auto& info) {
+                           return info.param->name();
+                         });
+
+// Random value generator for property sweeps.
+Value random_value(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform(depth > 0 ? 8 : 6));
+  switch (kind) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.flip(0.5));
+    case 2:
+      return Value(static_cast<std::int64_t>(rng.next()));
+    case 3:
+      return Value(rng.uniform01() * 1e9 - 5e8);
+    case 4: {
+      std::string s(rng.uniform(40), 'a');
+      for (auto& c : s) c = static_cast<char>('a' + rng.uniform(26));
+      return Value(std::move(s));
+    }
+    case 5: {
+      Bytes b(rng.uniform(40));
+      for (auto& x : b) x = static_cast<std::uint8_t>(rng.uniform(256));
+      return Value(std::move(b));
+    }
+    case 6: {
+      ValueList list;
+      const auto n = rng.uniform(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        list.push_back(random_value(rng, depth - 1));
+      return Value(std::move(list));
+    }
+    default: {
+      ValueMap map;
+      const auto n = rng.uniform(5);
+      for (std::uint64_t i = 0; i < n; ++i)
+        map.emplace("k" + std::to_string(i), random_value(rng, depth - 1));
+      return Value(std::move(map));
+    }
+  }
+}
+
+TEST_P(CodecTest, PropertyRandomRoundTrips) {
+  const Codec& codec = *GetParam();
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    const Value v = random_value(rng, 3);
+    EXPECT_EQ(codec.decode(codec.encode(v)), v) << "case " << i;
+  }
+}
+
+TEST(CodecComparison, TaggedIsNoLargerThanBinary) {
+  // The premise behind GrpcSim's bandwidth advantage (Figure 8c): the
+  // tagged codec never encodes common payloads larger than the binary one.
+  Rng rng(7);
+  std::uint64_t binary_total = 0;
+  std::uint64_t tagged_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Value v = random_value(rng, 3);
+    binary_total += binary_codec().encode(v).size();
+    tagged_total += tagged_codec().encode(v).size();
+  }
+  EXPECT_LT(tagged_total, binary_total);
+}
+
+TEST(CodecComparison, CrossCodecEquivalence) {
+  // Both codecs must represent the same value space.
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Value v = random_value(rng, 3);
+    EXPECT_EQ(binary_codec().decode(binary_codec().encode(v)),
+              tagged_codec().decode(tagged_codec().encode(v)));
+  }
+}
+
+}  // namespace
+}  // namespace srpc

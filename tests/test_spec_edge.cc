@@ -1,0 +1,355 @@
+// SpecRPC engine edge cases: quorum disagreements, timeouts, late/early
+// messages, concurrent predictions from client and server, error inside
+// callbacks, deep chains under load, and GC hygiene.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+constexpr int kDeepChainDepth = 12;
+
+CallbackFactory deep_chain_factory(SpecEngine* client, int level) {
+  return [client, level]() -> CallbackFn {
+    return [client, level](SpecContext& ctx,
+                           const Value& v) -> CallbackResult {
+      if (level > kDeepChainDepth) return v;  // 1-based next-call index
+      return ctx.call("s1", "inc", make_args(v.as_int()),
+                      {Value(v.as_int() + 1)},
+                      deep_chain_factory(client, level + 1));
+    };
+  };
+}
+
+class SpecEdgeTest : public ::testing::Test {
+ protected:
+  SpecEdgeTest() {
+    SimConfig config;
+    config.executor_threads = 8;
+    config.default_delay = std::chrono::milliseconds(1);
+    net_ = std::make_unique<SimNetwork>(config);
+    for (const char* name : {"client", "s1", "s2", "s3"}) {
+      engines_[name] = std::make_unique<SpecEngine>(
+          net_->add_node(name), net_->executor(), net_->wheel());
+    }
+  }
+
+  ~SpecEdgeTest() override {
+    for (auto& [_, engine] : engines_) engine->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  SpecEngine& engine(const std::string& name) { return *engines_.at(name); }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::map<std::string, std::unique_ptr<SpecEngine>> engines_;
+};
+
+TEST_F(SpecEdgeTest, QuorumDisagreementPredictionWrong) {
+  // Replicas return different versions; the first responder's stale value
+  // is a wrong prediction; the combiner's pick must win.
+  engine("s1").register_method("read", Handler([](const ServerCallPtr& c) {
+    c->finish(vlist("stale", 3));  // nearest, fastest, stale
+  }));
+  engine("s2").register_method("read", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(10), vlist("fresh", 9));
+  }));
+  net_->set_rtt("client", "s2", std::chrono::milliseconds(8));
+
+  auto combiner = [](const std::vector<Value>& responses) {
+    const Value* best = &responses.front();
+    for (const auto& r : responses) {
+      if (r.as_list().at(1).as_int() > best->as_list().at(1).as_int())
+        best = &r;
+    }
+    return *best;
+  };
+  std::atomic<int> runs{0};
+  auto factory = [&runs]() -> CallbackFn {
+    return [&runs](SpecContext&, const Value& v) -> CallbackResult {
+      runs.fetch_add(1);
+      return v.as_list().at(0);
+    };
+  };
+  auto future = engine("client").call_quorum({"s1", "s2"}, 2, "read",
+                                             make_args("k"), combiner,
+                                             factory);
+  EXPECT_EQ(future->get(), Value("fresh"));
+  EXPECT_EQ(runs.load(), 2);  // speculative run on stale + re-execution
+  const auto stats = engine("client").stats();
+  EXPECT_EQ(stats.predictions_incorrect, 1u);
+  EXPECT_EQ(stats.reexecutions, 1u);
+}
+
+TEST_F(SpecEdgeTest, QuorumOfThreeUsesFirstTwo) {
+  int version = 0;
+  for (const char* s : {"s1", "s2", "s3"}) {
+    version += 10;
+    engine(s).register_method(
+        "read", Handler([version](const ServerCallPtr& c) {
+          c->finish(vlist("v", version));
+        }));
+  }
+  net_->set_rtt("client", "s3", std::chrono::milliseconds(50));  // straggler
+  auto combiner = [](const std::vector<Value>& responses) -> Value {
+    EXPECT_EQ(responses.size(), 2u);  // quorum reached without straggler
+    const Value* best = &responses.front();
+    for (const auto& r : responses) {
+      if (r.as_list().at(1).as_int() > best->as_list().at(1).as_int())
+        best = &r;
+    }
+    return *best;
+  };
+  const auto t0 = Clock::now();
+  auto future = engine("client").call_quorum({"s1", "s2", "s3"}, 2, "read",
+                                             make_args("k"), combiner,
+                                             nullptr);
+  EXPECT_EQ(future->get().as_list().at(1).as_int(), 20);
+  EXPECT_LT(to_ms(Clock::now() - t0), 30.0);  // did not wait for s3
+}
+
+TEST_F(SpecEdgeTest, CallTimeoutFailsFutureAndAbandonsBranches) {
+  engine("s1").register_method("void", Handler([](const ServerCallPtr& c) {
+    // Never finishes.
+  }));
+  SimConfig unused;
+  SpecConfig config;
+  config.call_timeout = std::chrono::milliseconds(80);
+  auto impatient = std::make_unique<SpecEngine>(net_->add_node("impatient"),
+                                                net_->executor(),
+                                                net_->wheel(), config);
+  std::atomic<int> rollbacks{0};
+  auto factory = [&]() -> CallbackFn {
+    return [&](SpecContext& ctx, const Value& v) -> CallbackResult {
+      ctx.set_rollback([&] { rollbacks.fetch_add(1); });
+      return v;
+    };
+  };
+  auto future = impatient->call("s1", "void", make_args(1), {Value(5)},
+                                factory);
+  EXPECT_THROW(future->get(), rpc::RpcError);
+  for (int i = 0; i < 200 && rollbacks.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(rollbacks.load(), 1);  // timed-out predictions are abandoned
+  impatient->begin_shutdown();
+}
+
+TEST_F(SpecEdgeTest, ClientAndServerPredictionsCoexist) {
+  // Client predicts 5 (wrong); server specReturns 7 (correct): the server
+  // prediction's branch must deliver, the client's must be abandoned.
+  engine("s1").register_method("f", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(7));
+    c->finish_after(std::chrono::milliseconds(20), Value(7));
+  }));
+  std::atomic<int> runs{0};
+  auto factory = [&runs]() -> CallbackFn {
+    return [&runs](SpecContext&, const Value& v) -> CallbackResult {
+      runs.fetch_add(1);
+      return Value(v.as_int() * 100);
+    };
+  };
+  auto future =
+      engine("client").call("s1", "f", make_args(), {Value(5)}, factory);
+  EXPECT_EQ(future->get(), Value(700));
+  EXPECT_EQ(runs.load(), 2);  // both branches ran; one survived
+  const auto stats = engine("client").stats();
+  EXPECT_EQ(stats.predictions_correct, 1u);
+  EXPECT_EQ(stats.predictions_incorrect, 1u);
+  EXPECT_EQ(stats.reexecutions, 0u);
+}
+
+TEST_F(SpecEdgeTest, ServerSpecReturnAfterActualIsIgnored) {
+  engine("s1").register_method("f", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(1));
+    c->spec_return(Value(2));  // too late; must be dropped server-side
+  }));
+  std::atomic<int> runs{0};
+  auto factory = [&runs]() -> CallbackFn {
+    return [&runs](SpecContext&, const Value& v) -> CallbackResult {
+      runs.fetch_add(1);
+      return v;
+    };
+  };
+  auto future = engine("client").call("s1", "f", make_args(), {}, factory);
+  EXPECT_EQ(future->get(), Value(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST_F(SpecEdgeTest, CallbackExceptionFailsFutureWhenCorrect) {
+  engine("s1").register_method("f", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(1));
+  }));
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value&) -> CallbackResult {
+      throw std::runtime_error("user bug");
+      return Value();  // unreachable
+    };
+  };
+  auto future = engine("client").call("s1", "f", make_args(), {}, factory);
+  EXPECT_THROW(future->get(), rpc::RpcError);
+}
+
+TEST_F(SpecEdgeTest, SpeculativeFlagReflectsContext) {
+  engine("s1").register_method("slow", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(30), Value(1));
+  }));
+  std::atomic<int> spec_seen{0};
+  std::atomic<int> nonspec_seen{0};
+  auto factory = [&]() -> CallbackFn {
+    return [&](SpecContext& ctx, const Value&) -> CallbackResult {
+      (ctx.speculative() ? spec_seen : nonspec_seen).fetch_add(1);
+      return Value(0);
+    };
+  };
+  // Wrong prediction: the first run is speculative, the re-execution is not.
+  auto future = engine("client").call("s1", "slow", make_args(), {Value(99)},
+                                      factory);
+  future->get();
+  EXPECT_EQ(spec_seen.load(), 1);
+  EXPECT_EQ(nonspec_seen.load(), 1);
+  EXPECT_FALSE(engine("client").speculative());  // app thread: never
+}
+
+TEST_F(SpecEdgeTest, DeepChainUnderConcurrentLoad) {
+  engine("s1").register_method("inc", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args().at(0).as_int() + 1));
+  }));
+  constexpr int kDepth = kDeepChainDepth;
+  constexpr int kConcurrent = 16;
+  std::vector<SpecFuturePtr> futures;
+  SpecEngine* client = &engine("client");
+  for (int i = 0; i < kConcurrent; ++i) {
+    futures.push_back(client->call("s1", "inc", make_args(i * 100),
+                                   {Value(i * 100 + 1)},
+                                   deep_chain_factory(client, 2)));
+  }
+  for (int i = 0; i < kConcurrent; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)]->get().as_int(),
+              i * 100 + kDepth);
+  }
+  const auto stats = engine("client").stats();
+  EXPECT_EQ(stats.predictions_incorrect, 0u);
+  EXPECT_EQ(stats.predictions_correct,
+            static_cast<std::uint64_t>(kDepth * kConcurrent));
+}
+
+TEST_F(SpecEdgeTest, MixedValueTypePredictions) {
+  engine("s1").register_method("typed", Handler([](const ServerCallPtr& c) {
+    c->finish(vlist("composite", 1, true));
+  }));
+  std::atomic<int> runs{0};
+  auto factory = [&runs]() -> CallbackFn {
+    return [&runs](SpecContext&, const Value& v) -> CallbackResult {
+      runs.fetch_add(1);
+      return v;
+    };
+  };
+  // Predictions of assorted wrong types plus the right structured value.
+  auto future = engine("client").call(
+      "s1", "typed", make_args(),
+      {Value(1), Value("composite"), vlist("composite", 1, true)}, factory);
+  EXPECT_EQ(future->get(), vlist("composite", 1, true));
+  EXPECT_EQ(engine("client").stats().predictions_correct, 1u);
+  EXPECT_EQ(engine("client").stats().predictions_incorrect, 2u);
+}
+
+TEST_F(SpecEdgeTest, BookkeepingDrainsAfterQuiesce) {
+  // GC hygiene: outgoing/incoming records and wire routes must not
+  // accumulate across workloads (mispredictions included).
+  engine("s1").register_method("inc", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args().at(0).as_int() + 1));
+  }));
+  for (int i = 0; i < 100; ++i) {
+    auto factory = []() -> CallbackFn {
+      return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+    };
+    engine("client")
+        .call("s1", "inc", make_args(i),
+              {Value(i % 2 == 0 ? i + 1 : i - 1)},  // half mispredict
+              factory)
+        ->get();
+  }
+  // Allow deferred actions / state messages to drain.
+  for (int tries = 0; tries < 200; ++tries) {
+    const auto client_sizes = engine("client").debug_sizes();
+    const auto server_sizes = engine("s1").debug_sizes();
+    if (client_sizes.outgoing == 0 && client_sizes.wire_routes == 0 &&
+        server_sizes.incoming == 0 && server_sizes.early_state == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto client_sizes = engine("client").debug_sizes();
+  const auto server_sizes = engine("s1").debug_sizes();
+  EXPECT_EQ(client_sizes.outgoing, 0u);
+  EXPECT_EQ(client_sizes.wire_routes, 0u);
+  EXPECT_EQ(server_sizes.incoming, 0u);
+  EXPECT_EQ(server_sizes.early_state, 0u);
+}
+
+TEST_F(SpecEdgeTest, ServerBranchesFinishWithDifferentValues) {
+  // A handler speculates on its sub-call with TWO client-side predictions;
+  // each branch finishes the enclosing RPC with a different value. The
+  // caller receives both as predicted responses but exactly one actual —
+  // the one whose branch value-resolved.
+  engine("s2").register_method("sub", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(25), Value(2));
+  }));
+  engine("s1").register_method("outer", Handler([](const ServerCallPtr& c) {
+    auto factory = [c]() -> CallbackFn {
+      return [c](SpecContext&, const Value& sub) -> CallbackResult {
+        const Value result("outer:" + std::to_string(sub.as_int()));
+        c->finish(result);  // predicted until `sub` resolves
+        return result;
+      };
+    };
+    // Predictions 1 and 2: branch "outer:1" must die, "outer:2" must win.
+    c->call("s2", "sub", make_args(), {Value(1), Value(2)}, factory);
+  }));
+  std::atomic<int> client_runs{0};
+  auto client_factory = [&client_runs]() -> CallbackFn {
+    return [&client_runs](SpecContext&, const Value& v) -> CallbackResult {
+      client_runs.fetch_add(1);
+      return v;
+    };
+  };
+  auto future = engine("client").call("s1", "outer", make_args(), {},
+                                      client_factory);
+  EXPECT_EQ(future->get(), Value("outer:2"));
+  // The client saw up to two predicted values (dedup permitting) and ran a
+  // callback per distinct one, but only the value-resolved branch's result
+  // was delivered.
+  EXPECT_GE(client_runs.load(), 1);
+  const auto server_stats = engine("s1").stats();
+  EXPECT_GE(server_stats.branches_abandoned, 1u);  // the "outer:1" branch
+}
+
+TEST_F(SpecEdgeTest, ManySequentialCallsDoNotLeakState) {
+  engine("s1").register_method("inc", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args().at(0).as_int() + 1));
+  }));
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t x = static_cast<std::int64_t>(rng.uniform(1000));
+    const bool right = rng.flip(0.5);
+    auto factory = []() -> CallbackFn {
+      return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+    };
+    auto future = engine("client").call(
+        "s1", "inc", make_args(x), {Value(right ? x + 1 : x - 1)}, factory);
+    EXPECT_EQ(future->get().as_int(), x + 1);
+  }
+  // All 300 calls resolved; prediction stats add up exactly.
+  const auto stats = engine("client").stats();
+  EXPECT_EQ(stats.predictions_correct + stats.predictions_incorrect, 300u);
+  EXPECT_EQ(stats.calls_issued, 300u);
+}
+
+}  // namespace
+}  // namespace srpc::spec

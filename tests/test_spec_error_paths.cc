@@ -1,0 +1,182 @@
+// Error propagation through speculative chains — the less-travelled paths:
+// a handler failing from within a speculative callback (the error must wait
+// for value resolution, §3.4's actual-response discipline applies to errors
+// too), fail() from abandoned branches, and chains that mix predictions
+// with failures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+class SpecErrorTest : public ::testing::Test {
+ protected:
+  SpecErrorTest() {
+    SimConfig config;
+    config.executor_threads = 6;
+    config.default_delay = std::chrono::milliseconds(1);
+    net_ = std::make_unique<SimNetwork>(config);
+    client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                           net_->executor(), net_->wheel());
+    front_ = std::make_unique<SpecEngine>(net_->add_node("front"),
+                                          net_->executor(), net_->wheel());
+    back_ = std::make_unique<SpecEngine>(net_->add_node("back"),
+                                         net_->executor(), net_->wheel());
+  }
+
+  ~SpecErrorTest() override {
+    client_->begin_shutdown();
+    front_->begin_shutdown();
+    back_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SpecEngine> client_;
+  std::unique_ptr<SpecEngine> front_;
+  std::unique_ptr<SpecEngine> back_;
+};
+
+TEST_F(SpecErrorTest, FailFromCorrectlySpeculativeBranchReachesCaller) {
+  // front's handler consumes back's result speculatively and *fails* based
+  // on it. The prediction is correct, so the failure is genuine and must
+  // reach the client as an actual error — but only after the value chain
+  // resolves (errors are never sent speculatively).
+  back_->register_method("check", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(false));  // correct prediction: not allowed
+    c->finish_after(std::chrono::milliseconds(20), Value(false));
+  }));
+  front_->register_method("guarded", Handler([](const ServerCallPtr& c) {
+    auto factory = [c]() -> CallbackFn {
+      return [c](SpecContext&, const Value& allowed) -> CallbackResult {
+        if (!allowed.as_bool()) {
+          c->fail("permission denied");
+          return Value();
+        }
+        c->finish(Value("ok"));
+        return Value("ok");
+      };
+    };
+    c->call("back", "check", make_args("user"), {}, factory);
+  }));
+  auto future = client_->call("front", "guarded", make_args());
+  try {
+    future->get();
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_STREQ(e.what(), "permission denied");
+  }
+}
+
+TEST_F(SpecErrorTest, FailFromMispredictedBranchIsDiscarded) {
+  // The speculative branch fails, but its prediction was wrong: the failure
+  // belongs to an abandoned world and must NOT reach the client; the
+  // re-executed branch succeeds.
+  back_->register_method("check", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(false));  // wrong prediction
+    c->finish_after(std::chrono::milliseconds(20), Value(true));
+  }));
+  front_->register_method("guarded", Handler([](const ServerCallPtr& c) {
+    auto factory = [c]() -> CallbackFn {
+      return [c](SpecContext&, const Value& allowed) -> CallbackResult {
+        if (!allowed.as_bool()) {
+          c->fail("permission denied");  // speculative-world failure
+          return Value();
+        }
+        c->finish(Value("ok"));
+        return Value("ok");
+      };
+    };
+    c->call("back", "check", make_args("user"), {}, factory);
+  }));
+  auto future = client_->call("front", "guarded", make_args());
+  EXPECT_EQ(future->get(), Value("ok"));
+}
+
+TEST_F(SpecErrorTest, NestedCallFailureFailsTheWholeChain) {
+  // callback issues a nested call to a method that fails: the chain future
+  // must carry the nested error.
+  back_->register_method("boom", Handler([](const ServerCallPtr& c) {
+    c->fail("backend down");
+  }));
+  front_->register_method("ok", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(1));
+  }));
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext& ctx, const Value&) -> CallbackResult {
+      return ctx.call("back", "boom", make_args());
+    };
+  };
+  auto future = client_->call("front", "ok", make_args(), {Value(1)},
+                              factory);
+  EXPECT_THROW(future->get(), rpc::RpcError);
+}
+
+TEST_F(SpecErrorTest, PredictionsOnFailingCallAreAbandoned) {
+  // Client predicts a value, but the RPC fails: every prediction branch is
+  // abandoned (rollbacks run) and the error is delivered.
+  front_->register_method("boom", Handler([](const ServerCallPtr& c) {
+    c->fail("nope");
+  }));
+  std::atomic<int> rollbacks{0};
+  auto factory = [&]() -> CallbackFn {
+    return [&](SpecContext& ctx, const Value& v) -> CallbackResult {
+      ctx.set_rollback([&] { rollbacks.fetch_add(1); });
+      return v;
+    };
+  };
+  auto future = client_->call("front", "boom", make_args(), {Value(42)},
+                              factory);
+  EXPECT_THROW(future->get(), rpc::RpcError);
+  for (int i = 0; i < 200 && rollbacks.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(rollbacks.load(), 1);
+  EXPECT_EQ(client_->stats().predictions_incorrect, 1u);
+}
+
+TEST_F(SpecErrorTest, HandlerThrowBecomesErrorResponse) {
+  front_->register_method("throws", Handler([](const ServerCallPtr& c) {
+    throw std::runtime_error("handler exploded");
+  }));
+  auto future = client_->call("front", "throws", make_args());
+  try {
+    future->get();
+    FAIL() << "expected RpcError";
+  } catch (const rpc::RpcError& e) {
+    EXPECT_STREQ(e.what(), "handler exploded");
+  }
+}
+
+TEST_F(SpecErrorTest, ErrorsNeverDeliverSpeculatively) {
+  // Even while the caller's own chain is speculative, a failing nested call
+  // must not resolve the top-level future until the branch is confirmed.
+  back_->register_method("slowboom", Handler([](const ServerCallPtr& c) {
+    auto self = c;
+    c->engine().wheel().schedule_after(std::chrono::milliseconds(5),
+                                       [self] { self->fail("late boom"); });
+  }));
+  front_->register_method("slow_id", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(40), c->args().at(0));
+  }));
+  auto inner = []() -> CallbackFn {
+    return [](SpecContext& ctx, const Value&) -> CallbackResult {
+      return ctx.call("back", "slowboom", make_args());
+    };
+  };
+  // Correct prediction: the branch is confirmed when slow_id completes and
+  // the nested failure is genuinely the chain's outcome.
+  auto future = client_->call("front", "slow_id", make_args(7), {Value(7)},
+                              inner);
+  const auto t0 = Clock::now();
+  EXPECT_THROW(future->get(), rpc::RpcError);
+  // The failure was known after ~8 ms, but delivery had to wait for the
+  // caller branch to be validated (~40 ms).
+  EXPECT_GE(to_ms(Clock::now() - t0), 35.0);
+}
+
+}  // namespace
+}  // namespace srpc::spec

@@ -1,0 +1,104 @@
+// SpecPipeline (§4.2 application library): correctness at every hand-off
+// point, and agreement between the empirical behaviour and the §4.2
+// analytical model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optmodel/model.h"
+#include "optmodel/spec_pipeline.h"
+
+namespace srpc::opt {
+namespace {
+
+TEST(SpecPipeline, AlwaysComputesTheExactSolution) {
+  // Whatever the hand-off (and hence hit rate), results must be exact.
+  for (double handoff : {0.05, 0.3, 0.9}) {
+    PipelineConfig config;
+    config.stages = 3;
+    config.stage_time = std::chrono::milliseconds(15);
+    config.handoff_fraction = handoff;
+    config.seed = 11;
+    SpecPipeline pipeline(config);
+    for (int i = 0; i < 5; ++i) {
+      const auto result = pipeline.run_once(i);
+      EXPECT_EQ(result.solution.as_int(), pipeline.expected_solution(i))
+          << "handoff=" << handoff << " input=" << i;
+    }
+  }
+}
+
+TEST(SpecPipeline, HitRateTracksExponentialModel) {
+  PipelineConfig config;
+  config.stages = 2;
+  config.stage_time = std::chrono::milliseconds(10);
+  config.lambda_per_T = 3.0;
+  config.handoff_fraction = 0.5;
+  config.seed = 23;
+  SpecPipeline pipeline(config);
+  const auto result = pipeline.run(120);
+  const double expected = exp_prediction_rate(3.0, 0.5, 1.0);  // ~0.78
+  EXPECT_NEAR(result.hit_rate(), expected, 0.12);
+}
+
+TEST(SpecPipeline, LatencyBetweenIdealAndSequential) {
+  PipelineConfig config;
+  config.stages = 4;
+  config.stage_time = std::chrono::milliseconds(25);
+  config.lambda_per_T = 8.0;   // converges fast: predictions mostly right
+  config.handoff_fraction = 0.4;
+  config.seed = 5;
+  SpecPipeline pipeline(config);
+  const auto result = pipeline.run(20);
+  const double seq_ms = 4 * 25.0;
+  const double ideal_ms = 25.0 + 3 * 25.0 * 0.4;  // T + (n-1) * t
+  const double measured = to_ms(result.latency);
+  EXPECT_GT(measured, ideal_ms * 0.9);
+  EXPECT_LT(measured, seq_ms * 0.95);  // clearly better than sequential
+}
+
+TEST(SpecPipeline, EarlierHandoffFasterButLessAccurate) {
+  auto run_with_handoff = [](double handoff) {
+    PipelineConfig config;
+    config.stages = 3;
+    config.stage_time = std::chrono::milliseconds(20);
+    config.lambda_per_T = 2.0;
+    config.handoff_fraction = handoff;
+    config.seed = 7;
+    SpecPipeline pipeline(config);
+    return pipeline.run(60);
+  };
+  const auto early = run_with_handoff(0.15);
+  const auto late = run_with_handoff(0.85);
+  // Later hand-off: higher hit rate (more convergence time)...
+  EXPECT_GT(late.hit_rate(), early.hit_rate());
+  // ...while the early hand-off pays re-execution but gains overlap; at
+  // lambda=2 the model's optimum is ~0.4T, so both ends trade differently.
+  // Neither may regress much past sequential (model cost <= n*T; allow
+  // ~15% for per-hop scheduling overhead on this single-core host).
+  const double seq_ms = 3 * 20.0;
+  EXPECT_LT(to_ms(early.latency), seq_ms * 1.15);
+  EXPECT_LT(to_ms(late.latency), seq_ms * 1.15);
+}
+
+TEST(SpecPipeline, SpeedupOrderingFollowsFigure7InLambda) {
+  // Higher lambda (faster convergence) => more measured speedup at the
+  // model-optimal hand-off, mirroring Figure 7's monotonicity.
+  auto measure = [](double lambda) {
+    PipelineConfig config;
+    config.stages = 3;
+    config.stage_time = std::chrono::milliseconds(20);
+    config.lambda_per_T = lambda;
+    config.handoff_fraction = optimal_handoff(lambda, 1.0);
+    config.seed = 13;
+    SpecPipeline pipeline(config);
+    const auto result = pipeline.run(60);
+    return 3 * 20.0 / to_ms(result.latency);
+  };
+  const double slow = measure(0.75);
+  const double fast = measure(6.0);
+  EXPECT_GT(fast, slow);
+}
+
+}  // namespace
+}  // namespace srpc::opt

@@ -1,0 +1,242 @@
+// Protocol-level tests: the paper's exact Figure 6 scenario (every
+// prediction wrong, responses out of order across levels), and wire
+// robustness — state-change messages racing ahead of requests, malformed
+// frames, unknown ids.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "serde/io.h"
+#include "specrpc/engine.h"
+#include "specrpc/wire.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+class SpecProtocolTest : public ::testing::Test {
+ protected:
+  SpecProtocolTest() {
+    SimConfig config;
+    config.executor_threads = 6;
+    config.default_delay = std::chrono::milliseconds(1);
+    net_ = std::make_unique<SimNetwork>(config);
+    client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                           net_->executor(), net_->wheel());
+    server1_ = std::make_unique<SpecEngine>(net_->add_node("server1"),
+                                            net_->executor(), net_->wheel());
+    server2_ = std::make_unique<SpecEngine>(net_->add_node("server2"),
+                                            net_->executor(), net_->wheel());
+  }
+
+  ~SpecProtocolTest() override {
+    client_->begin_shutdown();
+    server1_->begin_shutdown();
+    server2_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SpecEngine> client_;
+  std::unique_ptr<SpecEngine> server1_;
+  std::unique_ptr<SpecEngine> server2_;
+};
+
+TEST_F(SpecProtocolTest, Figure6ExactScenario) {
+  // rpc1 is slow and mispredicts; callback1 issues rpc2, which is fast and
+  // also mispredicts, so rpc2 finishes (with its actual result) before
+  // rpc1 does — the paper's "bad scenario". Three abandonments, yet the
+  // client sees exactly the sequential-equivalent value.
+  server1_->register_method("rpc1", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(-1));  // wrong prediction for rpc1
+    c->finish_after(std::chrono::milliseconds(60),
+                    Value(c->args().at(0).as_int() + 10));
+  }));
+  server2_->register_method("rpc2", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(-2));  // wrong prediction for rpc2
+    c->finish_after(std::chrono::milliseconds(15),
+                    Value(c->args().at(0).as_int() * 3));
+  }));
+
+  std::atomic<int> local_op_runs{0};
+  auto callback2 = [&local_op_runs]() -> CallbackFn {
+    return [&local_op_runs](SpecContext&, const Value& v) -> CallbackResult {
+      local_op_runs.fetch_add(1);
+      return Value(v.as_int() + 1000);  // the final local operation
+    };
+  };
+  auto callback1 = [callback2]() -> CallbackFn {
+    return [callback2](SpecContext& ctx, const Value& v) -> CallbackResult {
+      return ctx.call("server2", "rpc2", make_args(v.as_int()), {},
+                      callback2);
+    };
+  };
+
+  auto future = client_->call("server1", "rpc1", make_args(5), {}, callback1);
+  // Sequential equivalent: ((5 + 10) * 3) + 1000.
+  EXPECT_EQ(future->get(), Value(1045));
+
+  const auto stats = client_->stats();
+  // callback'1 (on -1), its rpc'2 subtree, and callback'2 / callback''2 as
+  // in Figure 6 — at least three abandoned nodes client-side.
+  EXPECT_GE(stats.branches_abandoned, 3u);
+  // Re-executions: callback1 re-ran on rpc1's actual; callback2 re-ran on
+  // rpc2's actual at least once.
+  EXPECT_GE(stats.reexecutions, 2u);
+  // The local op ran speculatively (possibly several branches) plus the
+  // final actual execution.
+  EXPECT_GE(local_op_runs.load(), 2);
+  // State-change messages flowed for the abandoned remote rpc2 instance.
+  EXPECT_GE(stats.state_msgs_sent, 1u);
+}
+
+TEST_F(SpecProtocolTest, EarlyStateChangeBeforeRequestIsHonoured) {
+  // Craft wire messages by hand: a state-change(incorrect) for a call id
+  // that arrives *before* the request itself (possible with TCP reconnects;
+  // the engine stashes it in early_state_). The handler must never run.
+  std::atomic<int> handler_runs{0};
+  server1_->register_method("probe", Handler([&](const ServerCallPtr& c) {
+    handler_runs.fetch_add(1);
+    c->finish(Value(1));
+  }));
+
+  Transport& raw = net_->add_node("raw-client");
+  raw.set_receiver([](const Address&, Bytes) {});
+  const CallId id = 0xABCDEF01;
+
+  StateChangeMsg cancel;
+  cancel.call_id = id;
+  cancel.correct = false;
+  raw.send("server1", encode(cancel, binary_codec()));
+
+  RequestMsg request;
+  request.call_id = id;
+  request.caller_speculative = true;
+  request.method = "probe";
+  request.args = make_args(1);
+  raw.send("server1", encode(request, binary_codec()));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(handler_runs.load(), 0);  // dead on arrival
+}
+
+TEST_F(SpecProtocolTest, EarlyCorrectStateChangeAllowsExecution) {
+  std::atomic<int> handler_runs{0};
+  server1_->register_method("probe", Handler([&](const ServerCallPtr& c) {
+    handler_runs.fetch_add(1);
+    c->finish(Value(1));
+  }));
+  Transport& raw = net_->add_node("raw-client2");
+  std::atomic<int> actual_responses{0};
+  raw.set_receiver([&](const Address&, Bytes frame) {
+    if (peek_type(frame) == MsgType::kActualResponse) {
+      actual_responses.fetch_add(1);
+    }
+  });
+  const CallId id = 0xABCDEF02;
+  StateChangeMsg confirm;
+  confirm.call_id = id;
+  confirm.correct = true;
+  raw.send("server1", encode(confirm, binary_codec()));
+  RequestMsg request;
+  request.call_id = id;
+  request.caller_speculative = true;  // resolved by the early state change
+  request.method = "probe";
+  request.args = make_args(1);
+  raw.send("server1", encode(request, binary_codec()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(handler_runs.load(), 1);
+  EXPECT_EQ(actual_responses.load(), 1);
+}
+
+TEST_F(SpecProtocolTest, MalformedFramesAreIgnored) {
+  server1_->register_method("plus", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args().at(0).as_int() + c->args().at(1).as_int()));
+  }));
+  Transport& raw = net_->add_node("fuzzer");
+  raw.set_receiver([](const Address&, Bytes) {});
+  // Garbage, truncated, and unknown-type frames.
+  raw.send("server1", Bytes{});
+  raw.send("server1", Bytes{0xFF, 0x01, 0x02});
+  raw.send("server1", Bytes{static_cast<std::uint8_t>(MsgType::kRequest)});
+  Bytes truncated = encode(RequestMsg{42, false, "plus", make_args(1, 2)},
+                           binary_codec());
+  truncated.resize(truncated.size() / 2);
+  raw.send("server1", truncated);
+  // The engine must survive and keep serving.
+  auto future = client_->call("server1", "plus", make_args(20, 22));
+  EXPECT_EQ(future->get(), Value(42));
+}
+
+TEST_F(SpecProtocolTest, ResponsesForUnknownCallsAreDropped) {
+  Transport& raw = net_->add_node("stray");
+  raw.set_receiver([](const Address&, Bytes) {});
+  ActualResponseMsg stray;
+  stray.call_id = 0xDEAD;
+  stray.ok = true;
+  stray.value = Value(1);
+  raw.send("client", encode(stray, binary_codec()));
+  PredictedResponseMsg stray_pred;
+  stray_pred.call_id = 0xBEEF;
+  stray_pred.value = Value(2);
+  raw.send("client", encode(stray_pred, binary_codec()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Engine is intact.
+  server1_->register_method("ok", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(true));
+  }));
+  EXPECT_EQ(client_->call("server1", "ok", make_args())->get(), Value(true));
+}
+
+TEST_F(SpecProtocolTest, DuplicateRequestIdIsRejectedNotCorrupted) {
+  std::atomic<int> handler_runs{0};
+  server1_->register_method("probe", Handler([&](const ServerCallPtr& c) {
+    handler_runs.fetch_add(1);
+    c->finish(Value(1));
+  }));
+  Transport& raw = net_->add_node("dup");
+  std::atomic<int> responses{0};
+  raw.set_receiver([&](const Address&, Bytes) { responses.fetch_add(1); });
+  RequestMsg request;
+  request.call_id = 0x77;
+  request.caller_speculative = true;  // stays resident until state change
+  request.method = "probe";
+  request.args = make_args(1);
+  raw.send("server1", encode(request, binary_codec()));
+  raw.send("server1", encode(request, binary_codec()));  // duplicate id
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(handler_runs.load(), 1);  // second request dropped
+}
+
+TEST_F(SpecProtocolTest, PartitionDuringSpeculationFailsCleanly) {
+  // The network dies between the request and the actual response: the
+  // speculative branch must be abandoned by the timeout and the future must
+  // fail — never hang, never deliver the speculative value.
+  SpecConfig config;
+  config.call_timeout = std::chrono::milliseconds(120);
+  auto impatient = std::make_unique<SpecEngine>(net_->add_node("cutoff"),
+                                                net_->executor(),
+                                                net_->wheel(), config);
+  server1_->register_method("slow", Handler([](const ServerCallPtr& c) {
+    c->spec_return(Value(42));  // prediction gets out...
+    c->finish_after(std::chrono::milliseconds(200), Value(42));
+  }));
+  std::atomic<int> speculative_runs{0};
+  auto factory = [&]() -> CallbackFn {
+    return [&](SpecContext&, const Value& v) -> CallbackResult {
+      speculative_runs.fetch_add(1);
+      return v;
+    };
+  };
+  auto future = impatient->call("server1", "slow", make_args(), {}, factory);
+  // Let the prediction arrive, then cut the link before the actual.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  net_->partition("cutoff", "server1", true);
+  EXPECT_THROW(future->get(), rpc::RpcError);
+  EXPECT_GE(speculative_runs.load(), 1);  // speculation had started
+  EXPECT_GE(impatient->stats().branches_abandoned, 1u);
+  impatient->begin_shutdown();
+}
+
+}  // namespace
+}  // namespace srpc::spec

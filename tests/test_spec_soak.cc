@@ -1,0 +1,191 @@
+// Randomized soak: a mixed speculative workload (chains of varying depth,
+// quorum calls, server-side predictions, random accuracies, concurrent
+// clients) run against the state-machine auditor. Every result must equal
+// the sequential-equivalent value and every transition must be legal —
+// the strongest end-to-end statement of the paper's correctness claim.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "common/rng.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+/// Per-round chain state, shared by value into callbacks.
+struct SoakChain {
+  std::vector<int> hops;
+  double accuracy = 0;
+  std::function<bool(double)> flip;
+};
+
+CallbackFactory soak_factory(std::shared_ptr<const SoakChain> chain,
+                             std::size_t level) {
+  return [chain, level]() -> CallbackFn {
+    return [chain, level](SpecContext& ctx,
+                          const Value& v) -> CallbackResult {
+      if (level >= chain->hops.size()) return v;
+      const int hop = chain->hops[level];
+      const std::int64_t correct = 3 * v.as_int() + hop;
+      ValueList predictions;
+      if (chain->flip(0.8)) {  // sometimes rely on server prediction
+        predictions.emplace_back(chain->flip(chain->accuracy) ? correct
+                                                              : correct + 7);
+      }
+      return ctx.call("s" + std::to_string(hop), "f", make_args(v.as_int()),
+                      std::move(predictions),
+                      soak_factory(chain, level + 1));
+    };
+  };
+}
+
+class Auditor {
+ public:
+  SpecEngine::TransitionObserver observer() {
+    return [this](SpecNode::Kind kind, std::uint64_t id, SpecState from,
+                  SpecState to) {
+      std::lock_guard<std::mutex> lock(mu_);
+      bool legal = !is_terminal(from) && kind != SpecNode::Kind::kRoot;
+      if (kind == SpecNode::Kind::kCall || kind == SpecNode::Kind::kMirror) {
+        legal = legal && from == SpecState::kCallerSpeculative &&
+                is_terminal(to);
+      } else if (kind == SpecNode::Kind::kCallback) {
+        legal = legal && (from == SpecState::kCalleeSpeculative
+                              ? to != SpecState::kCalleeSpeculative
+                              : (from == SpecState::kCallerSpeculative &&
+                                 is_terminal(to)));
+      }
+      if (is_terminal(to) && !terminal_.insert(id).second) legal = false;
+      if (!legal) violations_++;
+    };
+  }
+  int violations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::uint64_t> terminal_;
+  int violations_ = 0;
+};
+
+TEST(SpecSoak, RandomizedMixedWorkloadStaysCorrect) {
+  SimConfig sim_config;
+  sim_config.executor_threads = 8;
+  sim_config.default_delay = std::chrono::microseconds(300);
+  sim_config.default_jitter = std::chrono::microseconds(200);
+  SimNetwork net(sim_config);
+  Executor work(24, "soak-work");
+
+  constexpr int kServers = 3;
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<SpecEngine>> servers;
+  std::vector<std::unique_ptr<SpecEngine>> clients;
+  std::vector<std::unique_ptr<Auditor>> auditors;
+
+  for (int s = 0; s < kServers; ++s) {
+    auto engine = std::make_unique<SpecEngine>(
+        net.add_node("s" + std::to_string(s)), work, net.wheel());
+    auditors.push_back(std::make_unique<Auditor>());
+    engine->set_transition_observer(auditors.back()->observer());
+    // f(x) = 3x + s, slow-ish, with a server-side prediction that is right
+    // half the time (hash-based, deterministic).
+    engine->register_method(
+        "f", Handler([s](const ServerCallPtr& c) {
+          const std::int64_t x = c->args().at(0).as_int();
+          const std::int64_t result = 3 * x + s;
+          const bool predict_right = ((x * 2654435761u) >> 3) % 2 == 0;
+          c->spec_return(Value(predict_right ? result : result - 1));
+          c->finish_after(std::chrono::milliseconds(2), Value(result));
+        }));
+    servers.push_back(std::move(engine));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    auto engine = std::make_unique<SpecEngine>(
+        net.add_node("c" + std::to_string(c)), work, net.wheel());
+    auditors.push_back(std::make_unique<Auditor>());
+    engine->set_transition_observer(auditors.back()->observer());
+    clients.push_back(std::move(engine));
+  }
+
+  auto expected_chain = [](std::int64_t x, const std::vector<int>& hops) {
+    for (int s : hops) x = 3 * x + s;
+    return x;
+  };
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<std::uint64_t>(c));
+      std::mutex rng_mu;  // callbacks draw from worker threads
+      auto flip = [&](double p) {
+        std::lock_guard<std::mutex> lock(rng_mu);
+        return rng.flip(p);
+      };
+      SpecEngine& engine = *clients[static_cast<std::size_t>(c)];
+      for (int round = 0; round < 40; ++round) {
+        const int depth = 1 + static_cast<int>(rng.uniform(4));
+        // Per-round state is shared by value into the callbacks: abandoned
+        // speculative branches can briefly outlive the round that spawned
+        // them, so they must not reference round-local stack storage.
+        auto chain = std::make_shared<SoakChain>();
+        for (int i = 0; i < depth; ++i)
+          chain->hops.push_back(static_cast<int>(rng.uniform(kServers)));
+        const std::int64_t x0 = static_cast<std::int64_t>(rng.uniform(50));
+        chain->accuracy = rng.uniform01();
+        chain->flip = flip;  // captures thread-lifetime rng + lock
+        const std::vector<int> hops = chain->hops;  // thread-local copy
+
+        const int hop0 = hops[0];
+        const std::int64_t correct0 = 3 * x0 + hop0;
+        ValueList first_pred;
+        if (flip(0.8)) {
+          first_pred.emplace_back(flip(chain->accuracy) ? correct0
+                                                        : correct0 + 7);
+        }
+        auto future = engine.call("s" + std::to_string(hop0), "f",
+                                  make_args(x0), std::move(first_pred),
+                                  hops.size() > 1 ? soak_factory(chain, 1)
+                                                  : nullptr);
+        const Value result = future->get();
+        const std::int64_t expected =
+            hops.size() > 1 ? expected_chain(x0, hops) : correct0;
+        if (result.as_int() != expected) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& auditor : auditors) {
+    EXPECT_EQ(auditor->violations(), 0);
+  }
+
+  // Aggregate sanity: a busy mixture of correct and incorrect speculation
+  // actually happened.
+  SpecStats total;
+  for (const auto& client : clients) {
+    const auto s = client->stats();
+    total.predictions_made += s.predictions_made;
+    total.predictions_correct += s.predictions_correct;
+    total.predictions_incorrect += s.predictions_incorrect;
+    total.branches_abandoned += s.branches_abandoned;
+  }
+  EXPECT_GT(total.predictions_made, 100u);
+  EXPECT_GT(total.predictions_correct, 0u);
+  EXPECT_GT(total.predictions_incorrect, 0u);
+  EXPECT_GT(total.branches_abandoned, 0u);
+
+  for (auto& client : clients) client->begin_shutdown();
+  for (auto& server : servers) server->begin_shutdown();
+  work.shutdown();
+}
+
+}  // namespace
+}  // namespace srpc::spec

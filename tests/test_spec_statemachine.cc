@@ -1,0 +1,251 @@
+// Figure 5 state-machine legality and dependency-tree properties, enforced
+// with the engine's transition observer over randomized workloads.
+//
+// DESIGN.md invariants: (2) only Figure 5 transitions occur, (1) final
+// results equal sequential execution for any prediction accuracy,
+// (3) isolation of discarded branches, (5) forward progress.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/rng.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+/// Chain-builder state shared by value into callbacks (no stack refs, no
+/// self-referencing std::function cycles).
+struct ChainSpec {
+  int chain_len = 0;
+  double accuracy = 0;
+  std::function<bool(double)> flip;  // thread-safe by construction
+};
+
+CallbackFactory chain_factory(ChainSpec spec, int level) {
+  // `level` is the 1-based index of the next call to issue.
+  return [spec, level]() -> CallbackFn {
+    return [spec, level](SpecContext& ctx,
+                         const Value& v) -> CallbackResult {
+      if (level > spec.chain_len) return v;
+      ValueList predictions;
+      const std::int64_t correct = v.as_int() * 2;
+      predictions.emplace_back(spec.flip(spec.accuracy) ? correct
+                                                        : correct + 1);
+      return ctx.call("server", "double", make_args(v.as_int()),
+                      std::move(predictions), chain_factory(spec, level + 1));
+    };
+  };
+}
+
+/// Records every transition and checks legality per node kind.
+class TransitionAuditor {
+ public:
+  SpecEngine::TransitionObserver observer() {
+    return [this](SpecNode::Kind kind, std::uint64_t id, SpecState from,
+                  SpecState to) {
+      std::lock_guard<std::mutex> lock(mu_);
+      transitions_.push_back({kind, id, from, to});
+      check(kind, id, from, to);
+    };
+  }
+
+  int violations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return transitions_.size();
+  }
+
+  std::string first_violation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_violation_;
+  }
+
+ private:
+  struct Transition {
+    SpecNode::Kind kind;
+    std::uint64_t id;
+    SpecState from;
+    SpecState to;
+  };
+
+  void check(SpecNode::Kind kind, std::uint64_t id, SpecState from,
+             SpecState to) {
+    bool legal = true;
+    // Terminal states are absorbing for every kind.
+    if (is_terminal(from)) legal = false;
+    switch (kind) {
+      case SpecNode::Kind::kRoot:
+        legal = false;  // the root never transitions
+        break;
+      case SpecNode::Kind::kCall:
+      case SpecNode::Kind::kMirror:
+        // Figure 5a: CallerSpeculative -> {Correct, Incorrect} only.
+        if (from != SpecState::kCallerSpeculative) legal = false;
+        if (!is_terminal(to)) legal = false;
+        break;
+      case SpecNode::Kind::kCallback:
+        // Figure 5b: CalleeSpeculative -> {CallerSpeculative, Correct,
+        // Incorrect}; CallerSpeculative -> {Correct, Incorrect}.
+        if (from == SpecState::kCalleeSpeculative) {
+          if (to == SpecState::kCalleeSpeculative) legal = false;
+        } else if (from == SpecState::kCallerSpeculative) {
+          if (!is_terminal(to)) legal = false;
+        } else {
+          legal = false;
+        }
+        break;
+    }
+    // Exactly one terminal transition per node.
+    if (is_terminal(to) && !terminal_seen_.insert(id).second) legal = false;
+    if (!legal) {
+      violations_++;
+      if (first_violation_.empty()) {
+        first_violation_ = "node " + std::to_string(id) + " kind " +
+                           std::to_string(static_cast<int>(kind)) + ": " +
+                           to_string(from) + " -> " + to_string(to);
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Transition> transitions_;
+  std::set<std::uint64_t> terminal_seen_;
+  int violations_ = 0;
+  std::string first_violation_;
+};
+
+class StateMachineTest : public ::testing::TestWithParam<double> {
+ protected:
+  StateMachineTest() {
+    SimConfig config;
+    config.executor_threads = 6;
+    config.default_delay = std::chrono::microseconds(500);
+    net_ = std::make_unique<SimNetwork>(config);
+    client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                           net_->executor(), net_->wheel());
+    server_ = std::make_unique<SpecEngine>(net_->add_node("server"),
+                                           net_->executor(), net_->wheel());
+    client_->set_transition_observer(client_audit_.observer());
+    server_->set_transition_observer(server_audit_.observer());
+    server_->register_method("double", Handler([](const ServerCallPtr& c) {
+      c->finish(Value(c->args().at(0).as_int() * 2));
+    }));
+  }
+
+  ~StateMachineTest() override {
+    client_->begin_shutdown();
+    server_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  TransitionAuditor client_audit_;
+  TransitionAuditor server_audit_;
+  std::unique_ptr<SpecEngine> client_;
+  std::unique_ptr<SpecEngine> server_;
+};
+
+TEST_P(StateMachineTest, RandomChainsObeyFigure5AndMatchSequential) {
+  const double accuracy = GetParam();
+  Rng rng(static_cast<std::uint64_t>(accuracy * 1000) + 5);
+
+  // Callbacks of abandoned branches can outlive a round: everything they
+  // touch is shared by value (chain state) or lives for the whole test
+  // (rng + its lock).
+  auto rng_mu = std::make_shared<std::mutex>();
+  auto shared_rng = std::make_shared<Rng>(rng.next());
+  auto flip = [rng_mu, shared_rng](double p) {
+    std::lock_guard<std::mutex> lock(*rng_mu);
+    return shared_rng->flip(p);
+  };
+  for (int round = 0; round < 30; ++round) {
+    const int chain_len = 1 + static_cast<int>(rng.uniform(4));
+    const std::int64_t x0 = static_cast<std::int64_t>(rng.uniform(100));
+
+    // Expected value of the chain: x_{i+1} = 2 * x_i.
+    std::int64_t expected = x0;
+    for (int i = 0; i < chain_len; ++i) expected *= 2;
+
+    // Build the factory chain with per-level randomized predictions.
+    ChainSpec spec{chain_len, accuracy, flip};
+
+    ValueList first_predictions;
+    first_predictions.emplace_back(flip(accuracy) ? x0 * 2 : x0 * 2 + 1);
+    auto future = client_->call("server", "double", make_args(x0),
+                                std::move(first_predictions),
+                                chain_len > 1 ? chain_factory(spec, 2)
+                                              : nullptr);
+    if (chain_len > 1) {
+      EXPECT_EQ(future->get().as_int(), expected);
+    } else {
+      EXPECT_EQ(future->get().as_int(), x0 * 2);
+    }
+  }
+
+  EXPECT_EQ(client_audit_.violations(), 0) << client_audit_.first_violation();
+  EXPECT_EQ(server_audit_.violations(), 0) << server_audit_.first_violation();
+  EXPECT_GT(client_audit_.count() + server_audit_.count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Accuracies, StateMachineTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                         [](const auto& info) {
+                           return "acc" + std::to_string(static_cast<int>(
+                                              info.param * 100));
+                         });
+
+TEST_F(StateMachineTest, DiscardedBranchNeverLeaksIntoResult) {
+  // Isolation (invariant 3): values computed in abandoned branches must not
+  // surface. The callback tags its output with the value it ran on; only
+  // the actual-value tag may appear.
+  server_->register_method("slow_id", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(20), c->args().at(0));
+  }));
+  for (int i = 0; i < 10; ++i) {
+    auto factory = []() -> CallbackFn {
+      return [](SpecContext&, const Value& v) -> CallbackResult {
+        return Value("from:" + std::to_string(v.as_int()));
+      };
+    };
+    auto future = client_->call("server", "slow_id", make_args(i),
+                                {Value(i + 1000)} /* always wrong */,
+                                factory);
+    EXPECT_EQ(future->get().as_string(), "from:" + std::to_string(i));
+  }
+}
+
+TEST_F(StateMachineTest, AbandonedBranchCannotIssueNewCalls) {
+  // §3.3: a speculation-incorrect computation is terminated at its next
+  // framework operation.
+  server_->register_method("slow_id", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::milliseconds(30), c->args().at(0));
+  }));
+  std::atomic<int> abandoned{0};
+  auto factory = [&]() -> CallbackFn {
+    return [&](SpecContext& ctx, const Value& v) -> CallbackResult {
+      // Wait until the actual arrives and this branch is known dead...
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      try {
+        return ctx.call("server", "double", make_args(v.as_int()), {},
+                        nullptr);
+      } catch (const SpeculationAbandoned&) {
+        abandoned.fetch_add(1);
+        throw;
+      }
+    };
+  };
+  auto future = client_->call("server", "slow_id", make_args(5),
+                              {Value(999)} /* wrong */, factory);
+  EXPECT_EQ(future->get().as_int(), 10);  // re-executed chain: double(5)
+  EXPECT_EQ(abandoned.load(), 1);
+}
+
+}  // namespace
+}  // namespace srpc::spec

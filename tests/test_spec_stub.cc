@@ -1,0 +1,170 @@
+// RpcSignature / SpecStub / Registry (paper Figure 1(b) and §3.5 signature
+// distribution), plus SpecRPC running over the real TCP transport.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/executor.h"
+#include "specrpc/registry.h"
+#include "specrpc/stub.h"
+#include "transport/sim_network.h"
+#include "transport/tcp_transport.h"
+
+namespace srpc::spec {
+namespace {
+
+class StubTest : public ::testing::Test {
+ protected:
+  StubTest() {
+    net_ = std::make_unique<SimNetwork>();
+    server_ = std::make_unique<SpecEngine>(net_->add_node("server"),
+                                           net_->executor(), net_->wheel());
+    client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                           net_->executor(), net_->wheel());
+    const RpcSignature plus{"Math", "plus", 2};
+    register_signature(*server_, plus, Handler([](const ServerCallPtr& c) {
+      c->finish(Value(c->args().at(0).as_int() + c->args().at(1).as_int()));
+    }));
+    registry_.publish(plus, "server");
+  }
+
+  ~StubTest() override {
+    client_->begin_shutdown();
+    server_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SpecEngine> server_;
+  std::unique_ptr<SpecEngine> client_;
+  Registry registry_;
+};
+
+TEST_F(StubTest, BindAndCall) {
+  SpecStub stub = registry_.bind(*client_, "Math", "plus");
+  EXPECT_EQ(stub.server(), "server");
+  EXPECT_EQ(stub.signature().arity, 2);
+  EXPECT_EQ(stub.call_plain(1, 2)->get(), Value(3));
+}
+
+TEST_F(StubTest, CallWithPredictionAndCallback) {
+  SpecStub stub = registry_.bind(*client_, "Math", "plus");
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult {
+      return Value(v.as_int() + 1);
+    };
+  };
+  // Figure 1: predict plus(1,2) == 3; callback increments -> 4.
+  EXPECT_EQ(stub.call({Value(3)}, factory, 1, 2)->get(), Value(4));
+}
+
+TEST_F(StubTest, ArityMismatchThrows) {
+  SpecStub stub = registry_.bind(*client_, "Math", "plus");
+  EXPECT_THROW(stub.call_plain(1), SignatureMismatch);
+  EXPECT_THROW(stub.call_plain(1, 2, 3), SignatureMismatch);
+}
+
+TEST_F(StubTest, UnknownSignatureThrows) {
+  EXPECT_THROW(registry_.bind(*client_, "Math", "minus"), std::out_of_range);
+}
+
+TEST_F(StubTest, RegistryFileRoundTrip) {
+  const RpcSignature mul{"Math", "mul", 2};
+  registry_.publish(mul, "server");
+  const std::string path = ::testing::TempDir() + "/specrpc_registry.txt";
+  registry_.save(path);
+
+  Registry loaded;
+  loaded.load(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  auto entry = loaded.lookup("Math.plus");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->address, "server");
+  EXPECT_EQ(entry->arity, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(StubTest, RegistryLoadMissingFileThrows) {
+  Registry registry;
+  EXPECT_THROW(registry.load("/nonexistent/specrpc.reg"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- over TCP
+
+class SpecOverTcpTest : public ::testing::Test {
+ protected:
+  SpecOverTcpTest()
+      : executor_(8, "tcp-spec"),
+        server_transport_(executor_),
+        client_transport_(executor_),
+        server_(server_transport_, executor_, wheel_),
+        client_(client_transport_, executor_, wheel_) {
+    server_.register_method("plus", Handler([](const ServerCallPtr& c) {
+      c->finish(Value(c->args().at(0).as_int() + c->args().at(1).as_int()));
+    }));
+    server_.register_method("slow_echo", Handler([](const ServerCallPtr& c) {
+      c->spec_return(c->args().at(0));  // accurate server-side prediction
+      c->finish_after(std::chrono::milliseconds(40), c->args().at(0));
+    }));
+  }
+
+  ~SpecOverTcpTest() override {
+    client_.begin_shutdown();
+    server_.begin_shutdown();
+    executor_.shutdown();
+  }
+
+  Executor executor_;
+  TimerWheel wheel_;
+  TcpTransport server_transport_;
+  TcpTransport client_transport_;
+  SpecEngine server_;
+  SpecEngine client_;
+};
+
+TEST_F(SpecOverTcpTest, PlainCall) {
+  auto future =
+      client_.call(server_transport_.address(), "plus", make_args(20, 22));
+  EXPECT_EQ(future->get(), Value(42));
+}
+
+TEST_F(SpecOverTcpTest, SpeculativeChainOverRealSockets) {
+  // Two dependent 40 ms RPCs with accurate server-side predictions should
+  // overlap: the pair completes in well under 2 x 40 ms.
+  std::atomic<int> callback_runs{0};
+  auto inner = [&]() -> CallbackFn {
+    return [&](SpecContext&, const Value& v) -> CallbackResult {
+      callback_runs.fetch_add(1);
+      return v;
+    };
+  };
+  auto outer = [&, inner]() -> CallbackFn {
+    return [&, inner](SpecContext& ctx, const Value& v) -> CallbackResult {
+      callback_runs.fetch_add(1);
+      return ctx.call(server_transport_.address(), "slow_echo",
+                      {v} /*args*/, {}, inner);
+    };
+  };
+  const auto t0 = Clock::now();
+  auto future = client_.call(server_transport_.address(), "slow_echo",
+                             make_args("payload"), {}, outer);
+  EXPECT_EQ(future->get(), Value("payload"));
+  EXPECT_LT(to_ms(Clock::now() - t0), 70.0);  // ~40ms + slack, not 80ms
+  EXPECT_GE(callback_runs.load(), 2);
+  EXPECT_EQ(client_.stats().predictions_correct, 2u);
+}
+
+TEST_F(SpecOverTcpTest, WrongPredictionOverTcpStillCorrect) {
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult {
+      return Value(v.as_int() * 10);
+    };
+  };
+  auto future = client_.call(server_transport_.address(), "plus",
+                             make_args(1, 2), {Value(99)}, factory);
+  EXPECT_EQ(future->get(), Value(30));
+}
+
+}  // namespace
+}  // namespace srpc::spec

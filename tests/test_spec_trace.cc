@@ -1,0 +1,96 @@
+// SpecTrace: the developer-facing speculation event log.
+#include <gtest/gtest.h>
+
+#include "specrpc/trace.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+class SpecTraceTest : public ::testing::Test {
+ protected:
+  SpecTraceTest() {
+    net_ = std::make_unique<SimNetwork>();
+    server_ = std::make_unique<SpecEngine>(net_->add_node("server"),
+                                           net_->executor(), net_->wheel());
+    client_ = std::make_unique<SpecEngine>(net_->add_node("client"),
+                                           net_->executor(), net_->wheel());
+    server_->register_method("slow_inc", Handler([](const ServerCallPtr& c) {
+      c->finish_after(std::chrono::milliseconds(10),
+                      Value(c->args().at(0).as_int() + 1));
+    }));
+  }
+
+  ~SpecTraceTest() override {
+    client_->begin_shutdown();
+    server_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  void settle() {
+    // Let deferred observer actions drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<SpecEngine> server_;
+  std::unique_ptr<SpecEngine> client_;
+};
+
+TEST_F(SpecTraceTest, CorrectPredictionTimeline) {
+  SpecTrace trace;
+  trace.attach(*client_);
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+  auto future = client_->call("server", "slow_inc", make_args(1), {Value(2)},
+                              factory);
+  EXPECT_EQ(future->get(), Value(2));
+  settle();
+  // The speculative callback must end SpeculationCorrect; nothing abandoned.
+  EXPECT_GE(trace.count_into(SpecState::kCorrect), 1u);
+  EXPECT_EQ(trace.count_into(SpecState::kIncorrect), 0u);
+  const std::string rendered = trace.render();
+  EXPECT_NE(rendered.find("callback"), std::string::npos);
+  EXPECT_NE(rendered.find("SpeculationCorrect"), std::string::npos);
+}
+
+TEST_F(SpecTraceTest, MispredictionShowsAbandonment) {
+  SpecTrace trace;
+  trace.attach(*client_);
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+  auto future = client_->call("server", "slow_inc", make_args(1),
+                              {Value(99)} /* wrong */, factory);
+  EXPECT_EQ(future->get(), Value(2));
+  settle();
+  EXPECT_GE(trace.count_into(SpecState::kIncorrect), 1u);
+  EXPECT_NE(trace.render().find("SpeculationIncorrect"), std::string::npos);
+}
+
+TEST_F(SpecTraceTest, EventsCarryMonotoneTimestamps) {
+  SpecTrace trace;
+  trace.attach(*client_);
+  for (int i = 0; i < 5; ++i) {
+    client_
+        ->call("server", "slow_inc", make_args(i), {Value(i + 1)},
+               []() -> CallbackFn {
+                 return [](SpecContext&, const Value& v) -> CallbackResult {
+                   return v;
+                 };
+               })
+        ->get();
+  }
+  settle();
+  const auto events = trace.events();
+  ASSERT_GE(events.size(), 5u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace srpc::spec

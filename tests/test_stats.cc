@@ -1,0 +1,126 @@
+// Histogram/percentile/CDF statistics used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+
+namespace srpc::stats {
+namespace {
+
+TEST(Histogram, EmptyIsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_us(), 0.0);
+  EXPECT_EQ(h.percentile_us(50), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record_us(100);
+  h.record_us(200);
+  h.record_us(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean_us(), 200.0);
+  EXPECT_EQ(h.min_us(), 100.0);
+  EXPECT_EQ(h.max_us(), 300.0);
+}
+
+TEST(Histogram, PercentilesWithinBucketResolution) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record_us(i);
+  // Log buckets with 128 sub-buckets: <1% relative error at these scales.
+  EXPECT_NEAR(h.percentile_us(50), 5000, 60);
+  EXPECT_NEAR(h.percentile_us(99), 9900, 110);
+  EXPECT_NEAR(h.percentile_us(1), 100, 3);
+}
+
+TEST(Histogram, RecordDurationConverts) {
+  Histogram h;
+  h.record(std::chrono::milliseconds(5));
+  EXPECT_NEAR(h.mean_ms(), 5.0, 0.1);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) h.record_us(rng.exponential(1000.0));
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev_x = 0;
+  double prev_f = 0;
+  for (const auto& [x, f] : cdf) {
+    EXPECT_GT(x, prev_x);
+    EXPECT_GE(f, prev_f);
+    prev_x = x;
+    prev_f = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.record_us(100);
+  b.record_us(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean_us(), 200.0);
+  EXPECT_EQ(a.min_us(), 100.0);
+  EXPECT_EQ(a.max_us(), 300.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record_us(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, CopySnapshotsIndependently) {
+  Histogram a;
+  a.record_us(10);
+  Histogram b = a;
+  a.record_us(20);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, ExtremeValuesClampSafely) {
+  Histogram h;
+  h.record_us(-5);        // clamps to 0
+  h.record_us(0);
+  h.record_us(1e12);      // beyond top range: clamps to last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GT(h.percentile_us(99), 1e6);
+}
+
+TEST(Histogram, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < 10000; ++i)
+        h.record_us(static_cast<double>(t * 10000 + i));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), 40000u);
+}
+
+TEST(RunStats, ThroughputFromWindow) {
+  RunStats run;
+  run.start();
+  for (int i = 0; i < 100; ++i) run.record(std::chrono::microseconds(10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  run.stop();
+  EXPECT_GE(run.elapsed_s(), 0.09);
+  EXPECT_GT(run.throughput_per_s(), 100.0);   // 100 in ~0.1s
+  EXPECT_LT(run.throughput_per_s(), 1200.0);
+}
+
+}  // namespace
+}  // namespace srpc::stats

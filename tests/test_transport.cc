@@ -1,0 +1,237 @@
+// Transport layer: simulated network (latency, FIFO, jitter, partitions,
+// byte accounting), geo topology (Table 1), and the real TCP transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "common/sync.h"
+#include "transport/geo.h"
+#include "transport/sim_network.h"
+#include "transport/tcp_transport.h"
+
+namespace srpc {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string string_of(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+TEST(SimNetwork, DeliversWithConfiguredLatency) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::milliseconds(30));
+  Event received;
+  TimePoint arrival;
+  b.set_receiver([&](const Address& src, Bytes payload) {
+    EXPECT_EQ(src, "a");
+    EXPECT_EQ(string_of(payload), "hello");
+    arrival = Clock::now();
+    received.set();
+  });
+  const TimePoint sent = Clock::now();
+  a.send("b", bytes_of("hello"));
+  ASSERT_TRUE(received.wait_for(std::chrono::seconds(5)));
+  const double ms = to_ms(arrival - sent);
+  EXPECT_GE(ms, 29.0);
+  EXPECT_LE(ms, 60.0);
+}
+
+TEST(SimNetwork, AsymmetricLatencies) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::milliseconds(5));
+  net.set_one_way("b", "a", std::chrono::milliseconds(40));
+  Event pong;
+  TimePoint t0;
+  b.set_receiver([&](const Address&, Bytes) { b.send("a", bytes_of("pong")); });
+  a.set_receiver([&](const Address&, Bytes) { pong.set(); });
+  t0 = Clock::now();
+  a.send("b", bytes_of("ping"));
+  ASSERT_TRUE(pong.wait_for(std::chrono::seconds(5)));
+  EXPECT_GE(to_ms(Clock::now() - t0), 44.0);
+}
+
+TEST(SimNetwork, FifoPerDirectedPair) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::microseconds(100),
+                  /*jitter=*/std::chrono::microseconds(500));
+  std::vector<int> received;
+  std::mutex mu;
+  WaitGroup wg;
+  constexpr int kMessages = 200;
+  wg.add(kMessages);
+  b.set_receiver([&](const Address&, Bytes payload) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(static_cast<int>(payload[0]) * 256 +
+                       static_cast<int>(payload[1]));
+    wg.done();
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    a.send("b", Bytes{static_cast<std::uint8_t>(i / 256),
+                      static_cast<std::uint8_t>(i % 256)});
+  }
+  wg.wait();
+  // Despite jitter, per-pair delivery order matches send order (TCP-like).
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(SimNetwork, TrafficAccounting) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  Event done;
+  b.set_receiver([&](const Address&, Bytes) { done.set(); });
+  a.send("b", Bytes(100));
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds(5)));
+  const auto a_stats = net.stats("a");
+  const auto b_stats = net.stats("b");
+  EXPECT_EQ(a_stats.msgs_sent, 1u);
+  EXPECT_EQ(a_stats.bytes_sent, 100u);
+  EXPECT_EQ(b_stats.msgs_recv, 1u);
+  EXPECT_EQ(b_stats.bytes_recv, 100u);
+  net.reset_stats();
+  EXPECT_EQ(net.stats("a").bytes_sent, 0u);
+}
+
+TEST(SimNetwork, PartitionDropsAndHeals) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  std::atomic<int> received{0};
+  Event second;
+  b.set_receiver([&](const Address&, Bytes) {
+    if (received.fetch_add(1) + 1 == 1) second.set();
+  });
+  net.partition("a", "b", true);
+  a.send("b", bytes_of("lost"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(received.load(), 0);
+  net.partition("a", "b", false);
+  a.send("b", bytes_of("delivered"));
+  ASSERT_TRUE(second.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(received.load(), 1);
+}
+
+TEST(SimNetwork, DuplicateNodeRejected) {
+  SimNetwork net;
+  net.add_node("a");
+  EXPECT_THROW(net.add_node("a"), std::invalid_argument);
+}
+
+TEST(GeoTopology, Table1Matrix) {
+  SimNetwork net;
+  GeoConfig geo;  // Table 1 defaults
+  GeoTopology topo(net, geo);
+  EXPECT_EQ(topo.num_dcs(), 3);
+  EXPECT_EQ(to_ms(topo.rtt(0, 1)), 140.0);
+  EXPECT_EQ(to_ms(topo.rtt(0, 2)), 122.0);
+  EXPECT_EQ(to_ms(topo.rtt(1, 2)), 243.0);
+  EXPECT_EQ(to_ms(topo.rtt(2, 1)), 243.0);
+  EXPECT_EQ(topo.address(0, "x"), "oregon.x");
+}
+
+TEST(GeoTopology, ScaleAppliesToAllLatencies) {
+  SimNetwork net;
+  GeoConfig geo;
+  geo.scale = 0.5;
+  GeoTopology topo(net, geo);
+  EXPECT_EQ(to_ms(topo.rtt(1, 2)), 121.5);
+}
+
+TEST(GeoTopology, MachinesInSameDcUseLanLatency) {
+  SimNetwork net;
+  GeoConfig geo;
+  geo.lan_rtt_ms = 2.0;
+  geo.jitter_ms = 0.0;
+  GeoTopology topo(net, geo);
+  Transport& m1 = topo.add_machine(0, "m1");
+  Transport& m2 = topo.add_machine(0, "m2");
+  Event got;
+  TimePoint arrival;
+  m2.set_receiver([&](const Address&, Bytes) {
+    arrival = Clock::now();
+    got.set();
+  });
+  const TimePoint sent = Clock::now();
+  m1.send(topo.address(0, "m2"), bytes_of("x"));
+  ASSERT_TRUE(got.wait_for(std::chrono::seconds(5)));
+  const double ms = to_ms(arrival - sent);
+  EXPECT_GE(ms, 0.9);   // one way = 1ms
+  EXPECT_LE(ms, 20.0);
+  (void)m1;
+}
+
+TEST(TcpTransport, RoundTripAndStats) {
+  Executor executor(4, "tcp-test");
+  TcpTransport server(executor);
+  TcpTransport client(executor);
+  Event got_reply;
+  std::string reply;
+  server.set_receiver([&](const Address& src, Bytes payload) {
+    std::string msg = string_of(payload);
+    server.send(src, bytes_of("re:" + msg));
+  });
+  client.set_receiver([&](const Address& src, Bytes payload) {
+    EXPECT_EQ(src, server.address());
+    reply = string_of(payload);
+    got_reply.set();
+  });
+  client.send(server.address(), bytes_of("hello"));
+  ASSERT_TRUE(got_reply.wait_for(std::chrono::seconds(10)));
+  EXPECT_EQ(reply, "re:hello");
+  EXPECT_GE(client.stats().bytes_sent, 5u);
+  EXPECT_GE(client.stats().bytes_recv, 8u);
+}
+
+TEST(TcpTransport, ManyMessagesBothDirectionsStayOrdered) {
+  Executor executor(4, "tcp-test");
+  TcpTransport server(executor);
+  TcpTransport client(executor);
+  constexpr int kMessages = 300;
+  std::vector<int> received;
+  std::mutex mu;
+  WaitGroup wg;
+  wg.add(kMessages);
+  server.set_receiver([&](const Address& src, Bytes payload) {
+    server.send(src, std::move(payload));  // echo
+  });
+  client.set_receiver([&](const Address&, Bytes payload) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(static_cast<int>(payload[0]) * 256 +
+                       static_cast<int>(payload[1]));
+    wg.done();
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    client.send(server.address(),
+                Bytes{static_cast<std::uint8_t>(i / 256),
+                      static_cast<std::uint8_t>(i % 256), 0xAB});
+  }
+  ASSERT_TRUE(wg.wait_for(std::chrono::seconds(30)));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(TcpTransport, LargePayload) {
+  Executor executor(4, "tcp-test");
+  TcpTransport server(executor);
+  TcpTransport client(executor);
+  Event done;
+  std::size_t got = 0;
+  server.set_receiver([&](const Address&, Bytes payload) {
+    got = payload.size();
+    done.set();
+  });
+  Bytes big(1 << 20, 0x5A);  // 1 MiB
+  client.send(server.address(), std::move(big));
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds(30)));
+  EXPECT_EQ(got, 1u << 20);
+}
+
+}  // namespace
+}  // namespace srpc

@@ -1,0 +1,149 @@
+// Workload generators: YCSB+T parameters, the Table 2 Retwis profile, and
+// key-distribution properties.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/retwis.h"
+#include "workload/ycsbt.h"
+
+namespace srpc::wl {
+namespace {
+
+TEST(Ycsbt, RespectsOpsPerTxn) {
+  YcsbtWorkload workload(YcsbtConfig{12, 0.5, 0.75, 1000, 8}, 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(workload.next_txn().size(), 12u);
+  }
+}
+
+class YcsbtReadFractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(YcsbtReadFractionTest, ReadFractionMatches) {
+  const double fraction = GetParam();
+  YcsbtWorkload workload(YcsbtConfig{10, fraction, 0.75, 1000, 8}, 3);
+  int reads = 0;
+  int total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto& op : workload.next_txn()) {
+      reads += op.is_read ? 1 : 0;
+      total++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, fraction, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, YcsbtReadFractionTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+TEST(Ycsbt, KeysAreWithinLoadedSpaceAndZipfSkewed) {
+  constexpr std::uint64_t kKeys = 500;
+  YcsbtWorkload workload(YcsbtConfig{10, 1.0, 0.99, kKeys, 8}, 7);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    for (const auto& op : workload.next_txn()) {
+      ASSERT_EQ(op.key.size(), 9u);
+      ASSERT_EQ(op.key[0], 'k');
+      const auto idx = std::stoul(op.key.substr(1));
+      ASSERT_LT(idx, kKeys);
+      counts[op.key]++;
+    }
+  }
+  // Skew: the hottest key should be far above the mean.
+  int hottest = 0;
+  for (const auto& [_, c] : counts) hottest = std::max(hottest, c);
+  const double mean = 30000.0 / kKeys;
+  EXPECT_GT(hottest, 5 * mean);
+}
+
+TEST(Ycsbt, WritesCarryValuesOfConfiguredSize) {
+  YcsbtWorkload workload(YcsbtConfig{10, 0.0, 0.75, 1000, 24}, 5);
+  for (const auto& op : workload.next_txn()) {
+    ASSERT_FALSE(op.is_read);
+    EXPECT_EQ(op.value.size(), 24u);
+  }
+}
+
+TEST(Retwis, Table2MixAndOpCounts) {
+  RetwisWorkload workload(RetwisConfig{0.75, 10'000, 8}, 11);
+  std::map<RetwisTxnType, int> mix;
+  constexpr int kTxns = 50'000;
+  for (int i = 0; i < kTxns; ++i) {
+    const auto txn = workload.next_txn();
+    mix[txn.type]++;
+    int gets = 0;
+    int puts = 0;
+    for (const auto& op : txn.ops) (op.is_read ? gets : puts)++;
+    switch (txn.type) {
+      case RetwisTxnType::kAddUser:
+        EXPECT_EQ(gets, 1);
+        EXPECT_EQ(puts, 3);
+        break;
+      case RetwisTxnType::kFollow:
+        EXPECT_EQ(gets, 2);
+        EXPECT_EQ(puts, 2);
+        break;
+      case RetwisTxnType::kPostTweet:
+        EXPECT_EQ(gets, 3);
+        EXPECT_EQ(puts, 5);
+        break;
+      case RetwisTxnType::kLoadTimeline:
+        EXPECT_GE(gets, 1);
+        EXPECT_LE(gets, 10);
+        EXPECT_EQ(puts, 0);
+        break;
+    }
+  }
+  EXPECT_NEAR(mix[RetwisTxnType::kAddUser] / double(kTxns), 0.05, 0.01);
+  EXPECT_NEAR(mix[RetwisTxnType::kFollow] / double(kTxns), 0.15, 0.01);
+  EXPECT_NEAR(mix[RetwisTxnType::kPostTweet] / double(kTxns), 0.30, 0.015);
+  EXPECT_NEAR(mix[RetwisTxnType::kLoadTimeline] / double(kTxns), 0.50, 0.015);
+}
+
+TEST(Retwis, LoadTimelineGetsAreUniform1To10) {
+  RetwisWorkload workload(RetwisConfig{}, 13);
+  std::map<int, int> gets_hist;
+  int timelines = 0;
+  while (timelines < 20'000) {
+    const auto txn = workload.next_txn();
+    if (txn.type != RetwisTxnType::kLoadTimeline) continue;
+    timelines++;
+    gets_hist[static_cast<int>(txn.ops.size())]++;
+  }
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_NEAR(gets_hist[n] / double(timelines), 0.1, 0.02) << "n=" << n;
+  }
+}
+
+TEST(Retwis, ReadModifyWritePairsShareKeys) {
+  RetwisWorkload workload(RetwisConfig{}, 17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto txn = workload.next_txn();
+    if (txn.type != RetwisTxnType::kFollow) continue;
+    // Follow/Unfollow: get(k1) put(k1) get(k2) put(k2).
+    ASSERT_EQ(txn.ops.size(), 4u);
+    EXPECT_TRUE(txn.ops[0].is_read);
+    EXPECT_FALSE(txn.ops[1].is_read);
+    EXPECT_EQ(txn.ops[0].key, txn.ops[1].key);
+    EXPECT_EQ(txn.ops[2].key, txn.ops[3].key);
+  }
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  YcsbtConfig config{5, 0.5, 0.75, 1000, 8};
+  YcsbtWorkload a(config, 42);
+  YcsbtWorkload b(config, 42);
+  for (int i = 0; i < 20; ++i) {
+    const auto ta = a.next_txn();
+    const auto tb = b.next_txn();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t j = 0; j < ta.size(); ++j) {
+      EXPECT_EQ(ta[j].key, tb[j].key);
+      EXPECT_EQ(ta[j].is_read, tb[j].is_read);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srpc::wl
