@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_zipf_alpha.dir/fig12_zipf_alpha.cpp.o"
+  "CMakeFiles/fig12_zipf_alpha.dir/fig12_zipf_alpha.cpp.o.d"
+  "fig12_zipf_alpha"
+  "fig12_zipf_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_zipf_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

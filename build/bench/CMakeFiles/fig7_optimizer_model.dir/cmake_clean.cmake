@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_optimizer_model.dir/fig7_optimizer_model.cpp.o"
+  "CMakeFiles/fig7_optimizer_model.dir/fig7_optimizer_model.cpp.o.d"
+  "fig7_optimizer_model"
+  "fig7_optimizer_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_optimizer_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_bandwidth.dir/fig8c_bandwidth.cpp.o"
+  "CMakeFiles/fig8c_bandwidth.dir/fig8c_bandwidth.cpp.o.d"
+  "fig8c_bandwidth"
+  "fig8c_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ycsbt_ops.dir/fig9_ycsbt_ops.cpp.o"
+  "CMakeFiles/fig9_ycsbt_ops.dir/fig9_ycsbt_ops.cpp.o.d"
+  "fig9_ycsbt_ops"
+  "fig9_ycsbt_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ycsbt_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_shell.dir/rc_shell.cpp.o"
+  "CMakeFiles/rc_shell.dir/rc_shell.cpp.o.d"
+  "rc_shell"
+  "rc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

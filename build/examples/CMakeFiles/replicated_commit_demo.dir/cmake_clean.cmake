@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_commit_demo.dir/replicated_commit_demo.cpp.o"
+  "CMakeFiles/replicated_commit_demo.dir/replicated_commit_demo.cpp.o.d"
+  "replicated_commit_demo"
+  "replicated_commit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_commit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_cache.dir/spec_cache.cpp.o"
+  "CMakeFiles/spec_cache.dir/spec_cache.cpp.o.d"
+  "spec_cache"
+  "spec_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_common.dir/cpu_model.cc.o"
+  "CMakeFiles/srpc_common.dir/cpu_model.cc.o.d"
+  "CMakeFiles/srpc_common.dir/executor.cc.o"
+  "CMakeFiles/srpc_common.dir/executor.cc.o.d"
+  "CMakeFiles/srpc_common.dir/logging.cc.o"
+  "CMakeFiles/srpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/srpc_common.dir/rng.cc.o"
+  "CMakeFiles/srpc_common.dir/rng.cc.o.d"
+  "CMakeFiles/srpc_common.dir/timer_wheel.cc.o"
+  "CMakeFiles/srpc_common.dir/timer_wheel.cc.o.d"
+  "libsrpc_common.a"
+  "libsrpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

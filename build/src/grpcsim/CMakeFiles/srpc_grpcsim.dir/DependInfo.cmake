@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grpcsim/grpcsim.cc" "src/grpcsim/CMakeFiles/srpc_grpcsim.dir/grpcsim.cc.o" "gcc" "src/grpcsim/CMakeFiles/srpc_grpcsim.dir/grpcsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/srpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/srpc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/srpc_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

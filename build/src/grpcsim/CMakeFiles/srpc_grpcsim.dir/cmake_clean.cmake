@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_grpcsim.dir/grpcsim.cc.o"
+  "CMakeFiles/srpc_grpcsim.dir/grpcsim.cc.o.d"
+  "libsrpc_grpcsim.a"
+  "libsrpc_grpcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_grpcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

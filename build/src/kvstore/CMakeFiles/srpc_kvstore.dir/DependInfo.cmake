@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/store.cc" "src/kvstore/CMakeFiles/srpc_kvstore.dir/store.cc.o" "gcc" "src/kvstore/CMakeFiles/srpc_kvstore.dir/store.cc.o.d"
+  "/root/repo/src/kvstore/txn_log.cc" "src/kvstore/CMakeFiles/srpc_kvstore.dir/txn_log.cc.o" "gcc" "src/kvstore/CMakeFiles/srpc_kvstore.dir/txn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/srpc_serde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

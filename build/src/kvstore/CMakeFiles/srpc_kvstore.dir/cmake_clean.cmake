@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_kvstore.dir/store.cc.o"
+  "CMakeFiles/srpc_kvstore.dir/store.cc.o.d"
+  "CMakeFiles/srpc_kvstore.dir/txn_log.cc.o"
+  "CMakeFiles/srpc_kvstore.dir/txn_log.cc.o.d"
+  "libsrpc_kvstore.a"
+  "libsrpc_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

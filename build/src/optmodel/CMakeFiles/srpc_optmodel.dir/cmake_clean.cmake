@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_optmodel.dir/model.cc.o"
+  "CMakeFiles/srpc_optmodel.dir/model.cc.o.d"
+  "CMakeFiles/srpc_optmodel.dir/spec_pipeline.cc.o"
+  "CMakeFiles/srpc_optmodel.dir/spec_pipeline.cc.o.d"
+  "libsrpc_optmodel.a"
+  "libsrpc_optmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_optmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsrpc_optmodel.a"
+)

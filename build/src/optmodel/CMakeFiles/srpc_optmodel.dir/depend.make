@@ -1,0 +1,2 @@
+# Empty dependencies file for srpc_optmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_rc.dir/client.cc.o"
+  "CMakeFiles/srpc_rc.dir/client.cc.o.d"
+  "CMakeFiles/srpc_rc.dir/cluster.cc.o"
+  "CMakeFiles/srpc_rc.dir/cluster.cc.o.d"
+  "CMakeFiles/srpc_rc.dir/common.cc.o"
+  "CMakeFiles/srpc_rc.dir/common.cc.o.d"
+  "CMakeFiles/srpc_rc.dir/kit.cc.o"
+  "CMakeFiles/srpc_rc.dir/kit.cc.o.d"
+  "CMakeFiles/srpc_rc.dir/server.cc.o"
+  "CMakeFiles/srpc_rc.dir/server.cc.o.d"
+  "libsrpc_rc.a"
+  "libsrpc_rc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/node.cc" "src/rpc/CMakeFiles/srpc_rpc.dir/node.cc.o" "gcc" "src/rpc/CMakeFiles/srpc_rpc.dir/node.cc.o.d"
+  "/root/repo/src/rpc/wire.cc" "src/rpc/CMakeFiles/srpc_rpc.dir/wire.cc.o" "gcc" "src/rpc/CMakeFiles/srpc_rpc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/srpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/srpc_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/srpc_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

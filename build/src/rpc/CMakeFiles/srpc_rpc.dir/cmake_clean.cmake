@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_rpc.dir/node.cc.o"
+  "CMakeFiles/srpc_rpc.dir/node.cc.o.d"
+  "CMakeFiles/srpc_rpc.dir/wire.cc.o"
+  "CMakeFiles/srpc_rpc.dir/wire.cc.o.d"
+  "libsrpc_rpc.a"
+  "libsrpc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

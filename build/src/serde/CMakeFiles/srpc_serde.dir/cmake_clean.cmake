@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_serde.dir/codec.cc.o"
+  "CMakeFiles/srpc_serde.dir/codec.cc.o.d"
+  "CMakeFiles/srpc_serde.dir/value.cc.o"
+  "CMakeFiles/srpc_serde.dir/value.cc.o.d"
+  "libsrpc_serde.a"
+  "libsrpc_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specrpc/engine.cc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/engine.cc.o" "gcc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/engine.cc.o.d"
+  "/root/repo/src/specrpc/registry.cc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/registry.cc.o" "gcc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/registry.cc.o.d"
+  "/root/repo/src/specrpc/wire.cc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/wire.cc.o" "gcc" "src/specrpc/CMakeFiles/srpc_specrpc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/srpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/srpc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/srpc_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_specrpc.dir/engine.cc.o"
+  "CMakeFiles/srpc_specrpc.dir/engine.cc.o.d"
+  "CMakeFiles/srpc_specrpc.dir/registry.cc.o"
+  "CMakeFiles/srpc_specrpc.dir/registry.cc.o.d"
+  "CMakeFiles/srpc_specrpc.dir/wire.cc.o"
+  "CMakeFiles/srpc_specrpc.dir/wire.cc.o.d"
+  "libsrpc_specrpc.a"
+  "libsrpc_specrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_specrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for srpc_specrpc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_stats.dir/histogram.cc.o"
+  "CMakeFiles/srpc_stats.dir/histogram.cc.o.d"
+  "libsrpc_stats.a"
+  "libsrpc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

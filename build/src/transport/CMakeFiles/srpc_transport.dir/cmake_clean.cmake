@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_transport.dir/geo.cc.o"
+  "CMakeFiles/srpc_transport.dir/geo.cc.o.d"
+  "CMakeFiles/srpc_transport.dir/sim_network.cc.o"
+  "CMakeFiles/srpc_transport.dir/sim_network.cc.o.d"
+  "CMakeFiles/srpc_transport.dir/tcp_transport.cc.o"
+  "CMakeFiles/srpc_transport.dir/tcp_transport.cc.o.d"
+  "libsrpc_transport.a"
+  "libsrpc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srpc_workload.dir/microbench.cc.o"
+  "CMakeFiles/srpc_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/srpc_workload.dir/runner.cc.o"
+  "CMakeFiles/srpc_workload.dir/runner.cc.o.d"
+  "libsrpc_workload.a"
+  "libsrpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

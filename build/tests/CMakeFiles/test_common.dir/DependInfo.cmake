@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/test_common.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rc/CMakeFiles/srpc_rc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/srpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/srpc_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/optmodel/CMakeFiles/srpc_optmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/srpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/specrpc/CMakeFiles/srpc_specrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/grpcsim/CMakeFiles/srpc_grpcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/srpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/srpc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/srpc_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/srpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

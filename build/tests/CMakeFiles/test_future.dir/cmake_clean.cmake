@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future.dir/test_future.cc.o"
+  "CMakeFiles/test_future.dir/test_future.cc.o.d"
+  "test_future"
+  "test_future.pdb"
+  "test_future[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore.dir/test_kvstore.cc.o"
+  "CMakeFiles/test_kvstore.dir/test_kvstore.cc.o.d"
+  "test_kvstore"
+  "test_kvstore.pdb"
+  "test_kvstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

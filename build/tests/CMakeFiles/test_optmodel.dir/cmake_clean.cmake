@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optmodel.dir/test_optmodel.cc.o"
+  "CMakeFiles/test_optmodel.dir/test_optmodel.cc.o.d"
+  "test_optmodel"
+  "test_optmodel.pdb"
+  "test_optmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

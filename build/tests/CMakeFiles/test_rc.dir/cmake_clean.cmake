@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc.dir/test_rc.cc.o"
+  "CMakeFiles/test_rc.dir/test_rc.cc.o.d"
+  "test_rc"
+  "test_rc.pdb"
+  "test_rc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

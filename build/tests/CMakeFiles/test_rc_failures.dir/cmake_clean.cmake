@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_failures.dir/test_rc_failures.cc.o"
+  "CMakeFiles/test_rc_failures.dir/test_rc_failures.cc.o.d"
+  "test_rc_failures"
+  "test_rc_failures.pdb"
+  "test_rc_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_edge.dir/test_spec_edge.cc.o"
+  "CMakeFiles/test_spec_edge.dir/test_spec_edge.cc.o.d"
+  "test_spec_edge"
+  "test_spec_edge.pdb"
+  "test_spec_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

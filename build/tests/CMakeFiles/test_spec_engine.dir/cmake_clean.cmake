@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_engine.dir/test_spec_engine.cc.o"
+  "CMakeFiles/test_spec_engine.dir/test_spec_engine.cc.o.d"
+  "test_spec_engine"
+  "test_spec_engine.pdb"
+  "test_spec_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_error_paths.dir/test_spec_error_paths.cc.o"
+  "CMakeFiles/test_spec_error_paths.dir/test_spec_error_paths.cc.o.d"
+  "test_spec_error_paths"
+  "test_spec_error_paths.pdb"
+  "test_spec_error_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_error_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

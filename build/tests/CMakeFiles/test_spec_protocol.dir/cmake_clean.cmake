@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_protocol.dir/test_spec_protocol.cc.o"
+  "CMakeFiles/test_spec_protocol.dir/test_spec_protocol.cc.o.d"
+  "test_spec_protocol"
+  "test_spec_protocol.pdb"
+  "test_spec_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_soak.dir/test_spec_soak.cc.o"
+  "CMakeFiles/test_spec_soak.dir/test_spec_soak.cc.o.d"
+  "test_spec_soak"
+  "test_spec_soak.pdb"
+  "test_spec_soak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

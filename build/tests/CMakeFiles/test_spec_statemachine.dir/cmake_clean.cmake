@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_statemachine.dir/test_spec_statemachine.cc.o"
+  "CMakeFiles/test_spec_statemachine.dir/test_spec_statemachine.cc.o.d"
+  "test_spec_statemachine"
+  "test_spec_statemachine.pdb"
+  "test_spec_statemachine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_stub.dir/test_spec_stub.cc.o"
+  "CMakeFiles/test_spec_stub.dir/test_spec_stub.cc.o.d"
+  "test_spec_stub"
+  "test_spec_stub.pdb"
+  "test_spec_stub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_stub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

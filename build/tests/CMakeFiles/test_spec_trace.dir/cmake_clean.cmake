@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_trace.dir/test_spec_trace.cc.o"
+  "CMakeFiles/test_spec_trace.dir/test_spec_trace.cc.o.d"
+  "test_spec_trace"
+  "test_spec_trace.pdb"
+  "test_spec_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

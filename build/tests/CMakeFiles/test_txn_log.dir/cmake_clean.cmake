@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn_log.dir/test_txn_log.cc.o"
+  "CMakeFiles/test_txn_log.dir/test_txn_log.cc.o.d"
+  "test_txn_log"
+  "test_txn_log.pdb"
+  "test_txn_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_serde[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_rpc[1]_include.cmake")
+include("/root/repo/build/tests/test_future[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_statemachine[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_stub[1]_include.cmake")
+include("/root/repo/build/tests/test_registry_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_error_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_kvstore[1]_include.cmake")
+include("/root/repo/build/tests/test_txn_log[1]_include.cmake")
+include("/root/repo/build/tests/test_rc[1]_include.cmake")
+include("/root/repo/build/tests/test_rc_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_microbench[1]_include.cmake")
+include("/root/repo/build/tests/test_optmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")

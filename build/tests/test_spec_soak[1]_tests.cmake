@@ -1,0 +1,3 @@
+add_test([=[SpecSoak.RandomizedMixedWorkloadStaysCorrect]=]  /root/repo/build/tests/test_spec_soak [==[--gtest_filter=SpecSoak.RandomizedMixedWorkloadStaysCorrect]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SpecSoak.RandomizedMixedWorkloadStaysCorrect]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_spec_soak_TESTS SpecSoak.RandomizedMixedWorkloadStaysCorrect)
