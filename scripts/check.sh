@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate under AddressSanitizer+UBSan: configure, build, run the full
+# test suite with the asan preset. Usage: scripts/check.sh [extra ctest args]
+#
+# For data-race hunting on the executor/network hot paths, use the tsan
+# preset instead:
+#   cmake --preset tsan && cmake --build --preset tsan -j --target test_executor_stress
+#   ./build-tsan/tests/test_executor_stress
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"

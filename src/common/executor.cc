@@ -4,67 +4,209 @@
 
 namespace srpc {
 
-Executor::Executor(int num_threads, std::string name)
-    : name_(std::move(name)) {
+namespace {
+// Identifies the pool (and worker slot) owning the current thread, so
+// post() can route worker-local submissions to the worker's own deque and
+// honor the shutdown drain guarantee.
+thread_local Executor* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+}  // namespace
+
+Executor::Executor(int num_threads, std::string name) : name_(std::move(name)) {
   if (num_threads < 1) num_threads = 1;
+  queues_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
 }
 
 Executor::~Executor() { shutdown(); }
 
+bool Executor::on_worker_thread() const { return tl_pool == this; }
+
 bool Executor::post(Task task) {
+  const bool from_worker = (tl_pool == this);
+  Worker& wk = from_worker
+                   ? *queues_[tl_index]
+                   : *queues_[rr_.fetch_add(1, std::memory_order_relaxed) %
+                              queues_.size()];
+  bool accepted = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return false;
-    queue_.push_back(std::move(task));
+    std::lock_guard<std::mutex> lock(wk.mu);
+    // Checked under the target's lock so a drain scan that saw this deque
+    // empty implies this post observes stopping_ and rejects (no lost task).
+    if (stopping_.load(std::memory_order_acquire) && !from_worker) {
+      accepted = false;
+    } else {
+      wk.dq.push_back(std::move(task));
+      wk.depth.store(wk.dq.size(), std::memory_order_release);
+    }
   }
-  cv_.notify_one();
+  if (!accepted) {
+    SRPC_LOG(WARN) << name_
+                   << ": rejecting task posted after shutdown from a "
+                      "non-worker thread";
+    return false;
+  }
+  if (sleepers_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    idle_cv_.notify_one();
+  }
   return true;
 }
 
 void Executor::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Second call: workers may already be joined; fall through to join
-      // guard below.
-    }
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stopping_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  idle_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
-std::size_t Executor::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+void Executor::before_block() {
+  Executor* pool = tl_pool;
+  if (pool == nullptr) return;
+  Worker& wk = *pool->queues_[tl_index];
+  if (wk.bpos >= wk.bcnt) return;
+  {
+    std::lock_guard<std::mutex> lock(wk.mu);
+    // Re-front the unrun remainder in reverse so FIFO order is preserved.
+    for (std::size_t i = wk.bcnt; i > wk.bpos; --i) {
+      wk.dq.push_front(std::move(wk.batch[i - 1]));
+    }
+    wk.depth.store(wk.dq.size(), std::memory_order_release);
+  }
+  wk.bcnt = wk.bpos;
+  if (pool->sleepers_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(pool->idle_mu_);
+    pool->idle_cv_.notify_all();
+  }
 }
 
-void Executor::worker_loop() {
+std::size_t Executor::take_own(std::size_t idx) {
+  Worker& wk = *queues_[idx];
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(wk.mu);
+  while (n < kBatch && !wk.dq.empty()) {
+    wk.batch[n++] = std::move(wk.dq.front());
+    wk.dq.pop_front();
+  }
+  if (n > 0) wk.depth.store(wk.dq.size(), std::memory_order_relaxed);
+  return n;
+}
+
+std::size_t Executor::steal(std::size_t idx, bool blocking) {
+  Worker& self = *queues_[idx];
+  const std::size_t n_workers = queues_.size();
+  for (std::size_t k = 1; k < n_workers; ++k) {
+    Worker& victim = *queues_[(idx + k) % n_workers];
+    std::unique_lock<std::mutex> lock(victim.mu, std::defer_lock);
+    if (blocking) {
+      lock.lock();
+    } else if (!lock.try_lock()) {
+      continue;
+    }
+    if (victim.dq.empty()) continue;
+    // Take up to half the victim's queue, from the back (the owner pops
+    // the front), so one steal rebalances instead of ping-ponging.
+    std::size_t want = (victim.dq.size() + 1) / 2;
+    if (want > kBatch) want = kBatch;
+    std::size_t n = 0;
+    while (n < want) {
+      self.batch[n++] = std::move(victim.dq.back());
+      victim.dq.pop_back();
+    }
+    victim.depth.store(victim.dq.size(), std::memory_order_relaxed);
+    return n;
+  }
+  return 0;
+}
+
+bool Executor::work_visible() const {
+  for (const auto& w : queues_) {
+    if (w->depth.load(std::memory_order_acquire) > 0) return true;
+  }
+  return false;
+}
+
+void Executor::run(Task& task) {
+  try {
+    task();
+  } catch (const std::exception& e) {
+    SRPC_LOG(ERROR) << name_ << ": task threw: " << e.what();
+  } catch (...) {
+    SRPC_LOG(ERROR) << name_ << ": task threw unknown exception";
+  }
+  task = nullptr;  // release captures promptly
+}
+
+void Executor::worker_loop(std::size_t idx) {
+  tl_pool = this;
+  tl_index = idx;
+  Worker& self = *queues_[idx];
+  int spins = 0;
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
+    std::size_t n = take_own(idx);
+    if (n == 0) n = steal(idx, /*blocking=*/false);
+    if (n > 0) {
+      spins = 0;
+      self.bcnt = n;
+      self.bpos = 0;
+      // bpos advances past the task *before* it runs, so before_block()
+      // (called from inside the running task) republishes exactly the
+      // unrun remainder.
+      while (self.bpos < self.bcnt) {
+        Task task = std::move(self.batch[self.bpos]);
+        ++self.bpos;
+        run(task);
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      self.bcnt = self.bpos = 0;
+      continue;
     }
-    try {
-      task();
-    } catch (const std::exception& e) {
-      SRPC_LOG(ERROR) << name_ << ": task threw: " << e.what();
-    } catch (...) {
-      SRPC_LOG(ERROR) << name_ << ": task threw unknown exception";
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Drain epilogue. External posts are now rejected and worker posts
+      // only target the posting worker's own deque, so once a blocking
+      // sweep of every deque (ours included, via take_own above) comes up
+      // empty, this worker's share of the drain is complete: our deque can
+      // never refill.
+      std::size_t m = steal(idx, /*blocking=*/true);
+      if (m == 0) m = take_own(idx);
+      if (m == 0) return;
+      self.bcnt = m;
+      self.bpos = 0;
+      while (self.bpos < self.bcnt) {
+        Task task = std::move(self.batch[self.bpos]);
+        ++self.bpos;
+        run(task);
+      }
+      self.bcnt = self.bpos = 0;
+      continue;
     }
+    // Spin briefly before parking: a try_lock miss may have hidden work,
+    // and under a steady external-submission stream the producer's next
+    // post lands within a few yields. Staying runnable keeps sleepers_ at
+    // zero, which lets post() skip the condvar signal entirely — that
+    // syscall (futex wake with a waiter) costs more than the task itself.
+    if (spins < 64) {
+      ++spins;
+      std::this_thread::yield();
+      continue;
+    }
+    spins = 0;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    sleepers_.fetch_add(1, std::memory_order_release);
+    idle_cv_.wait(lock, [this] {
+      return work_visible() || stopping_.load(std::memory_order_acquire);
+    });
+    sleepers_.fetch_sub(1, std::memory_order_release);
   }
 }
 

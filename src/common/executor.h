@@ -1,14 +1,44 @@
-// Fixed-size thread-pool executor.
+// Work-stealing thread-pool executor.
 //
-// Tasks posted to the executor run on one of a fixed set of worker threads.
+// Each worker owns a deque guarded by its own mutex (Chase-Lev in spirit;
+// mutex-per-worker as the first cut). Tasks posted from a worker thread go
+// to that worker's own deque (locality — strand pumps and RPC dispatch
+// repost from workers constantly); tasks posted from outside the pool are
+// distributed round-robin. A worker that finds its own deque empty steals
+// from the back of a sibling's deque. Workers pop their own queue in FIFO
+// order and grab small batches under one lock acquisition, so the per-task
+// cost is a fraction of a mutex round-trip instead of a contended global
+// lock + condvar signal per task.
+//
 // The pool is sized generously relative to expected concurrency because
 // SpecRPC callbacks may park a worker (futures, specBlock) while waiting for
 // speculation to resolve; waiting threads cost almost nothing.
+//
+// Shutdown guarantee: tasks already queued when shutdown() begins are run.
+// Tasks posted *from a pool worker* after shutdown() begins (continuations,
+// strand pumps, completion callbacks running during the drain) are also
+// accepted and run — they land on the posting worker's own deque, which that
+// worker drains before exiting, so a task chain that terminates always runs
+// to completion. Tasks posted from non-worker threads after shutdown()
+// begins are rejected: post() returns false and logs a warning, so nothing
+// is ever silently dropped. shutdown() must not be called from a worker.
+//
+// Blocking-task protocol: workers claim small batches, so a task that parks
+// its worker (spec_block, Future::wait, quorum waits) would otherwise strand
+// the claimed-but-unrun remainder of its batch where no other worker can see
+// it — a deadlock if the parked task waits on one of those very tasks. Every
+// blocking primitive in this codebase calls Executor::before_block() first,
+// which republishes the current worker's unrun batch remainder to its deque
+// (preserving order) and wakes a sibling to take it.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,26 +59,67 @@ class Executor {
   /// Drains remaining tasks and joins all workers.
   ~Executor();
 
-  /// Enqueues `task`; returns false if the executor is shutting down.
+  /// Enqueues `task`. Returns false (and logs) only when the executor is
+  /// shutting down and the caller is not a pool worker; see the shutdown
+  /// guarantee above.
   bool post(Task task);
 
-  /// Stops accepting tasks, runs everything already queued, joins workers.
-  /// Idempotent.
+  /// Stops accepting external tasks, runs everything already queued (plus
+  /// worker-posted continuations), joins workers. Idempotent.
   void shutdown();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Number of tasks currently queued (diagnostic).
-  std::size_t queue_depth() const;
+  /// Approximate number of queued-but-unclaimed tasks. Constant-time and
+  /// lock-free: sums the fixed set of per-worker depth gauges (no global
+  /// counter exists — a shared atomic would put an RMW on every post).
+  std::size_t queue_depth() const {
+    std::size_t total = 0;
+    for (const auto& w : queues_)
+      total += w->depth.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Called by blocking primitives (spec_block, Future::wait, quorum waits)
+  /// before parking the calling thread. If the caller is a pool worker with
+  /// claimed-but-unrun batch tasks, they are pushed back onto the worker's
+  /// deque (order preserved) and a sibling is woken to take them, so nothing
+  /// the parked task may be waiting on stays invisible. No-op elsewhere.
+  static void before_block();
 
  private:
-  void worker_loop();
+  /// Max tasks a worker claims from its own deque per lock acquisition.
+  static constexpr std::size_t kBatch = 16;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  struct alignas(64) Worker {
+    std::mutex mu;
+    std::deque<Task> dq;
+    /// dq.size(), published by whoever holds mu. Readers (idle scans,
+    /// queue_depth) tolerate staleness; every post also notifies sleepers.
+    std::atomic<std::size_t> depth{0};
+    /// Claimed batch; [bpos, bcnt) are unrun. Owner-thread-only (thieves
+    /// never touch it; before_block republishes it under mu).
+    std::array<Task, kBatch> batch;
+    std::size_t bpos = 0;
+    std::size_t bcnt = 0;
+  };
+
+  void worker_loop(std::size_t idx);
+  std::size_t take_own(std::size_t idx);
+  std::size_t steal(std::size_t idx, bool blocking);
+  bool work_visible() const;
+  void run(Task& task);
+
   std::string name_;
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
   std::vector<std::thread> workers_;
 };
 

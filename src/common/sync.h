@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/executor.h"
 #include "common/types.h"
 
 namespace srpc {
@@ -23,12 +24,14 @@ class WaitGroup {
   }
 
   void wait() {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return count_ <= 0; });
   }
 
   /// Returns false on timeout.
   bool wait_for(Duration timeout) {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     return cv_.wait_for(lock, timeout, [this] { return count_ <= 0; });
   }
@@ -51,11 +54,13 @@ class Event {
   }
 
   void wait() {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return set_; });
   }
 
   bool wait_for(Duration timeout) {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     return cv_.wait_for(lock, timeout, [this] { return set_; });
   }

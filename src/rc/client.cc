@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/executor.h"
 #include "common/logging.h"
 
 namespace srpc::rc {
@@ -217,6 +218,7 @@ void RcClient::commit_txn(const std::vector<ReadResult>& reads,
   }
   bool committed;
   {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(votes->mu);
     votes->cv.wait(lock, [&] {
       return votes->yes >= quorum || votes->no > num_dcs - quorum;

@@ -3,6 +3,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/executor.h"
+
 namespace srpc::rc {
 
 void TradKit::register_handler(const std::string& name, AsyncHandler handler) {
@@ -58,6 +60,7 @@ std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
       }
     });
   }
+  Executor::before_block();
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {
     return static_cast<int>(state->successes.size()) >= quorum ||

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/executor.h"
 #include "serde/value.h"
 
 namespace srpc::rpc {
@@ -46,6 +47,7 @@ class Future {
 
   /// Blocks until resolution; returns the value or throws RpcError.
   Value get() {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return outcome_.has_value(); });
     if (!outcome_->ok) throw RpcError(outcome_->error);
@@ -54,6 +56,7 @@ class Future {
 
   /// Blocks with a timeout; std::nullopt on timeout.
   std::optional<Outcome> get_for(Duration timeout) {
+    Executor::before_block();
     std::unique_lock<std::mutex> lock(mu_);
     if (!cv_.wait_for(lock, timeout, [this] { return outcome_.has_value(); }))
       return std::nullopt;

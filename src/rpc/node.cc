@@ -1,6 +1,7 @@
 #include "rpc/node.h"
 
 #include "common/logging.h"
+#include "serde/buffer_pool.h"
 #include "serde/io.h"
 
 namespace srpc::rpc {
@@ -92,8 +93,9 @@ Node::Node(Transport& transport, Executor& executor, TimerWheel& wheel,
       wheel_(wheel),
       config_(config),
       core_(std::make_shared<NodeCore>(transport, *config.codec)) {
-  transport_.set_receiver(
-      [this](const Address& src, Bytes frame) { on_message(src, frame); });
+  transport_.set_receiver([this](const Address& src, Bytes frame) {
+    on_message(src, std::move(frame));
+  });
 }
 
 Node::~Node() {
@@ -158,6 +160,8 @@ void Node::on_message(const Address& src, Bytes frame) {
       SRPC_LOG(ERROR) << address() << ": bad frame from " << src << ": "
                       << e.what();
     }
+    // The frame is fully decoded; recycle its capacity for future encodes.
+    BufferPool::release(std::move(frame));
   };
   if (config_.per_message_overhead > Duration::zero()) {
     // Model framework processing cost (GrpcSim) as added dispatch latency.

@@ -1,22 +1,21 @@
 #include "rpc/wire.h"
 
+#include "serde/buffer_pool.h"
 #include "serde/io.h"
 
 namespace srpc::rpc {
 
-Bytes encode_request(const Request& req, const Codec& codec) {
-  Bytes out;
+void encode_request_into(const Request& req, const Codec& codec, Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kRequest));
   w.u64(req.call_id);
   w.str32(req.method);
   w.u32(static_cast<std::uint32_t>(req.args.size()));
   for (const auto& a : req.args) codec.encode(a, out);
-  return out;
 }
 
-Bytes encode_response(const Response& rsp, const Codec& codec) {
-  Bytes out;
+void encode_response_into(const Response& rsp, const Codec& codec,
+                          Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kResponse));
   w.u64(rsp.call_id);
@@ -26,6 +25,17 @@ Bytes encode_response(const Response& rsp, const Codec& codec) {
   } else {
     w.str32(rsp.error);
   }
+}
+
+Bytes encode_request(const Request& req, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_request_into(req, codec, out);
+  return out;
+}
+
+Bytes encode_response(const Response& rsp, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_response_into(rsp, codec, out);
   return out;
 }
 

@@ -26,6 +26,13 @@ struct Response {
   std::string error;   // valid when !ok
 };
 
+/// Append-encode into a caller-supplied buffer (not cleared first), so a
+/// reused/pooled buffer serves many messages without reallocating.
+void encode_request_into(const Request& req, const Codec& codec, Bytes& out);
+void encode_response_into(const Response& rsp, const Codec& codec, Bytes& out);
+
+/// Convenience forms; the returned buffer comes from the thread-local
+/// BufferPool, and receivers hand exhausted frames back to it after decode.
 Bytes encode_request(const Request& req, const Codec& codec);
 Bytes encode_response(const Response& rsp, const Codec& codec);
 

@@ -1,0 +1,64 @@
+// Thread-local free-list of wire buffers.
+//
+// The RPC wire encoders acquire a Bytes here instead of default-constructing
+// one, so the encode path reuses capacity instead of re-growing a fresh
+// vector per message. Receivers hand exhausted frames back via release()
+// once decoding is done. Pools are thread-local (no lock on the hot path);
+// executor workers both encode and decode, so buffers naturally recirculate
+// within a worker. Sender-only threads simply allocate and receiver-only
+// threads cap their pool — the pool bounds itself rather than balancing
+// across threads.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace srpc {
+
+class BufferPool {
+ public:
+  /// Max buffers parked per thread; further releases just free.
+  static constexpr std::size_t kMaxPooled = 32;
+  /// Buffers that grew beyond this are freed on release, not pooled.
+  static constexpr std::size_t kMaxPooledCapacity = 256 * 1024;
+
+  /// Returns an empty Bytes, reusing pooled capacity when available.
+  static Bytes acquire(std::size_t reserve_hint = 0) {
+    auto& pool = local();
+    if (!pool.empty()) {
+      Bytes b = std::move(pool.back());
+      pool.pop_back();
+      b.clear();
+      if (reserve_hint > 0) b.reserve(reserve_hint);
+      return b;
+    }
+    Bytes b;
+    if (reserve_hint > 0) b.reserve(reserve_hint);
+    return b;
+  }
+
+  /// Parks a spent buffer for reuse by this thread. Safe for any Bytes,
+  /// including ones that did not come from acquire().
+  static void release(Bytes&& b) {
+    auto& pool = local();
+    if (pool.size() >= kMaxPooled || b.capacity() > kMaxPooledCapacity ||
+        b.capacity() == 0) {
+      return;  // drop: destructor frees
+    }
+    pool.push_back(std::move(b));
+  }
+
+  /// Buffers currently parked for the calling thread (diagnostic/tests).
+  static std::size_t local_size() { return local().size(); }
+
+ private:
+  static std::vector<Bytes>& local() {
+    thread_local std::vector<Bytes> pool;
+    return pool;
+  }
+};
+
+}  // namespace srpc

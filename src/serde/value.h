@@ -69,6 +69,18 @@ class Value {
   ValueList& mutable_list() { return get_mut<ValueList>("list"); }
   ValueMap& mutable_map() { return get_mut<ValueMap>("map"); }
 
+  /// Destructive move-out accessors for the heap-backed alternatives: the
+  /// payload is moved to the caller and the Value keeps a valid but empty
+  /// container of the same type. Dispatch paths use these to hand decoded
+  /// arguments/results onward without deep-copying. Type errors throw
+  /// ValueTypeError, same as the as_*() family.
+  std::string take_string() {
+    return std::move(get_mut<std::string>("string"));
+  }
+  Bytes take_bytes() { return std::move(get_mut<Bytes>("bytes")); }
+  ValueList take_list() { return std::move(get_mut<ValueList>("list")); }
+  ValueMap take_map() { return std::move(get_mut<ValueMap>("map")); }
+
   /// Deep structural equality — this is what decides whether a prediction
   /// was correct (paper §3.3).
   friend bool operator==(const Value& a, const Value& b) {

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "serde/buffer_pool.h"
 #include "serde/io.h"
 
 namespace srpc::spec {
@@ -51,8 +52,9 @@ SpecEngine::SpecEngine(Transport& transport, Executor& executor,
   root_->kind = SpecNode::Kind::kRoot;
   root_->state = SpecState::kCorrect;
   root_->debug_id = next_debug_id_++;
-  transport_.set_receiver(
-      [this](const Address& src, Bytes frame) { on_message(src, frame); });
+  transport_.set_receiver([this](const Address& src, Bytes frame) {
+    on_message(src, std::move(frame));
+  });
 }
 
 SpecEngine::~SpecEngine() { begin_shutdown(); }
@@ -139,6 +141,7 @@ void SpecEngine::set_rollback(std::function<void()> rollback) {
 void SpecEngine::spec_block() {
   const SpecNode::Ptr node = context_node();
   if (node == root_) return;  // application thread is never speculative
+  Executor::before_block();
   std::unique_lock<std::mutex> lock(mu_);
   stats_.spec_blocks++;
   cv_.wait(lock, [&] { return is_terminal(node->state) || stopping_; });
@@ -146,6 +149,7 @@ void SpecEngine::spec_block() {
 }
 
 void SpecEngine::block_on(const SpecNode::Ptr& node) {
+  Executor::before_block();
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return is_terminal(node->state) || stopping_; });
 }
@@ -715,6 +719,8 @@ void SpecEngine::on_message(const Address& src, Bytes frame) {
     SRPC_LOG(ERROR) << address() << ": bad frame from " << src << ": "
                     << e.what();
   }
+  // The frame is fully decoded; recycle its capacity for future encodes.
+  BufferPool::release(std::move(frame));
   for (auto& a : actions) a();
 }
 
@@ -784,8 +790,11 @@ void SpecEngine::on_request(const Address& src, RequestMsg msg,
         SRPC_LOG(ERROR) << "handler factory threw: " << e.what();
         return;
       }
+      // The handler task is the sole consumer of the decoded arguments;
+      // hand them to the ServerCall instead of deep-copying the ValueList.
       auto call = std::make_shared<ServerCall>(*this, id, rec->caller,
-                                               rec->method, rec->args,
+                                               rec->method,
+                                               std::move(rec->args),
                                                rec->mirror);
       ExecScope scope(this, rec->mirror);
       try {

@@ -1,5 +1,6 @@
 #include "specrpc/wire.h"
 
+#include "serde/buffer_pool.h"
 #include "serde/io.h"
 
 namespace srpc::spec {
@@ -9,8 +10,7 @@ MsgType peek_type(const Bytes& frame) {
   return static_cast<MsgType>(frame[0]);
 }
 
-Bytes encode(const RequestMsg& m, const Codec& codec) {
-  Bytes out;
+void encode_into(const RequestMsg& m, const Codec& codec, Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kRequest));
   w.u64(m.call_id);
@@ -18,20 +18,17 @@ Bytes encode(const RequestMsg& m, const Codec& codec) {
   w.str32(m.method);
   w.u32(static_cast<std::uint32_t>(m.args.size()));
   for (const auto& a : m.args) codec.encode(a, out);
-  return out;
 }
 
-Bytes encode(const PredictedResponseMsg& m, const Codec& codec) {
-  Bytes out;
+void encode_into(const PredictedResponseMsg& m, const Codec& codec,
+                 Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kPredictedResponse));
   w.u64(m.call_id);
   codec.encode(m.value, out);
-  return out;
 }
 
-Bytes encode(const ActualResponseMsg& m, const Codec& codec) {
-  Bytes out;
+void encode_into(const ActualResponseMsg& m, const Codec& codec, Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kActualResponse));
   w.u64(m.call_id);
@@ -41,15 +38,36 @@ Bytes encode(const ActualResponseMsg& m, const Codec& codec) {
   } else {
     w.str32(m.error);
   }
-  return out;
 }
 
-Bytes encode(const StateChangeMsg& m, const Codec& codec) {
-  Bytes out;
+void encode_into(const StateChangeMsg& m, const Codec& codec, Bytes& out) {
   Writer w(out);
   w.u8(static_cast<std::uint8_t>(MsgType::kStateChange));
   w.u64(m.call_id);
   w.u8(m.correct ? 1 : 0);
+}
+
+Bytes encode(const RequestMsg& m, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_into(m, codec, out);
+  return out;
+}
+
+Bytes encode(const PredictedResponseMsg& m, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_into(m, codec, out);
+  return out;
+}
+
+Bytes encode(const ActualResponseMsg& m, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_into(m, codec, out);
+  return out;
+}
+
+Bytes encode(const StateChangeMsg& m, const Codec& codec) {
+  Bytes out = BufferPool::acquire();
+  encode_into(m, codec, out);
   return out;
 }
 

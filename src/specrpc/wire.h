@@ -56,6 +56,16 @@ struct StateChangeMsg {
 
 MsgType peek_type(const Bytes& frame);
 
+/// Append-encode into a caller-supplied buffer (not cleared first), so a
+/// reused/pooled buffer serves many messages without reallocating.
+void encode_into(const RequestMsg& m, const Codec& codec, Bytes& out);
+void encode_into(const PredictedResponseMsg& m, const Codec& codec,
+                 Bytes& out);
+void encode_into(const ActualResponseMsg& m, const Codec& codec, Bytes& out);
+void encode_into(const StateChangeMsg& m, const Codec& codec, Bytes& out);
+
+/// Convenience forms; the returned buffer comes from the thread-local
+/// BufferPool, and receivers hand exhausted frames back to it after decode.
 Bytes encode(const RequestMsg& m, const Codec& codec);
 Bytes encode(const PredictedResponseMsg& m, const Codec& codec);
 Bytes encode(const ActualResponseMsg& m, const Codec& codec);

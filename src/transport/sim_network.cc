@@ -1,15 +1,33 @@
 #include "transport/sim_network.h"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "common/logging.h"
 
 namespace srpc {
 
+namespace {
+// FNV-1a, used to derive a per-node jitter Rng stream from the global seed
+// so delay draws are deterministic per endpoint regardless of how sends
+// interleave across endpoints.
+std::uint64_t hash_addr(const Address& addr) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : addr) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
 class SimNetwork::Node final : public Transport {
  public:
-  Node(SimNetwork& net, Address addr, Executor& executor)
-      : net_(net), addr_(std::move(addr)), strand_(Strand::create(executor)) {}
+  Node(SimNetwork& net, Address addr, Executor& executor, std::uint64_t seed)
+      : net_(net),
+        addr_(std::move(addr)),
+        strand_(Strand::create(executor)),
+        rng_(seed ^ hash_addr(addr_)) {}  // rng_ declared last: addr_ is set
 
   const Address& address() const override { return addr_; }
 
@@ -18,17 +36,17 @@ class SimNetwork::Node final : public Transport {
   }
 
   void set_receiver(Receiver receiver) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(recv_mu_);
     receiver_ = std::move(receiver);
   }
 
   /// Called (via strand) when a message arrives.
   void deliver(const Address& src, Bytes payload) {
+    msgs_recv_.fetch_add(1, std::memory_order_relaxed);
+    bytes_recv_.fetch_add(payload.size(), std::memory_order_relaxed);
     Receiver receiver;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.msgs_recv++;
-      stats_.bytes_recv += payload.size();
+      std::lock_guard<std::mutex> lock(recv_mu_);
       receiver = receiver_;
     }
     if (receiver) {
@@ -41,36 +59,58 @@ class SimNetwork::Node final : public Transport {
   }
 
   void account_send(std::size_t bytes) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.msgs_sent++;
-    stats_.bytes_sent += bytes;
+    msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   TrafficStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    TrafficStats s;
+    s.msgs_sent = msgs_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.msgs_recv = msgs_recv_.load(std::memory_order_relaxed);
+    s.bytes_recv = bytes_recv_.load(std::memory_order_relaxed);
+    return s;
   }
 
   void reset_stats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = {};
+    msgs_sent_.store(0, std::memory_order_relaxed);
+    bytes_sent_.store(0, std::memory_order_relaxed);
+    msgs_recv_.store(0, std::memory_order_relaxed);
+    bytes_recv_.store(0, std::memory_order_relaxed);
   }
 
   Strand& strand() { return *strand_; }
+
+  /// Outbound link state toward one destination; lives in the source
+  /// node's peer table, so all of send()'s mutable state is behind the
+  /// per-source peer_mu_.
+  struct Peer {
+    Node* dst = nullptr;
+    Duration delay;
+    Duration jitter;
+    bool blocked = false;
+    TimePoint last_delivery{};  // enforces per-pair FIFO
+  };
 
  private:
   SimNetwork& net_;
   Address addr_;
   std::shared_ptr<Strand> strand_;
-  mutable std::mutex mu_;
+  mutable std::mutex recv_mu_;
   Receiver receiver_;
-  TrafficStats stats_;
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> msgs_recv_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
+
+ public:
+  std::mutex peer_mu_;
+  std::unordered_map<Address, Peer> peers_;
+  Rng rng_;  // jitter draws; guarded by peer_mu_
 };
 
 SimNetwork::SimNetwork(Config config)
-    : config_(config),
-      executor_(config.executor_threads, "simnet"),
-      rng_(config.seed) {}
+    : config_(config), executor_(config.executor_threads, "simnet") {}
 
 SimNetwork::~SimNetwork() {
   // Stop timers first so no delivery fires into a dying executor.
@@ -79,19 +119,60 @@ SimNetwork::~SimNetwork() {
 }
 
 Transport& SimNetwork::add_node(const Address& addr) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] =
-      nodes_.emplace(addr, std::make_unique<Node>(*this, addr, executor_));
+  std::unique_lock<std::shared_mutex> lock(nodes_mu_);
+  auto [it, inserted] = nodes_.emplace(
+      addr, std::make_unique<Node>(*this, addr, executor_, config_.seed));
   if (!inserted) throw std::invalid_argument("duplicate node: " + addr);
   return *it->second;
 }
 
+SimNetwork::Node* SimNetwork::find_node(const Address& addr) const {
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+SimNetwork::LinkCfg SimNetwork::cfg_for(const Address& a,
+                                        const Address& b) const {
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  auto it = link_cfg_.find(std::make_pair(a, b));
+  if (it != link_cfg_.end()) return it->second;
+  return LinkCfg{config_.default_delay, config_.default_jitter, false};
+}
+
+void SimNetwork::update_link(const Address& a, const Address& b,
+                             const std::function<void(LinkCfg&)>& mutate) {
+  // Record the setting for peers not yet materialized...
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    auto [it, inserted] = link_cfg_.try_emplace(
+        std::make_pair(a, b),
+        LinkCfg{config_.default_delay, config_.default_jitter, false});
+    mutate(it->second);
+  }
+  // ...then patch the live peer entry, if the source already resolved one.
+  // Locks are taken one at a time (cfg_mu_, then nodes_mu_ inside
+  // find_node, then peer_mu_), never nested, so no ordering cycle with the
+  // send path exists.
+  Node* src = find_node(a);
+  if (src == nullptr) return;
+  std::lock_guard<std::mutex> lock(src->peer_mu_);
+  auto it = src->peers_.find(b);
+  if (it != src->peers_.end()) {
+    LinkCfg patched{it->second.delay, it->second.jitter, it->second.blocked};
+    mutate(patched);
+    it->second.delay = patched.delay;
+    it->second.jitter = patched.jitter;
+    it->second.blocked = patched.blocked;
+  }
+}
+
 void SimNetwork::set_one_way(const Address& a, const Address& b,
                              Duration delay, Duration jitter) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Link& link = link_for(a, b);
-  link.delay = delay;
-  link.jitter = jitter;
+  update_link(a, b, [&](LinkCfg& cfg) {
+    cfg.delay = delay;
+    cfg.jitter = jitter;
+  });
 }
 
 void SimNetwork::set_rtt(const Address& a, const Address& b, Duration rtt,
@@ -101,47 +182,47 @@ void SimNetwork::set_rtt(const Address& a, const Address& b, Duration rtt,
 }
 
 void SimNetwork::partition(const Address& a, const Address& b, bool blocked) {
-  std::lock_guard<std::mutex> lock(mu_);
-  link_for(a, b).blocked = blocked;
-  link_for(b, a).blocked = blocked;
-}
-
-SimNetwork::Link& SimNetwork::link_for(const Address& a, const Address& b) {
-  auto key = std::make_pair(a, b);
-  auto it = links_.find(key);
-  if (it == links_.end()) {
-    it = links_
-             .emplace(std::move(key),
-                      Link{config_.default_delay, config_.default_jitter})
-             .first;
-  }
-  return it->second;
+  update_link(a, b, [&](LinkCfg& cfg) { cfg.blocked = blocked; });
+  update_link(b, a, [&](LinkCfg& cfg) { cfg.blocked = blocked; });
 }
 
 void SimNetwork::do_send(Node& src, const Address& dst, Bytes payload) {
   Node* dst_node = nullptr;
   TimePoint deliver_at;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = nodes_.find(dst);
-    if (it == nodes_.end()) {
-      SRPC_LOG(WARN) << src.address() << ": send to unknown node " << dst;
-      return;
+    std::unique_lock<std::mutex> lock(src.peer_mu_);
+    auto it = src.peers_.find(dst);
+    if (it == src.peers_.end()) {
+      // Cold path: resolve the destination and link config, then re-check
+      // under the peer lock (it was dropped in between, so a racing send
+      // may have materialized the entry first).
+      lock.unlock();
+      Node* resolved = find_node(dst);
+      if (resolved == nullptr) {
+        SRPC_LOG(WARN) << src.address() << ": send to unknown node " << dst;
+        return;
+      }
+      const LinkCfg cfg = cfg_for(src.address(), dst);
+      lock.lock();
+      it = src.peers_
+               .try_emplace(dst, Node::Peer{resolved, cfg.delay, cfg.jitter,
+                                            cfg.blocked, TimePoint{}})
+               .first;
     }
-    dst_node = it->second.get();
-    Link& link = link_for(src.address(), dst);
-    if (link.blocked) return;  // partitioned: silently dropped
-    Duration delay = link.delay;
-    if (link.jitter > Duration::zero()) {
-      delay += Duration(static_cast<Duration::rep>(
-          rng_.uniform(static_cast<std::uint64_t>(link.jitter.count()) + 1)));
+    Node::Peer& peer = it->second;
+    if (peer.blocked) return;  // partitioned: silently dropped
+    dst_node = peer.dst;
+    Duration delay = peer.delay;
+    if (peer.jitter > Duration::zero()) {
+      delay += Duration(static_cast<Duration::rep>(src.rng_.uniform(
+          static_cast<std::uint64_t>(peer.jitter.count()) + 1)));
     }
     deliver_at = Clock::now() + delay;
     // FIFO per directed pair: never schedule before an earlier message.
-    if (deliver_at <= link.last_delivery) {
-      deliver_at = link.last_delivery + std::chrono::nanoseconds(1);
+    if (deliver_at <= peer.last_delivery) {
+      deliver_at = peer.last_delivery + std::chrono::nanoseconds(1);
     }
-    link.last_delivery = deliver_at;
+    peer.last_delivery = deliver_at;
   }
   src.account_send(payload.size());
   const Address src_addr = src.address();
@@ -154,21 +235,19 @@ void SimNetwork::do_send(Node& src, const Address& dst, Bytes payload) {
 }
 
 TrafficStats SimNetwork::stats(const Address& addr) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = nodes_.find(addr);
-  if (it == nodes_.end()) return {};
-  return it->second->stats();
+  Node* node = find_node(addr);
+  return node == nullptr ? TrafficStats{} : node->stats();
 }
 
 TrafficStats SimNetwork::total_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
   TrafficStats total;
   for (const auto& [_, node] : nodes_) total += node->stats();
   return total;
 }
 
 void SimNetwork::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(nodes_mu_);
   for (auto& [_, node] : nodes_) node->reset_stats();
 }
 

@@ -6,12 +6,29 @@
 // draws a link delay, and schedules delivery through the shared TimerWheel.
 // Delivery runs on a per-destination Strand, preserving FIFO order per
 // directed pair — the same guarantee TCP gives the original system.
+//
+// Locking model (hot path takes no network-global mutex):
+//   - Link state is sharded by source endpoint: each Node owns its outbound
+//     peer table (destination pointer, delay/jitter/partition, FIFO clamp,
+//     jitter Rng) under a per-node mutex. send() takes only that per-source
+//     lock plus the destination's atomic stats — never a network-wide one.
+//   - The node directory is guarded by a shared_mutex: exclusive for
+//     add_node(), shared for cold-path lookups (first message to a peer,
+//     control-plane calls, stats aggregation). Nodes are never removed, so
+//     cached Node pointers stay valid for the network's lifetime.
+//   - Link configuration set before traffic flows (or before the endpoints
+//     exist) lives in link_cfg_ under cfg_mu_; it is consulted only when a
+//     Node first materializes a peer entry. Control-plane updates
+//     (set_one_way, partition) write link_cfg_ and then patch any live peer
+//     entry, each under its own lock, never nested.
+//   - Per-endpoint traffic counters are relaxed atomics; stats() aggregates
+//     them on read.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/executor.h"
@@ -65,23 +82,29 @@ class SimNetwork {
 
  private:
   class Node;
-  struct Link {
+
+  /// Control-plane link settings, applied to peer entries on first use.
+  struct LinkCfg {
     Duration delay;
     Duration jitter;
     bool blocked = false;
-    TimePoint last_delivery{};  // enforces per-pair FIFO
   };
 
   void do_send(Node& src, const Address& dst, Bytes payload);
-  Link& link_for(const Address& a, const Address& b);
+  Node* find_node(const Address& addr) const;
+  LinkCfg cfg_for(const Address& a, const Address& b) const;
+  void update_link(const Address& a, const Address& b,
+                   const std::function<void(LinkCfg&)>& mutate);
 
   Config config_;
   Executor executor_;
   TimerWheel wheel_;
-  mutable std::mutex mu_;
-  Rng rng_;
+
+  mutable std::shared_mutex nodes_mu_;  // exclusive: add_node; shared: lookup
   std::unordered_map<Address, std::unique_ptr<Node>> nodes_;
-  std::map<std::pair<Address, Address>, Link> links_;
+
+  mutable std::mutex cfg_mu_;
+  std::map<std::pair<Address, Address>, LinkCfg> link_cfg_;
 };
 
 }  // namespace srpc

@@ -11,11 +11,14 @@ namespace {
 
 TEST(Future, GetBlocksUntilResolved) {
   auto future = Future::create();
+  // t0 before spawning: on a loaded machine the new thread can start its
+  // sleep before this thread is rescheduled, which would shrink the
+  // measured wait below the resolver's sleep.
+  const auto t0 = Clock::now();
   std::thread resolver([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
     future->resolve(Outcome::success(Value(7)));
   });
-  const auto t0 = Clock::now();
   EXPECT_EQ(future->get(), Value(7));
   EXPECT_GE(to_ms(Clock::now() - t0), 25.0);
   resolver.join();

@@ -3,7 +3,9 @@
 // simulated service time, and the GrpcSim overhead/codec deltas.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 
 #include "grpcsim/grpcsim.h"
 #include "rpc/node.h"
@@ -163,7 +165,7 @@ TEST(GrpcSim, OverheadSlowsCallsDown) {
   Node trad_server(net.add_node("ts"), net.executor(), net.wheel());
   Node trad_client(net.add_node("tc"), net.executor(), net.wheel());
   grpcsim::GrpcSimConfig grpc_config;
-  grpc_config.per_message_overhead = std::chrono::milliseconds(2);
+  grpc_config.per_message_overhead = std::chrono::milliseconds(10);
   grpcsim::GrpcNode grpc_server(net.add_node("gs"), net.executor(),
                                 net.wheel(), grpc_config);
   grpcsim::GrpcNode grpc_client(net.add_node("gc"), net.executor(),
@@ -174,15 +176,21 @@ TEST(GrpcSim, OverheadSlowsCallsDown) {
   trad_server.register_method("echo", echo);
   grpc_server.register_method("echo", echo);
 
+  // Min-of-5 rather than mean: scheduler noise on a loaded machine only
+  // inflates samples, so the min tracks the modeled cost.
   auto time_call = [](Node& node, const Address& dst) {
-    const auto t0 = Clock::now();
-    for (int i = 0; i < 5; ++i) node.call_sync(dst, "echo", {Value(i)});
-    return to_ms(Clock::now() - t0) / 5;
+    double best = std::numeric_limits<double>::max();
+    for (int i = 0; i < 5; ++i) {
+      const auto t0 = Clock::now();
+      node.call_sync(dst, "echo", {Value(i)});
+      best = std::min(best, to_ms(Clock::now() - t0));
+    }
+    return best;
   };
   const double trad_ms = time_call(trad_client, "ts");
   const double grpc_ms = time_call(grpc_client, "gs");
-  // 2 ms per message, 2 messages per RPC: ~4 ms extra.
-  EXPECT_GT(grpc_ms, trad_ms + 3.0);
+  // 10 ms per message, 2 messages per RPC: ~20 ms extra.
+  EXPECT_GT(grpc_ms, trad_ms + 15.0);
 }
 
 TEST(GrpcSim, UsesCompactCodec) {

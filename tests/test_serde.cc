@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "rpc/wire.h"
+#include "serde/buffer_pool.h"
 #include "serde/codec.h"
 #include "serde/io.h"
+#include "specrpc/wire.h"
 
 namespace srpc {
 namespace {
@@ -181,6 +184,122 @@ TEST(CodecComparison, CrossCodecEquivalence) {
     EXPECT_EQ(binary_codec().decode(binary_codec().encode(v)),
               tagged_codec().decode(tagged_codec().encode(v)));
   }
+}
+
+TEST(Value, TakeAccessorsMoveOutHeapPayloads) {
+  Value s(std::string(100, 'x'));
+  std::string moved = s.take_string();
+  EXPECT_EQ(moved, std::string(100, 'x'));
+  EXPECT_EQ(s.as_string(), "");  // valid-but-empty, still a string
+
+  Value b(Bytes{1, 2, 3});
+  Bytes taken = b.take_bytes();
+  EXPECT_EQ(taken, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(b.as_bytes().empty());
+
+  Value lst = vlist(1, "two", 3.0);
+  ValueList items = lst.take_list();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[1], Value("two"));
+  EXPECT_TRUE(lst.as_list().empty());
+
+  ValueMap m{{"k", Value(7)}};
+  Value vm(m);
+  ValueMap taken_map = vm.take_map();
+  EXPECT_EQ(taken_map.at("k"), Value(7));
+  EXPECT_TRUE(vm.as_map().empty());
+}
+
+TEST(Value, TakeAccessorsThrowOnTypeMismatch) {
+  EXPECT_THROW(Value(42).take_string(), ValueTypeError);
+  EXPECT_THROW(Value("s").take_bytes(), ValueTypeError);
+  EXPECT_THROW(Value().take_list(), ValueTypeError);
+  EXPECT_THROW(Value(true).take_map(), ValueTypeError);
+}
+
+TEST(WireEncodeInto, ReusedBufferYieldsIdenticalBytes) {
+  rpc::Request req;
+  req.call_id = 99;
+  req.method = "put";
+  req.args = {Value("key"), vlist(1, 2, 3)};
+  const Bytes fresh = rpc::encode_request(req, binary_codec());
+  EXPECT_EQ(rpc::decode_request(fresh, binary_codec()).args, req.args);
+
+  Bytes reused;
+  reused.reserve(1024);
+  for (int i = 0; i < 3; ++i) {
+    reused.clear();
+    rpc::encode_request_into(req, binary_codec(), reused);
+    EXPECT_EQ(reused, fresh) << "iteration " << i;
+  }
+
+  rpc::Response rsp;
+  rsp.call_id = 99;
+  rsp.result = vlist("ok", 1);
+  const Bytes rsp_fresh = rpc::encode_response(rsp, binary_codec());
+  reused.clear();
+  rpc::encode_response_into(rsp, binary_codec(), reused);
+  EXPECT_EQ(reused, rsp_fresh);
+}
+
+TEST(WireEncodeInto, AppendsWithoutClearing) {
+  // encode_*_into is documented as append-only: framing layers can write a
+  // header first and encode the payload behind it.
+  rpc::Response rsp;
+  rsp.call_id = 5;
+  rsp.result = Value("payload");
+  Bytes buf{0xAA, 0xBB};
+  rpc::encode_response_into(rsp, binary_codec(), buf);
+  ASSERT_GT(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xAA);
+  EXPECT_EQ(buf[1], 0xBB);
+  const Bytes payload(buf.begin() + 2, buf.end());
+  EXPECT_EQ(rpc::decode_response(payload, binary_codec()).result,
+            Value("payload"));
+}
+
+TEST(WireEncodeInto, SpecMessagesRoundTripThroughReusedBuffer) {
+  spec::RequestMsg m;
+  m.call_id = 7;
+  m.caller_speculative = true;
+  m.method = "lookup";
+  m.args = {Value("k"), Value(123)};
+  const Bytes fresh = spec::encode(m, tagged_codec());
+
+  Bytes reused = BufferPool::acquire(256);
+  spec::encode_into(m, tagged_codec(), reused);
+  EXPECT_EQ(reused, fresh);
+
+  const spec::RequestMsg back = spec::decode_request(reused, tagged_codec());
+  EXPECT_EQ(back.call_id, 7u);
+  EXPECT_TRUE(back.caller_speculative);
+  EXPECT_EQ(back.method, "lookup");
+  EXPECT_EQ(back.args, m.args);
+  BufferPool::release(std::move(reused));
+}
+
+TEST(BufferPool, RecirculatesCapacityWithinThread) {
+  // Drain whatever earlier tests parked so counts below are exact.
+  while (BufferPool::local_size() > 0) (void)BufferPool::acquire();
+
+  Bytes b = BufferPool::acquire(4096);
+  b.assign(100, 0x42);
+  const std::size_t cap = b.capacity();
+  BufferPool::release(std::move(b));
+  EXPECT_EQ(BufferPool::local_size(), 1u);
+
+  Bytes again = BufferPool::acquire();
+  EXPECT_EQ(BufferPool::local_size(), 0u);
+  EXPECT_TRUE(again.empty());          // cleared on acquire
+  EXPECT_EQ(again.capacity(), cap);    // capacity survived the round trip
+
+  // Zero-capacity and oversized buffers are dropped, not pooled.
+  BufferPool::release(Bytes{});
+  EXPECT_EQ(BufferPool::local_size(), 0u);
+  Bytes huge;
+  huge.reserve(BufferPool::kMaxPooledCapacity + 1);
+  BufferPool::release(std::move(huge));
+  EXPECT_EQ(BufferPool::local_size(), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <atomic>
 
 #include "common/env.h"
+#include "common/sync.h"
 #include "specrpc/engine.h"
 #include "transport/sim_network.h"
 
@@ -175,22 +176,32 @@ TEST_F(SpecEngineTest, SpecBlockReturnsOnCorrectSpeculation) {
 }
 
 TEST_F(SpecEngineTest, SpecBlockThrowsOnMisspeculation) {
-  // Delay the actual response so the speculative callback reliably enters
-  // spec_block before its prediction is invalidated.
+  // Hold the actual response until the speculative callback has started, so
+  // it reliably misspeculates: once the callback runs with the predicted
+  // value, the later actual response invalidates it no matter how the
+  // threads interleave (a fixed delay here was flaky under CPU load).
+  srpc::Event callback_entered;
   server_engine_->register_method(
-      "slow_plus", Handler([](const ServerCallPtr& c) {
+      "slow_plus", Handler([&callback_entered](const ServerCallPtr& c) {
+        callback_entered.wait();
         c->finish_after(
-            std::chrono::milliseconds(50),
+            std::chrono::milliseconds(1),
             Value(c->args().at(0).as_int() + c->args().at(1).as_int()));
       }));
   std::atomic<int> misspeculations{0};
   std::atomic<int> completions{0};
+  // The parked speculative callback observes its invalidation
+  // asynchronously: the future resolves via the actual-value branch, so
+  // get() returning does not order after the misspeculation throw.
+  srpc::Event misspeculation_seen;
   auto factory = [&]() -> CallbackFn {
     return [&](SpecContext& ctx, const Value& v) -> CallbackResult {
+      callback_entered.set();
       try {
         ctx.spec_block();
       } catch (const MisspeculationError&) {
         misspeculations.fetch_add(1);
+        misspeculation_seen.set();
         throw;
       }
       completions.fetch_add(1);
@@ -200,6 +211,7 @@ TEST_F(SpecEngineTest, SpecBlockThrowsOnMisspeculation) {
   auto future = client_engine_->call("server", "slow_plus", make_args(1, 2),
                                      {Value(99)}, factory);
   EXPECT_EQ(future->get(), Value(30));
+  EXPECT_TRUE(misspeculation_seen.wait_for(std::chrono::seconds(10)));
   EXPECT_EQ(misspeculations.load(), 1);
   EXPECT_EQ(completions.load(), 1);
 }
