@@ -1,0 +1,157 @@
+// Goodput vs. loss rate under the retry/deadline layer. Writes
+// BENCH_faults.json (cwd).
+//
+// Two rpc::Node endpoints on a SimNetwork exchange echo calls from several
+// closed-loop client threads. For each loss rate the bench reports completed
+// calls/sec and the failure fraction; the 0%-loss point is measured both
+// with retries disabled and enabled, so the policy's bookkeeping overhead on
+// the fault-free fast path is visible directly (ISSUE acceptance: retry adds
+// no measurable overhead at 0% loss).
+//
+// Env knobs:
+//   SPECRPC_FAULTS_SECS     seconds per measured point (default 1.0)
+//   SPECRPC_FAULTS_THREADS  closed-loop client threads (default 8)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "common/types.h"
+#include "rpc/node.h"
+#include "transport/sim_network.h"
+
+namespace {
+
+using srpc::FaultCfg;
+using srpc::SimConfig;
+using srpc::SimNetwork;
+using srpc::Value;
+using srpc::rpc::Node;
+using srpc::rpc::NodeConfig;
+using srpc::rpc::RpcError;
+
+struct Point {
+  std::string label;
+  double loss = 0;
+  bool retry = false;
+  double goodput = 0;   // completed calls/sec across all threads
+  double fail_frac = 0; // calls that exhausted the deadline
+};
+
+Point run_point(const std::string& label, double loss, bool retry) {
+  const double secs = srpc::env_double("SPECRPC_FAULTS_SECS", 1.0);
+  const int threads = static_cast<int>(
+      srpc::env_long("SPECRPC_FAULTS_THREADS", 8));
+
+  SimConfig sim_config;
+  sim_config.default_delay = std::chrono::microseconds(200);
+  SimNetwork net(sim_config);
+  Node server(net.add_node("server"), net.executor(), net.wheel());
+  server.register_method(
+      "echo", [](const srpc::rpc::CallContext&, srpc::ValueList args,
+                 srpc::rpc::Responder responder) {
+        responder.finish(args.empty() ? Value() : args[0]);
+      });
+
+  NodeConfig config;
+  config.call_timeout = std::chrono::milliseconds(200);
+  if (retry) {
+    config.retry.max_attempts = 4;
+    config.retry.attempt_timeout = std::chrono::milliseconds(5);
+    config.retry.initial_backoff = std::chrono::milliseconds(1);
+    config.retry.max_backoff = std::chrono::milliseconds(10);
+  }
+  Node client(net.add_node("client"), net.executor(), net.wheel(), config);
+
+  if (loss > 0) {
+    FaultCfg faults;
+    faults.drop_prob = loss;
+    net.set_faults("client", "server", faults);
+    net.set_faults("server", "client", faults);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          client.call_sync("server", "echo", {Value(static_cast<int>(t)),
+                                              Value(static_cast<int>(i++))});
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } catch (const RpcError&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));  // warmup
+  ok.store(0);
+  failed.store(0);
+  const auto t0 = srpc::Clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration_cast<srpc::Duration>(
+          std::chrono::duration<double>(secs)));
+  const std::uint64_t done = ok.load();
+  const std::uint64_t bad = failed.load();
+  const double elapsed = srpc::to_ms(srpc::Clock::now() - t0) / 1000.0;
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  Point p;
+  p.label = label;
+  p.loss = loss;
+  p.retry = retry;
+  p.goodput = static_cast<double>(done) / elapsed;
+  p.fail_frac = done + bad == 0
+                    ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(done + bad);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Point> points;
+  points.push_back(run_point("loss0_noretry", 0.0, false));
+  points.push_back(run_point("loss0_retry", 0.0, true));
+  points.push_back(run_point("loss1_retry", 0.01, true));
+  points.push_back(run_point("loss5_retry", 0.05, true));
+
+  srpc::bench::Table table({"point", "loss", "retry", "goodput calls/s",
+                            "failed frac"});
+  for (const auto& p : points) {
+    char goodput[32], fail[32], loss[16];
+    std::snprintf(goodput, sizeof(goodput), "%.0f", p.goodput);
+    std::snprintf(fail, sizeof(fail), "%.4f", p.fail_frac);
+    std::snprintf(loss, sizeof(loss), "%.0f%%", p.loss * 100.0);
+    table.row({p.label, loss, p.retry ? "on" : "off", goodput, fail});
+  }
+  table.print();
+
+  FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_faults.json");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"loss\": %.2f, \"retry\": %s, "
+                 "\"goodput_calls_per_sec\": %.0f, \"failed_frac\": %.4f}%s\n",
+                 p.label.c_str(), p.loss, p.retry ? "true" : "false",
+                 p.goodput, p.fail_frac, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_faults.json\n");
+  return 0;
+}

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 gate under AddressSanitizer+UBSan: configure, build, run the full
-# test suite with the asan preset. Usage: scripts/check.sh [extra ctest args]
+# Tier-1 gate: (1) the full test suite under AddressSanitizer+UBSan, then
+# (2) a bounded chaos soak (fault-injecting network + retry layer) under
+# ThreadSanitizer, which exercises the timer/transport/engine lifecycle
+# races ASan cannot see. Usage: scripts/check.sh [extra ctest args]
 #
-# For data-race hunting on the executor/network hot paths, use the tsan
-# preset instead:
-#   cmake --preset tsan && cmake --build --preset tsan -j --target test_executor_stress
-#   ./build-tsan/tests/test_executor_stress
+# For deeper data-race hunting on the executor/network hot paths, build the
+# full tsan preset:
+#   cmake --preset tsan && cmake --build --preset tsan -j && ctest --preset tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
+
+# Bounded TSan chaos pass: a handful of transactions per client keeps the
+# whole pass within ~2 minutes while still driving retries, duplicate
+# replies, and flapping links through every engine flavour.
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" \
+  --target test_executor_stress test_transport test_chaos_soak
+./build-tsan/tests/test_executor_stress
+./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
+SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak

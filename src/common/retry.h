@@ -1,0 +1,55 @@
+// Retry/deadline policy shared by the RPC layers (rpc::Node, SpecEngine,
+// and the GrpcSim/RC config plumbing on top of them).
+//
+// Semantics: a call gets an overall deadline (the caller's call_timeout)
+// and, when retries are enabled, a per-attempt timeout. When an attempt
+// times out the request is re-issued under a fresh attempt-tagged call id
+// after an exponential backoff with jitter, provided the backoff still fits
+// inside the overall deadline. Only idempotent requests may be retried —
+// see DESIGN.md §7 for which RPCs qualify.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace srpc {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries (the pre-retry
+  /// behaviour: one attempt bounded by the overall call timeout).
+  int max_attempts = 1;
+  /// Per-attempt timeout. Zero means no per-attempt bound — the single
+  /// attempt runs until the overall deadline.
+  Duration attempt_timeout = Duration::zero();
+  /// Backoff before attempt n+1 is initial_backoff * multiplier^(n-1),
+  /// clamped to max_backoff, then scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter) to de-synchronize retry storms.
+  Duration initial_backoff = std::chrono::milliseconds(10);
+  double backoff_multiplier = 2.0;
+  Duration max_backoff = std::chrono::seconds(1);
+  double jitter = 0.1;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff to wait after attempt `attempt` (1-based) times out.
+  Duration backoff_after(int attempt, Rng& rng) const {
+    double scale = 1.0;
+    for (int i = 1; i < attempt; ++i) scale *= backoff_multiplier;
+    auto backoff = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double, Duration::period>(
+            static_cast<double>(initial_backoff.count()) * scale));
+    backoff = std::min(backoff, max_backoff);
+    if (jitter > 0.0) {
+      const double factor = 1.0 + jitter * (2.0 * rng.uniform01() - 1.0);
+      backoff = std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double, Duration::period>(
+              static_cast<double>(backoff.count()) * factor));
+    }
+    return std::max(backoff, Duration::zero());
+  }
+};
+
+}  // namespace srpc

@@ -46,10 +46,12 @@ class WaitGroup {
 class Event {
  public:
   void set() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      set_ = true;
-    }
+    // Notify while holding mu_: an Event is routinely stack-allocated and
+    // destroyed as soon as wait() returns, and the waiter can only
+    // re-acquire mu_ once set() has fully released it — so notifying after
+    // the unlock would race cv_'s destruction.
+    std::lock_guard<std::mutex> lock(mu_);
+    set_ = true;
     cv_.notify_all();
   }
 

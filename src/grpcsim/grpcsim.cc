@@ -7,6 +7,7 @@ rpc::NodeConfig to_node_config(const GrpcSimConfig& config) {
   node_config.codec = &tagged_codec();
   node_config.per_message_overhead = config.per_message_overhead;
   node_config.call_timeout = config.call_timeout;
+  node_config.retry = config.retry;
   return node_config;
 }
 

@@ -24,6 +24,9 @@ namespace srpc::grpcsim {
 struct GrpcSimConfig {
   Duration per_message_overhead = std::chrono::microseconds(75);
   Duration call_timeout = std::chrono::seconds(30);
+  /// Passed through to the underlying rpc::Node (gRPC channels retry
+  /// transparently; the sim inherits the same policy knobs).
+  RetryPolicy retry;
 };
 
 /// A GrpcSim endpoint is a TradRPC engine with the gRPC-flavoured knobs.

@@ -85,6 +85,13 @@ bool VersionedStore::is_locked(const std::string& key) const {
   return locks_.find(key) != locks_.end();
 }
 
+std::optional<TxnId> VersionedStore::lock_holder(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::size_t VersionedStore::locked_keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   return locks_.size();

@@ -64,6 +64,12 @@ class VersionedStore {
   /// an in-flight commit may be about to apply).
   bool is_locked(const std::string& key) const;
 
+  /// Owner of `key`'s write lock, if any. Recovery hook: fail-fast locks
+  /// have no expiry, so an operator (or test) that knows a transaction's
+  /// global decision can release a lock whose decide message was lost —
+  /// the role RC's per-DC Paxos log plays in the paper's deployment.
+  std::optional<TxnId> lock_holder(const std::string& key) const;
+
   /// Diagnostics.
   std::size_t locked_keys() const;
 

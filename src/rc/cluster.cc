@@ -20,6 +20,7 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
     case Flavor::kGrpc: {
       grpcsim::GrpcSimConfig grpc_config;
       grpc_config.call_timeout = config_.call_timeout;
+      grpc_config.retry = config_.retry;
       auto node_config = grpcsim::to_node_config(grpc_config);
       bundle->rpc_node = std::make_unique<rpc::Node>(
           *bundle->transport, *work_executor_, net_->wheel(), node_config);
@@ -29,6 +30,7 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
     case Flavor::kTrad: {
       rpc::NodeConfig node_config;
       node_config.call_timeout = config_.call_timeout;
+      node_config.retry = config_.retry;
       bundle->rpc_node = std::make_unique<rpc::Node>(
           *bundle->transport, *work_executor_, net_->wheel(), node_config);
       bundle->kit = std::make_unique<TradKit>(*bundle->rpc_node);
@@ -37,6 +39,7 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
     case Flavor::kSpec: {
       spec::SpecConfig spec_config;
       spec_config.call_timeout = config_.call_timeout;
+      spec_config.retry = config_.retry;
       bundle->spec_engine = std::make_unique<spec::SpecEngine>(
           *bundle->transport, *work_executor_, net_->wheel(), spec_config);
       bundle->kit = std::make_unique<SpecKit>(*bundle->spec_engine);
@@ -155,6 +158,7 @@ spec::SpecStats RcCluster::spec_stats() const {
     total.state_msgs_sent += s.state_msgs_sent;
     total.spec_returns += s.spec_returns;
     total.spec_blocks += s.spec_blocks;
+    total.retries += s.retries;
   }
   return total;
 }

@@ -11,6 +11,7 @@
 
 #include "common/cpu_model.h"
 #include "common/flavor.h"
+#include "common/retry.h"
 #include "rc/client.h"
 #include "rc/server.h"
 #include "transport/geo.h"
@@ -32,6 +33,9 @@ struct ClusterConfig {
   ServerCosts costs;
   int executor_threads = 8;
   Duration call_timeout = std::chrono::seconds(30);
+  /// Retry/deadline policy inherited by every node's RPC layer (all three
+  /// flavours); disabled by default.
+  RetryPolicy retry;
   std::uint64_t seed = 1;
   /// Non-empty: each shard server writes an async transaction log
   /// <log_dir>/<dc>.<shard>.rclog (the paper persists txn logs to SSD).

@@ -1,34 +1,342 @@
 #include "rpc/node.h"
 
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "common/logging.h"
+#include "common/rng.h"
 #include "serde/buffer_pool.h"
 #include "serde/io.h"
 
 namespace srpc::rpc {
 
-// NodeCore decouples Responder lifetime from Node lifetime: a Responder can
-// outlive its Node (e.g. a timer completion firing during shutdown) and must
-// then degrade to a no-op instead of touching freed state.
-class NodeCore {
- public:
-  NodeCore(Transport& transport, const Codec& codec)
-      : transport_(&transport), codec_(codec) {}
+namespace {
+std::uint64_t hash_addr(const Address& addr) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : addr) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
 
-  void detach() {
+// NodeCore is the actual engine; it decouples in-flight work (Responders,
+// timer callbacks, delayed dispatches) from Node lifetime. Everything that
+// can fire after ~Node holds only a weak_ptr to the core and degrades to a
+// no-op once shutdown() has run.
+class NodeCore : public std::enable_shared_from_this<NodeCore> {
+ public:
+  NodeCore(Transport& transport, Executor& executor, TimerWheel& wheel,
+           NodeConfig config)
+      : executor_(executor),
+        wheel_(wheel),
+        config_(config),
+        transport_(&transport),
+        addr_(transport.address()),
+        rng_(hash_addr(addr_) ^ 0x726574727921ull) {}
+
+  /// Installs the transport receiver; separate from the constructor because
+  /// it needs weak_from_this().
+  void start() {
+    transport_->set_receiver(
+        [weak = weak_from_this()](const Address& src, Bytes frame) {
+          if (auto core = weak.lock()) core->on_message(src, std::move(frame));
+        });
+  }
+
+  /// Fails every pending call, cancels their timers, and detaches the
+  /// transport. Idempotent; called from ~Node.
+  void shutdown() {
+    std::unordered_map<CallId, std::shared_ptr<PendingCall>> calls;
+    std::vector<TimerId> timers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      transport_ = nullptr;
+      calls.swap(calls_);
+      by_wire_.clear();
+      for (auto& [_, rec] : calls) {
+        rec->done = true;
+        if (rec->timer != 0) timers.push_back(rec->timer);
+      }
+    }
+    for (TimerId t : timers) wheel_.cancel(t);
+    for (auto& [_, rec] : calls)
+      rec->future->resolve(Outcome::failure("node shut down"));
+  }
+
+  void register_method(const std::string& name, Node::Handler handler) {
     std::lock_guard<std::mutex> lock(mu_);
-    transport_ = nullptr;
+    methods_[name] = std::move(handler);
+  }
+
+  Future::Ptr call(const Address& dst, const std::string& method,
+                   ValueList args) {
+    auto future = Future::create();
+    auto rec = std::make_shared<PendingCall>();
+    Request req;
+    req.method = method;
+    Transport* transport = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        future->resolve(Outcome::failure("node shut down"));
+        return future;
+      }
+      transport = transport_;
+      req.call_id = next_call_id_++;
+      rec->logical_id = req.call_id;
+      rec->dst = dst;
+      rec->method = method;
+      rec->future = future;
+      rec->wire_ids.push_back(req.call_id);
+      rec->deadline = config_.call_timeout > Duration::zero()
+                          ? Clock::now() + config_.call_timeout
+                          : TimePoint::max();
+      if (config_.retry.enabled()) {
+        rec->args = args;  // retained for re-encoding on retry
+        req.args = std::move(args);
+      } else {
+        req.args = std::move(args);
+      }
+      calls_.emplace(rec->logical_id, rec);
+      by_wire_.emplace(req.call_id, rec);
+      schedule_attempt_timer_locked(*rec);
+    }
+    if (transport != nullptr) {
+      transport->send(dst, encode_request(req, *config_.codec));
+    }
+    return future;
   }
 
   void send_response(const Address& dst, const Response& rsp) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (transport_ == nullptr) return;
-    transport_->send(dst, encode_response(rsp, codec_));
+    Transport* transport = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      transport = transport_;
+    }
+    if (transport == nullptr) return;
+    transport->send(dst, encode_response(rsp, *config_.codec));
   }
 
+  TimerWheel& wheel() { return wheel_; }
+
  private:
+  /// One logical call; wire_ids maps every attempt-tagged id issued for it.
+  struct PendingCall {
+    CallId logical_id = 0;
+    Address dst;
+    std::string method;
+    ValueList args;  // kept only when retries are enabled
+    Future::Ptr future;
+    std::vector<CallId> wire_ids;
+    int attempt = 1;
+    TimePoint deadline;  // TimePoint::max() when no overall timeout
+    TimerId timer = 0;   // current attempt-timeout or backoff timer
+    bool done = false;
+  };
+
+  /// Schedules the per-attempt (or overall) timeout timer. mu_ held.
+  void schedule_attempt_timer_locked(PendingCall& rec) {
+    const auto now = Clock::now();
+    Duration wait;
+    if (config_.retry.enabled() &&
+        config_.retry.attempt_timeout > Duration::zero()) {
+      wait = config_.retry.attempt_timeout;
+      if (rec.deadline != TimePoint::max() && rec.deadline - now < wait) {
+        wait = rec.deadline - now;
+      }
+    } else if (rec.deadline != TimePoint::max()) {
+      wait = rec.deadline - now;
+    } else {
+      return;  // no deadline and no per-attempt bound: wait forever
+    }
+    if (wait < Duration::zero()) wait = Duration::zero();
+    rec.timer = wheel_.schedule_after(
+        wait, [weak = weak_from_this(), id = rec.logical_id,
+               attempt = rec.attempt] {
+          if (auto core = weak.lock()) core->on_attempt_timeout(id, attempt);
+        });
+  }
+
+  void on_attempt_timeout(CallId logical_id, int attempt) {
+    Future::Ptr to_fail;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = calls_.find(logical_id);
+      if (it == calls_.end()) return;
+      auto& rec = *it->second;
+      if (rec.done || rec.attempt != attempt) return;  // stale timer
+      const auto now = Clock::now();
+      bool retry = config_.retry.enabled() &&
+                   rec.attempt < config_.retry.max_attempts && !stopping_;
+      Duration backoff = Duration::zero();
+      if (retry) {
+        backoff = config_.retry.backoff_after(rec.attempt, rng_);
+        if (rec.deadline != TimePoint::max() &&
+            now + backoff >= rec.deadline) {
+          retry = false;  // backoff would overrun the overall deadline
+        }
+      }
+      if (!retry) {
+        rec.done = true;
+        for (CallId wire : rec.wire_ids) by_wire_.erase(wire);
+        to_fail = rec.future;
+        calls_.erase(it);
+      } else {
+        rec.attempt += 1;
+        rec.timer = wheel_.schedule_after(
+            backoff, [weak = weak_from_this(), logical_id,
+                      attempt = rec.attempt] {
+              if (auto core = weak.lock())
+                core->resend_attempt(logical_id, attempt);
+            });
+      }
+    }
+    if (to_fail) to_fail->resolve(Outcome::failure("call timed out"));
+  }
+
+  /// Issues attempt `attempt` of a still-pending call under a fresh wire id.
+  void resend_attempt(CallId logical_id, int attempt) {
+    Request req;
+    Address dst;
+    Transport* transport = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      auto it = calls_.find(logical_id);
+      if (it == calls_.end()) return;
+      auto& rec = *it->second;
+      if (rec.done || rec.attempt != attempt) return;
+      req.call_id = next_call_id_++;
+      req.method = rec.method;
+      req.args = rec.args;  // copy; later attempts may need them again
+      rec.wire_ids.push_back(req.call_id);
+      by_wire_.emplace(req.call_id, it->second);
+      dst = rec.dst;
+      transport = transport_;
+      schedule_attempt_timer_locked(rec);
+    }
+    if (transport != nullptr) {
+      transport->send(dst, encode_request(req, *config_.codec));
+    }
+  }
+
+  void on_message(const Address& src, Bytes frame) {
+    auto dispatch = [weak = weak_from_this(), src,
+                     frame = std::move(frame)]() mutable {
+      if (auto core = weak.lock()) {
+        core->dispatch_frame(src, std::move(frame));
+      } else {
+        BufferPool::release(std::move(frame));
+      }
+    };
+    if (config_.per_message_overhead > Duration::zero()) {
+      // Model framework processing cost (GrpcSim) as added dispatch latency.
+      // Weak capture: the delayed dispatch must not outlive the core.
+      wheel_.schedule_after(config_.per_message_overhead,
+                            [weak = weak_from_this(),
+                             d = std::move(dispatch)]() mutable {
+                              if (auto core = weak.lock())
+                                core->executor_.post(std::move(d));
+                            });
+    } else {
+      dispatch();
+    }
+  }
+
+  void dispatch_frame(const Address& src, Bytes frame) {
+    try {
+      switch (peek_type(frame)) {
+        case MsgType::kRequest:
+          on_request(src, decode_request(frame, *config_.codec));
+          break;
+        case MsgType::kResponse:
+          on_response(decode_response(frame, *config_.codec));
+          break;
+      }
+    } catch (const DecodeError& e) {
+      SRPC_LOG(ERROR) << addr_ << ": bad frame from " << src << ": "
+                      << e.what();
+    }
+    // The frame is fully decoded; recycle its capacity for future encodes.
+    BufferPool::release(std::move(frame));
+  }
+
+  void on_request(const Address& src, Request req) {
+    Node::Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      auto it = methods_.find(req.method);
+      if (it != methods_.end()) handler = it->second;
+    }
+    Responder responder(shared_from_this(), src, req.call_id);
+    if (!handler) {
+      responder.fail("unknown method: " + req.method);
+      return;
+    }
+    CallContext ctx;
+    ctx.caller = src;
+    ctx.call_id = req.call_id;
+    ctx.wheel = &wheel_;
+    try {
+      handler(ctx, std::move(req.args), std::move(responder));
+    } catch (const std::exception& e) {
+      // The handler threw before taking ownership of the responder path;
+      // the moved-from responder (if not finished) reports the error.
+      SRPC_LOG(ERROR) << addr_ << ": handler for " << req.method
+                      << " threw: " << e.what();
+    }
+  }
+
+  void on_response(Response rsp) {
+    Future::Ptr future;
+    TimerId timer = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = by_wire_.find(rsp.call_id);
+      if (it == by_wire_.end()) {
+        // Duplicate delivery, a reply to a superseded attempt, or a late
+        // reply after the call already timed out. All are expected under
+        // fault injection; the first winner already resolved the future.
+        SRPC_LOG(DEBUG) << addr_ << ": ignoring stale/duplicate response "
+                        << rsp.call_id;
+        return;
+      }
+      auto rec = it->second;
+      rec->done = true;
+      for (CallId wire : rec->wire_ids) by_wire_.erase(wire);
+      calls_.erase(rec->logical_id);
+      timer = rec->timer;
+      rec->timer = 0;
+      future = rec->future;
+    }
+    if (timer != 0) wheel_.cancel(timer);
+    if (rsp.ok) {
+      future->resolve(Outcome::success(std::move(rsp.result)));
+    } else {
+      future->resolve(Outcome::failure(rsp.error));
+    }
+  }
+
+  Executor& executor_;
+  TimerWheel& wheel_;
+  const NodeConfig config_;
+  Transport* transport_;  // nulled by shutdown(); guarded by mu_
+  const Address addr_;
+
   std::mutex mu_;
-  Transport* transport_;
-  const Codec& codec_;
+  bool stopping_ = false;
+  std::unordered_map<std::string, Node::Handler> methods_;
+  std::unordered_map<CallId, std::shared_ptr<PendingCall>> calls_;
+  std::unordered_map<CallId, std::shared_ptr<PendingCall>> by_wire_;
+  CallId next_call_id_ = 1;
+  Rng rng_;  // retry backoff jitter; guarded by mu_
 };
 
 struct Responder::State {
@@ -37,6 +345,12 @@ struct Responder::State {
   CallId call_id;
   bool finished = false;
   std::mutex mu;
+
+  // Exact drop detection: when the last reference goes away without a
+  // reply, the destructor reports an error so the client never hangs.
+  // (The previous design sniffed use_count() == 1 in ~Responder, which is
+  // racy when the state is shared across threads.)
+  ~State() { complete(false, Value(), "handler dropped the request"); }
 
   void complete(bool ok, Value result, const std::string& error) {
     {
@@ -61,13 +375,7 @@ Responder::Responder(std::shared_ptr<NodeCore> core, Address caller,
   state_->call_id = call_id;
 }
 
-Responder::~Responder() {
-  // Last reference going away without a reply: report an error so the
-  // client does not hang. complete() is a no-op if already finished.
-  if (state_ && state_.use_count() == 1) {
-    state_->complete(false, Value(), "handler dropped the request");
-  }
-}
+Responder::~Responder() = default;
 
 void Responder::finish(Value result) {
   state_->complete(true, std::move(result), {});
@@ -92,128 +400,26 @@ Node::Node(Transport& transport, Executor& executor, TimerWheel& wheel,
       executor_(executor),
       wheel_(wheel),
       config_(config),
-      core_(std::make_shared<NodeCore>(transport, *config.codec)) {
-  transport_.set_receiver([this](const Address& src, Bytes frame) {
-    on_message(src, std::move(frame));
-  });
+      core_(std::make_shared<NodeCore>(transport, executor, wheel, config)) {
+  core_->start();
 }
 
 Node::~Node() {
   transport_.set_receiver(nullptr);
-  core_->detach();
-  // Fail anything still pending so callers blocked in get() wake up.
-  std::unordered_map<CallId, Future::Ptr> pending;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending.swap(pending_);
-  }
-  for (auto& [_, future] : pending)
-    future->resolve(Outcome::failure("node shut down"));
+  // An in-flight dispatch holds the core alive through its shared_ptr, but
+  // the handlers it may invoke capture caller-owned state — wait until no
+  // receiver invocation is running before the caller tears that down.
+  transport_.quiesce();
+  core_->shutdown();
 }
 
 void Node::register_method(const std::string& name, Handler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
-  methods_[name] = std::move(handler);
+  core_->register_method(name, std::move(handler));
 }
 
 Future::Ptr Node::call(const Address& dst, const std::string& method,
                        ValueList args) {
-  Request req;
-  req.method = method;
-  req.args = std::move(args);
-  auto future = Future::create();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    req.call_id = next_call_id_++;
-    pending_.emplace(req.call_id, future);
-  }
-  if (config_.call_timeout > Duration::zero()) {
-    const CallId id = req.call_id;
-    wheel_.schedule_after(config_.call_timeout, [this, id] {
-      Future::Ptr future;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = pending_.find(id);
-        if (it == pending_.end()) return;
-        future = it->second;
-        pending_.erase(it);
-      }
-      future->resolve(Outcome::failure("call timed out"));
-    });
-  }
-  transport_.send(dst, encode_request(req, *config_.codec));
-  return future;
-}
-
-void Node::on_message(const Address& src, Bytes frame) {
-  auto dispatch = [this, src, frame = std::move(frame)]() mutable {
-    try {
-      switch (peek_type(frame)) {
-        case MsgType::kRequest:
-          on_request(src, decode_request(frame, *config_.codec));
-          break;
-        case MsgType::kResponse:
-          on_response(decode_response(frame, *config_.codec));
-          break;
-      }
-    } catch (const DecodeError& e) {
-      SRPC_LOG(ERROR) << address() << ": bad frame from " << src << ": "
-                      << e.what();
-    }
-    // The frame is fully decoded; recycle its capacity for future encodes.
-    BufferPool::release(std::move(frame));
-  };
-  if (config_.per_message_overhead > Duration::zero()) {
-    // Model framework processing cost (GrpcSim) as added dispatch latency.
-    wheel_.schedule_after(config_.per_message_overhead,
-                          [this, d = std::move(dispatch)]() mutable {
-                            executor_.post(std::move(d));
-                          });
-  } else {
-    dispatch();
-  }
-}
-
-void Node::on_request(const Address& src, Request req) {
-  Handler handler;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = methods_.find(req.method);
-    if (it != methods_.end()) handler = it->second;
-  }
-  Responder responder(core_, src, req.call_id);
-  if (!handler) {
-    responder.fail("unknown method: " + req.method);
-    return;
-  }
-  CallContext ctx;
-  ctx.caller = src;
-  ctx.call_id = req.call_id;
-  ctx.wheel = &wheel_;
-  try {
-    handler(ctx, std::move(req.args), std::move(responder));
-  } catch (const std::exception& e) {
-    // The handler threw before taking ownership of the responder path;
-    // the moved-from responder (if not finished) reports the error.
-    SRPC_LOG(ERROR) << address() << ": handler for " << req.method
-                    << " threw: " << e.what();
-  }
-}
-
-void Node::on_response(Response rsp) {
-  Future::Ptr future;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(rsp.call_id);
-    if (it == pending_.end()) return;  // late reply after timeout
-    future = it->second;
-    pending_.erase(it);
-  }
-  if (rsp.ok) {
-    future->resolve(Outcome::success(std::move(rsp.result)));
-  } else {
-    future->resolve(Outcome::failure(rsp.error));
-  }
+  return core_->call(dst, method, std::move(args));
 }
 
 }  // namespace srpc::rpc

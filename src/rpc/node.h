@@ -10,15 +10,21 @@
 // code base without speculation", §5). GrpcSim (src/grpcsim) is this same
 // engine configured with a compact codec and a per-message feature-
 // processing overhead, standing in for gRPC (see DESIGN.md §3).
+//
+// Lifetime model: all mutable engine state lives in NodeCore, a shared
+// object. Transport receivers and timer-wheel callbacks capture only a
+// weak handle to it, so a timer or in-flight message that outlives the Node
+// degrades to a no-op instead of touching freed state. The Node class is a
+// thin facade that starts the core on construction and shuts it down (and
+// fails every pending call) on destruction.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "common/executor.h"
+#include "common/retry.h"
 #include "common/timer_wheel.h"
 #include "rpc/future.h"
 #include "rpc/wire.h"
@@ -31,8 +37,13 @@ struct NodeConfig {
   /// Extra processing delay applied to every received message before it is
   /// dispatched (models framework overhead; 0 for TradRPC).
   Duration per_message_overhead = Duration::zero();
-  /// Calls that have not completed by then fail with a timeout error.
+  /// Overall deadline: calls that have not completed by then fail with a
+  /// timeout error. Zero disables the deadline.
   Duration call_timeout = std::chrono::seconds(30);
+  /// When enabled, timed-out attempts are re-issued (with fresh wire call
+  /// ids) until the overall deadline; see DESIGN.md §7 for the idempotency
+  /// contract this places on handlers.
+  RetryPolicy retry;
 };
 
 /// Completes one server-side call. Move-only sentinel semantics: finishing
@@ -97,20 +108,11 @@ class Node {
   const Codec& codec() const { return *config_.codec; }
 
  private:
-  void on_message(const Address& src, Bytes frame);
-  void on_request(const Address& src, Request req);
-  void on_response(Response rsp);
-
   Transport& transport_;
   Executor& executor_;
   TimerWheel& wheel_;
   NodeConfig config_;
   std::shared_ptr<NodeCore> core_;
-
-  std::mutex mu_;
-  std::unordered_map<std::string, Handler> methods_;
-  std::unordered_map<CallId, Future::Ptr> pending_;
-  CallId next_call_id_ = 1;
 };
 
 }  // namespace srpc::rpc

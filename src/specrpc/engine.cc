@@ -47,7 +47,9 @@ SpecEngine::SpecEngine(Transport& transport, Executor& executor,
       executor_(executor),
       wheel_(wheel),
       config_(config) {
-  next_call_id_ = (g_engine_instance.fetch_add(1) << 40) + 1;
+  const std::uint64_t instance = g_engine_instance.fetch_add(1);
+  next_call_id_ = (instance << 40) + 1;
+  rng_.reseed(instance * 0x9E3779B97F4A7C15ULL + 0x7265747279ULL);
   root_ = std::make_shared<SpecNode>();
   root_->kind = SpecNode::Kind::kRoot;
   root_->state = SpecState::kCorrect;
@@ -61,16 +63,33 @@ SpecEngine::~SpecEngine() { begin_shutdown(); }
 
 void SpecEngine::begin_shutdown() {
   transport_.set_receiver(nullptr);
+  // A delivery that copied the receiver just before the swap may still be
+  // inside on_message on an executor thread, about to touch this engine and
+  // run transition actions (observers capture caller-owned state). Wait it
+  // out: after quiesce() nothing the caller destroys next can be reached.
+  transport_.quiesce();
+  // Fence off timer callbacks first: once `alive` drops under the token's
+  // mutex, no wheel callback can re-enter this engine (an in-flight one
+  // finishes before we acquire the mutex).
+  {
+    std::lock_guard<std::mutex> lock(life_->mu);
+    life_->alive = false;
+  }
   std::vector<SpecFuturePtr> futures;
+  std::vector<TimerId> timers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
     stopping_ = true;
-    for (auto& [_, rec] : outgoing_) futures.push_back(rec->future);
+    for (auto& [_, rec] : outgoing_) {
+      futures.push_back(rec->future);
+      if (rec->timeout_timer != 0) timers.push_back(rec->timeout_timer);
+    }
     outgoing_.clear();
     wire_to_logical_.clear();
     incoming_.clear();
   }
+  for (TimerId t : timers) wheel_.cancel(t);
   cv_.notify_all();
   for (auto& f : futures) f->resolve(Outcome::failure("engine shut down"));
 }
@@ -316,19 +335,24 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
     return rec->future;
   }
   outgoing_.emplace(rec->id, rec);
+  rec->deadline = config_.call_timeout > Duration::zero()
+                      ? Clock::now() + config_.call_timeout
+                      : TimePoint::max();
+  rec->dst_responded.assign(rec->dsts.size(), false);
 
   const bool caller_speculative = rec->node->state != SpecState::kCorrect;
-  for (const auto& dst : rec->dsts) {
+  for (std::size_t i = 0; i < rec->dsts.size(); ++i) {
     const CallId wire_id = next_call_id_++;
-    rec->wire_ids.push_back(wire_id);
+    rec->wire_ids.emplace_back(wire_id, i);
     wire_to_logical_.emplace(wire_id, rec->id);
     RequestMsg msg;
     msg.call_id = wire_id;
     msg.caller_speculative = caller_speculative;
     msg.method = method;
     msg.args = args;  // copied per destination (quorum fan-out)
-    transport_.send(dst, encode(msg, *config_.codec));
+    transport_.send(rec->dsts[i], encode(msg, *config_.codec));
   }
+  if (config_.retry.enabled()) rec->args = std::move(args);
 
   // Cross-machine dependency edge (§3.4): when this call's caller chain
   // resolves, tell every executing server so its RPC object (and its own
@@ -341,9 +365,11 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
         if (stopping_) return;
         StateChangeMsg msg;
         msg.correct = (s == SpecState::kCorrect);
-        for (std::size_t i = 0; i < rec->dsts.size(); ++i) {
-          msg.call_id = rec->wire_ids[i];
-          transport_.send(rec->dsts[i], encode(msg, *config_.codec));
+        // Every attempt's wire id: the server may hold an incoming record
+        // under any of them (retries create fresh server-side mirrors).
+        for (const auto& [wire_id, dst_idx] : rec->wire_ids) {
+          msg.call_id = wire_id;
+          transport_.send(rec->dsts[dst_idx], encode(msg, *config_.codec));
           stats_.state_msgs_sent++;
         }
         if (s == SpecState::kCorrect) {
@@ -372,11 +398,32 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
     for (auto& a : actions) a();
   }
 
-  if (config_.call_timeout > Duration::zero()) {
-    rec->timeout_timer = wheel_.schedule_after(
-        config_.call_timeout, [this, id = rec->id] { on_timeout(id); });
-  }
+  schedule_call_timer_locked(rec);
   return rec->future;
+}
+
+void SpecEngine::schedule_call_timer_locked(
+    const std::shared_ptr<OutgoingCall>& rec) {
+  const auto now = Clock::now();
+  Duration wait;
+  if (config_.retry.enabled() &&
+      config_.retry.attempt_timeout > Duration::zero()) {
+    wait = config_.retry.attempt_timeout;
+    if (rec->deadline != TimePoint::max() && rec->deadline - now < wait) {
+      wait = rec->deadline - now;
+    }
+  } else if (rec->deadline != TimePoint::max()) {
+    wait = rec->deadline - now;
+  } else {
+    return;  // no deadline and no per-attempt bound
+  }
+  if (wait < Duration::zero()) wait = Duration::zero();
+  rec->timeout_timer = wheel_.schedule_after(
+      wait, [this, life = life_, id = rec->id, attempt = rec->attempt] {
+        std::lock_guard<std::mutex> guard(life->mu);
+        if (!life->alive) return;
+        on_attempt_timeout(id, attempt);
+      });
 }
 
 void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
@@ -559,26 +606,77 @@ void SpecEngine::maybe_gc_outgoing(CallId id) {
     wheel_.cancel(rec->timeout_timer);
     rec->timeout_timer = 0;
   }
-  for (CallId wire_id : rec->wire_ids) wire_to_logical_.erase(wire_id);
+  for (const auto& [wire_id, _] : rec->wire_ids)
+    wire_to_logical_.erase(wire_id);
   outgoing_.erase(it);
 }
 
-void SpecEngine::on_timeout(CallId logical_id) {
+void SpecEngine::on_attempt_timeout(CallId logical_id, int attempt) {
   Actions actions;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = outgoing_.find(logical_id);
     if (it == outgoing_.end() || it->second->actual_done) return;
     const auto& rec = it->second;
-    SRPC_LOG(WARN) << address() << ": call " << rec->method << " (id "
-                   << rec->id << ", quorum " << rec->quorum << ", responses "
-                   << rec->responses.size() << ", node state "
-                   << to_string(rec->node->state) << ", branches "
-                   << rec->branches.size() << ") timed out";
-    process_actual(it->second, Outcome::failure("spec call timed out"),
-                   actions);
+    if (rec->attempt != attempt) return;  // stale timer for an older attempt
+    const auto now = Clock::now();
+    bool retry = config_.retry.enabled() &&
+                 rec->attempt < config_.retry.max_attempts && !stopping_ &&
+                 rec->node->state != SpecState::kIncorrect;
+    Duration backoff = Duration::zero();
+    if (retry) {
+      backoff = config_.retry.backoff_after(rec->attempt, rng_);
+      if (rec->deadline != TimePoint::max() &&
+          now + backoff >= rec->deadline) {
+        retry = false;  // backoff would overrun the overall deadline
+      }
+    }
+    if (!retry) {
+      SRPC_LOG(WARN) << address() << ": call " << rec->method << " (id "
+                     << rec->id << ", attempt " << rec->attempt << ", quorum "
+                     << rec->quorum << ", responses " << rec->responses.size()
+                     << ", node state " << to_string(rec->node->state)
+                     << ", branches " << rec->branches.size()
+                     << ") timed out";
+      process_actual(it->second, Outcome::failure("spec call timed out"),
+                     actions);
+    } else {
+      rec->attempt += 1;
+      stats_.retries++;
+      rec->timeout_timer = wheel_.schedule_after(
+          backoff, [this, life = life_, logical_id, next = rec->attempt] {
+            std::lock_guard<std::mutex> guard(life->mu);
+            if (!life->alive) return;
+            resend_attempt(logical_id, next);
+          });
+    }
   }
   for (auto& a : actions) a();
+}
+
+void SpecEngine::resend_attempt(CallId logical_id, int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return;
+  auto it = outgoing_.find(logical_id);
+  if (it == outgoing_.end()) return;
+  const auto& rec = it->second;
+  if (rec->actual_done || rec->attempt != attempt) return;
+  if (rec->node->state == SpecState::kIncorrect) return;  // abandoned
+  const bool caller_speculative = rec->node->state != SpecState::kCorrect;
+  for (std::size_t i = 0; i < rec->dsts.size(); ++i) {
+    // A replica whose actual already counted does not need the re-issue.
+    if (rec->dst_responded[i]) continue;
+    const CallId wire_id = next_call_id_++;
+    rec->wire_ids.emplace_back(wire_id, i);
+    wire_to_logical_.emplace(wire_id, rec->id);
+    RequestMsg msg;
+    msg.call_id = wire_id;
+    msg.caller_speculative = caller_speculative;
+    msg.method = rec->method;
+    msg.args = rec->args;  // copy; later attempts may need them again
+    transport_.send(rec->dsts[i], encode(msg, *config_.codec));
+  }
+  schedule_call_timer_locked(rec);
 }
 
 // --------------------------------------------------------------- server
@@ -746,8 +844,10 @@ void SpecEngine::on_request(const Address& src, RequestMsg msg,
   }
   if (rec->mirror->state == SpecState::kIncorrect) return;  // dead on arrival
   if (!incoming_.emplace(rec->id, rec).second) {
-    SRPC_LOG(ERROR) << address() << ": duplicate incoming call id " << rec->id
-                    << " from " << src << " — dropping request";
+    // Expected under fault injection: a duplicated request delivery (the
+    // retry path uses fresh wire ids, so only the network creates these).
+    SRPC_LOG(WARN) << address() << ": duplicate incoming call id " << rec->id
+                   << " from " << src << " — dropping request";
     return;
   }
 
@@ -825,20 +925,36 @@ void SpecEngine::on_predicted(PredictedResponseMsg msg, Actions& actions) {
 
 void SpecEngine::on_actual(ActualResponseMsg msg, Actions& actions) {
   auto wit = wire_to_logical_.find(msg.call_id);
-  if (wit == wire_to_logical_.end()) return;
+  if (wit == wire_to_logical_.end()) return;  // dup/late/superseded reply
   auto it = outgoing_.find(wit->second);
   if (it == outgoing_.end()) return;
   auto& rec = it->second;
+  // Consume this wire id: a duplicated delivery of the same actual (network
+  // dup) now misses the lookup above instead of being processed twice. The
+  // id stays in rec->wire_ids so state-change fan-out still reaches the
+  // server-side record it created.
+  std::size_t dst_idx = 0;
+  for (const auto& [wire_id, idx] : rec->wire_ids) {
+    if (wire_id == msg.call_id) {
+      dst_idx = idx;
+      break;
+    }
+  }
+  wire_to_logical_.erase(wit);
   Outcome outcome = msg.ok ? Outcome::success(std::move(msg.value))
                            : Outcome::failure(msg.error);
   if (rec->quorum > 1) {
     if (rec->actual_done) return;
+    // A retried attempt can draw a second actual from the same replica;
+    // quorum counts distinct replicas, not distinct replies.
+    if (rec->dst_responded[dst_idx]) return;
     if (!outcome.ok) {
       // Keep the failure model simple: any replica error fails the logical
       // quorum call (the RC evaluation never exercises replica failures).
       process_actual(rec, std::move(outcome), actions);
       return;
     }
+    rec->dst_responded[dst_idx] = true;
     rec->responses.push_back(outcome.value);
     // First response doubles as the prediction for the quorum result (§4.1).
     if (rec->responses.size() == 1 && rec->factory) {
@@ -904,7 +1020,12 @@ void ServerCall::finish_after(Duration work, Value result) {
   if (tl_scope != nullptr && tl_scope->engine == &engine_) ctx = tl_scope->node;
   auto self = shared_from_this();
   engine_.wheel().schedule_after(
-      work, [self, ctx, result = std::move(result)]() mutable {
+      work, [self, ctx, life = engine_.life_,
+             result = std::move(result)]() mutable {
+        // Same lifetime fence as the engine's own timers: the engine may be
+        // destroyed while this completion is parked on the wheel.
+        std::lock_guard<std::mutex> guard(life->mu);
+        if (!life->alive) return;
         self->engine_.server_finish(self->id_, ctx,
                                     Outcome::success(std::move(result)));
       });

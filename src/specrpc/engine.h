@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/retry.h"
+#include "common/rng.h"
 #include "common/timer_wheel.h"
 #include "specrpc/api.h"
 #include "specrpc/node.h"
@@ -34,6 +36,11 @@ struct SpecConfig {
   const Codec* codec = &binary_codec();
   /// A call whose actual result has not arrived by then fails. 0 disables.
   Duration call_timeout = std::chrono::seconds(60);
+  /// When enabled, outbound calls whose actual has not arrived within the
+  /// per-attempt timeout are re-issued under fresh attempt-tagged wire ids
+  /// (duplicate actuals are deduplicated per destination). Handlers must be
+  /// idempotent — see DESIGN.md §7.
+  RetryPolicy retry;
 };
 
 /// Counters exposed for tests, benches and EXPERIMENTS.md (snapshot is
@@ -52,6 +59,7 @@ struct SpecStats {
   std::uint64_t state_msgs_sent = 0;
   std::uint64_t spec_returns = 0;
   std::uint64_t spec_blocks = 0;
+  std::uint64_t retries = 0;  // attempts re-issued after a timeout
 };
 
 class SpecEngine {
@@ -157,8 +165,11 @@ class SpecEngine {
   struct OutgoingCall {
     CallId id = 0;
     std::vector<Address> dsts;
-    std::vector<CallId> wire_ids;
+    /// Every attempt-tagged wire id issued for this call, with the index of
+    /// the destination it was sent to (retries append fresh ids).
+    std::vector<std::pair<CallId, std::size_t>> wire_ids;
     std::string method;
+    ValueList args;  // retained only when retries are enabled
     SpecNode::Ptr node;
     SpecFuturePtr future;
     CallbackFactory factory;
@@ -166,11 +177,16 @@ class SpecEngine {
     bool actual_done = false;
     Outcome actual;
     bool branch_matched = false;
+    int attempt = 1;
+    TimePoint deadline{};  // TimePoint::max() when call_timeout is 0
     // Quorum mode:
     int quorum = 1;
     Combiner combiner;
     std::vector<Value> responses;
-    TimerId timeout_timer = 0;
+    /// Per-destination flag: an actual from this replica already counted
+    /// toward the quorum (a retried attempt must not double-count it).
+    std::vector<bool> dst_responded;
+    TimerId timeout_timer = 0;  // current attempt-timeout or backoff timer
   };
 
   struct PendingFinish {
@@ -197,7 +213,9 @@ class SpecEngine {
   void on_predicted(PredictedResponseMsg msg, Actions& actions);
   void on_actual(ActualResponseMsg msg, Actions& actions);
   void on_state_change(StateChangeMsg msg, Actions& actions);
-  void on_timeout(CallId logical_id);
+  void on_attempt_timeout(CallId logical_id, int attempt);
+  void resend_attempt(CallId logical_id, int attempt);
+  void schedule_call_timer_locked(const std::shared_ptr<OutgoingCall>& rec);
 
   // Tree machinery (all under mu_).
   SpecState compute_state(const SpecNode& node) const;
@@ -240,10 +258,20 @@ class SpecEngine {
   void run_handler(CallId id, Handler handler);
   void block_on(const SpecNode::Ptr& node);
 
+  /// Keeps timer-wheel callbacks from touching a destroyed engine: each
+  /// callback holds the token's mutex for its whole run and bails if the
+  /// engine already began shutdown. begin_shutdown() flips `alive` under
+  /// the same mutex, so after it returns no callback can enter the engine.
+  struct LifeToken {
+    std::mutex mu;
+    bool alive = true;
+  };
+
   Transport& transport_;
   Executor& executor_;
   TimerWheel& wheel_;
   SpecConfig config_;
+  std::shared_ptr<LifeToken> life_ = std::make_shared<LifeToken>();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  // spec_block waiters
@@ -255,6 +283,7 @@ class SpecEngine {
   std::unordered_map<std::string, HandlerFactory> methods_;
   CallId next_call_id_ = 1;
   std::uint64_t next_debug_id_ = 1;
+  Rng rng_;  // retry backoff jitter; guarded by mu_
   SpecStats stats_;
   TransitionObserver observer_;
   bool stopping_ = false;

@@ -1,6 +1,7 @@
 #include "transport/sim_network.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -40,6 +41,11 @@ class SimNetwork::Node final : public Transport {
     receiver_ = std::move(receiver);
   }
 
+  void quiesce() override {
+    std::unique_lock<std::mutex> lock(recv_mu_);
+    recv_cv_.wait(lock, [&] { return delivering_ == 0; });
+  }
+
   /// Called (via strand) when a message arrives.
   void deliver(const Address& src, Bytes payload) {
     msgs_recv_.fetch_add(1, std::memory_order_relaxed);
@@ -47,10 +53,21 @@ class SimNetwork::Node final : public Transport {
     Receiver receiver;
     {
       std::lock_guard<std::mutex> lock(recv_mu_);
-      receiver = receiver_;
+      if (receiver_) {
+        receiver = receiver_;
+        // Counted under recv_mu_ so set_receiver(nullptr) + quiesce() is a
+        // true barrier: a delivery that copied the old receiver is counted
+        // before the swap can complete; one that misses the copy sees null.
+        ++delivering_;
+      }
     }
     if (receiver) {
       receiver(src, std::move(payload));
+      {
+        std::lock_guard<std::mutex> lock(recv_mu_);
+        --delivering_;
+      }
+      recv_cv_.notify_all();
     } else {
       // Normal during teardown: engines detach before the network drains.
       SRPC_LOG(DEBUG) << addr_ << ": dropping message from " << src
@@ -89,6 +106,7 @@ class SimNetwork::Node final : public Transport {
     Duration delay;
     Duration jitter;
     bool blocked = false;
+    FaultCfg faults;
     TimePoint last_delivery{};  // enforces per-pair FIFO
   };
 
@@ -97,7 +115,9 @@ class SimNetwork::Node final : public Transport {
   Address addr_;
   std::shared_ptr<Strand> strand_;
   mutable std::mutex recv_mu_;
+  std::condition_variable recv_cv_;  // wakes quiesce() when delivering_ drops
   Receiver receiver_;
+  int delivering_ = 0;  // receiver invocations in flight (strand-serial: ≤1)
   std::atomic<std::uint64_t> msgs_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> msgs_recv_{0};
@@ -137,7 +157,8 @@ SimNetwork::LinkCfg SimNetwork::cfg_for(const Address& a,
   std::lock_guard<std::mutex> lock(cfg_mu_);
   auto it = link_cfg_.find(std::make_pair(a, b));
   if (it != link_cfg_.end()) return it->second;
-  return LinkCfg{config_.default_delay, config_.default_jitter, false};
+  return LinkCfg{config_.default_delay, config_.default_jitter, false,
+                 config_.default_faults};
 }
 
 void SimNetwork::update_link(const Address& a, const Address& b,
@@ -147,7 +168,8 @@ void SimNetwork::update_link(const Address& a, const Address& b,
     std::lock_guard<std::mutex> lock(cfg_mu_);
     auto [it, inserted] = link_cfg_.try_emplace(
         std::make_pair(a, b),
-        LinkCfg{config_.default_delay, config_.default_jitter, false});
+        LinkCfg{config_.default_delay, config_.default_jitter, false,
+                config_.default_faults});
     mutate(it->second);
   }
   // ...then patch the live peer entry, if the source already resolved one.
@@ -159,11 +181,13 @@ void SimNetwork::update_link(const Address& a, const Address& b,
   std::lock_guard<std::mutex> lock(src->peer_mu_);
   auto it = src->peers_.find(b);
   if (it != src->peers_.end()) {
-    LinkCfg patched{it->second.delay, it->second.jitter, it->second.blocked};
+    LinkCfg patched{it->second.delay, it->second.jitter, it->second.blocked,
+                    it->second.faults};
     mutate(patched);
     it->second.delay = patched.delay;
     it->second.jitter = patched.jitter;
     it->second.blocked = patched.blocked;
+    it->second.faults = patched.faults;
   }
 }
 
@@ -186,9 +210,76 @@ void SimNetwork::partition(const Address& a, const Address& b, bool blocked) {
   update_link(b, a, [&](LinkCfg& cfg) { cfg.blocked = blocked; });
 }
 
+void SimNetwork::set_faults(const Address& a, const Address& b,
+                            FaultCfg faults) {
+  update_link(a, b, [&](LinkCfg& cfg) { cfg.faults = faults; });
+}
+
+void SimNetwork::set_faults_all(FaultCfg faults) {
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    config_.default_faults = faults;
+    for (auto& [_, cfg] : link_cfg_) cfg.faults = faults;
+  }
+  // Patch every live peer entry. Lock order matches the send cold path and
+  // update_link (nodes_mu_ shared, then one peer_mu_ at a time; peer_mu_ is
+  // never held while acquiring nodes_mu_), so no cycle.
+  std::shared_lock<std::shared_mutex> nodes_lock(nodes_mu_);
+  for (auto& [_, node] : nodes_) {
+    std::lock_guard<std::mutex> lock(node->peer_mu_);
+    for (auto& [_2, peer] : node->peers_) peer.faults = faults;
+  }
+}
+
+void SimNetwork::flap_link(const Address& a, const Address& b,
+                           Duration up_for, Duration down_for) {
+  {
+    std::lock_guard<std::mutex> lock(flap_mu_);
+    flaps_stopped_ = false;
+    flapping_.emplace_back(a, b);
+  }
+  schedule_flap(a, b, up_for, down_for, /*currently_up=*/true);
+}
+
+void SimNetwork::schedule_flap(Address a, Address b, Duration up_for,
+                               Duration down_for, bool currently_up) {
+  // `this` capture is safe: ~SimNetwork shuts the wheel down (dropping all
+  // pending callbacks and joining the timer thread) before members die.
+  const Duration wait = currently_up ? up_for : down_for;
+  wheel_.schedule_after(wait, [this, a = std::move(a), b = std::move(b),
+                               up_for, down_for, currently_up] {
+    {
+      std::lock_guard<std::mutex> lock(flap_mu_);
+      if (flaps_stopped_) return;
+    }
+    partition(a, b, /*blocked=*/currently_up);
+    schedule_flap(a, b, up_for, down_for, !currently_up);
+  });
+}
+
+void SimNetwork::stop_flaps() {
+  std::vector<std::pair<Address, Address>> pairs;
+  {
+    std::lock_guard<std::mutex> lock(flap_mu_);
+    flaps_stopped_ = true;
+    pairs.swap(flapping_);
+  }
+  for (const auto& [a, b] : pairs) partition(a, b, /*blocked=*/false);
+}
+
+FaultStats SimNetwork::fault_stats() const {
+  FaultStats s;
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.reordered = reordered_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void SimNetwork::do_send(Node& src, const Address& dst, Bytes payload) {
   Node* dst_node = nullptr;
   TimePoint deliver_at;
+  bool duplicate = false;
+  TimePoint dup_deliver_at;
   {
     std::unique_lock<std::mutex> lock(src.peer_mu_);
     auto it = src.peers_.find(dst);
@@ -206,30 +297,74 @@ void SimNetwork::do_send(Node& src, const Address& dst, Bytes payload) {
       lock.lock();
       it = src.peers_
                .try_emplace(dst, Node::Peer{resolved, cfg.delay, cfg.jitter,
-                                            cfg.blocked, TimePoint{}})
+                                            cfg.blocked, cfg.faults,
+                                            TimePoint{}})
                .first;
     }
     Node::Peer& peer = it->second;
-    if (peer.blocked) return;  // partitioned: silently dropped
+    if (peer.blocked) {  // partitioned: silently dropped
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const FaultCfg& faults = peer.faults;
+    if (faults.drop_prob > 0.0 && src.rng_.flip(faults.drop_prob)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     dst_node = peer.dst;
     Duration delay = peer.delay;
     if (peer.jitter > Duration::zero()) {
       delay += Duration(static_cast<Duration::rep>(src.rng_.uniform(
           static_cast<std::uint64_t>(peer.jitter.count()) + 1)));
     }
-    deliver_at = Clock::now() + delay;
-    // FIFO per directed pair: never schedule before an earlier message.
-    if (deliver_at <= peer.last_delivery) {
-      deliver_at = peer.last_delivery + std::chrono::nanoseconds(1);
+    // Reordering: hold the message back by up to `reorder_window` slack
+    // slots and exempt it from the FIFO clamp, so messages sent after it
+    // (with smaller or no holdback) can overtake it.
+    bool exempt_from_fifo = false;
+    if (faults.reorder_window > 0) {
+      const auto slots = src.rng_.uniform(
+          static_cast<std::uint64_t>(faults.reorder_window) + 1);
+      if (slots > 0) {
+        delay += faults.reorder_slack * static_cast<Duration::rep>(slots);
+        exempt_from_fifo = true;
+        reordered_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    peer.last_delivery = deliver_at;
+    deliver_at = Clock::now() + delay;
+    if (!exempt_from_fifo) {
+      // FIFO per directed pair: never schedule before an earlier message.
+      if (deliver_at <= peer.last_delivery) {
+        deliver_at = peer.last_delivery + std::chrono::nanoseconds(1);
+      }
+      peer.last_delivery = deliver_at;
+    }
+    if (faults.dup_prob > 0.0 && src.rng_.flip(faults.dup_prob)) {
+      // The copy trails the original by 1-100us and skips the FIFO clamp —
+      // duplicates arriving out of order is exactly the hazard upper layers
+      // must tolerate.
+      duplicate = true;
+      dup_deliver_at = deliver_at + std::chrono::microseconds(
+                                        1 + src.rng_.uniform(100));
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   src.account_send(payload.size());
   const Address src_addr = src.address();
-  auto shared = std::make_shared<Bytes>(std::move(payload));
-  wheel_.schedule_at(deliver_at, [dst_node, src_addr, shared] {
-    dst_node->strand().post([dst_node, src_addr, shared]() mutable {
-      dst_node->deliver(src_addr, std::move(*shared));
+  if (duplicate) {
+    schedule_delivery(dst_node, src_addr, dup_deliver_at,
+                      std::make_shared<Bytes>(payload));  // own copy
+  }
+  schedule_delivery(dst_node, src_addr, deliver_at,
+                    std::make_shared<Bytes>(std::move(payload)));
+}
+
+void SimNetwork::schedule_delivery(Node* dst_node, const Address& src_addr,
+                                   TimePoint deliver_at,
+                                   std::shared_ptr<Bytes> payload) {
+  wheel_.schedule_at(deliver_at, [dst_node, src_addr,
+                                  payload = std::move(payload)] {
+    dst_node->strand().post([dst_node, src_addr, payload]() mutable {
+      dst_node->deliver(src_addr, std::move(*payload));
     });
   });
 }

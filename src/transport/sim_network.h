@@ -23,13 +23,23 @@
 //     entry, each under its own lock, never nested.
 //   - Per-endpoint traffic counters are relaxed atomics; stats() aggregates
 //     them on read.
+//
+// Fault injection: each link additionally carries a FaultCfg (probabilistic
+// drop, duplication, and a bounded reordering window) that rides the same
+// LinkCfg/peer-entry path as delay and partition state, so the hot path
+// still takes only the per-source lock. Scheduled link flaps toggle the
+// partition bit on the timer wheel. All fault decisions draw from the
+// per-source deterministic Rng, so a fixed seed reproduces a fault schedule.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/executor.h"
 #include "common/rng.h"
@@ -39,12 +49,39 @@
 
 namespace srpc {
 
+/// Per-link fault injection knobs. All default to "no faults".
+struct FaultCfg {
+  /// Probability a message is silently dropped.
+  double drop_prob = 0.0;
+  /// Probability a message is delivered twice (second copy arrives slightly
+  /// later, outside the FIFO order).
+  double dup_prob = 0.0;
+  /// When > 0, each message may be held back by up to `reorder_window`
+  /// extra slots of `reorder_slack` each and is exempted from the per-pair
+  /// FIFO clamp, so later messages can overtake it.
+  int reorder_window = 0;
+  Duration reorder_slack = std::chrono::microseconds(100);
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_window > 0;
+  }
+};
+
+/// Aggregate counts of injected faults (monotone, relaxed atomics inside).
+struct FaultStats {
+  std::uint64_t dropped = 0;     // includes messages eaten by partitions
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+};
+
 struct SimConfig {
   int executor_threads = 8;
   /// Link delay when no explicit entry exists (one-way).
   Duration default_delay = std::chrono::microseconds(50);
   /// Uniform jitter in [0, jitter] added per message.
   Duration default_jitter = Duration::zero();
+  /// Faults applied to links with no explicit per-link entry.
+  FaultCfg default_faults;
   std::uint64_t seed = 1;
 };
 
@@ -77,6 +114,24 @@ class SimNetwork {
   /// Drops all queued-but-undelivered messages (fault injection in tests).
   void partition(const Address& a, const Address& b, bool blocked);
 
+  /// Sets the fault profile for messages a -> b only.
+  void set_faults(const Address& a, const Address& b, FaultCfg faults);
+
+  /// Sets the fault profile on every link, existing and future (becomes the
+  /// new default for links materialized later).
+  void set_faults_all(FaultCfg faults);
+
+  /// Starts flapping the (symmetric) link a <-> b: up for `up_for`, then
+  /// blocked for `down_for`, repeating until stop_flaps(). The link starts
+  /// in whatever state it is in now and first toggles after `up_for`.
+  void flap_link(const Address& a, const Address& b, Duration up_for,
+                 Duration down_for);
+
+  /// Stops all scheduled flaps and heals every flapped link.
+  void stop_flaps();
+
+  FaultStats fault_stats() const;
+
   TimerWheel& wheel() { return wheel_; }
   Executor& executor() { return executor_; }
 
@@ -88,6 +143,7 @@ class SimNetwork {
     Duration delay;
     Duration jitter;
     bool blocked = false;
+    FaultCfg faults;
   };
 
   void do_send(Node& src, const Address& dst, Bytes payload);
@@ -95,8 +151,13 @@ class SimNetwork {
   LinkCfg cfg_for(const Address& a, const Address& b) const;
   void update_link(const Address& a, const Address& b,
                    const std::function<void(LinkCfg&)>& mutate);
+  void schedule_flap(Address a, Address b, Duration up_for, Duration down_for,
+                     bool currently_up);
+  void schedule_delivery(Node* dst_node, const Address& src_addr,
+                         TimePoint deliver_at,
+                         std::shared_ptr<Bytes> payload);
 
-  Config config_;
+  Config config_;  // default_faults mutated under cfg_mu_ by set_faults_all
   Executor executor_;
   TimerWheel wheel_;
 
@@ -105,6 +166,14 @@ class SimNetwork {
 
   mutable std::mutex cfg_mu_;
   std::map<std::pair<Address, Address>, LinkCfg> link_cfg_;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> reordered_{0};
+
+  mutable std::mutex flap_mu_;
+  bool flaps_stopped_ = false;
+  std::vector<std::pair<Address, Address>> flapping_;
 };
 
 }  // namespace srpc

@@ -91,13 +91,22 @@ TcpTransport::~TcpTransport() {
 }
 
 void TcpTransport::set_receiver(Receiver receiver) {
-  std::lock_guard<std::mutex> lock(mu_);
-  receiver_ = std::move(receiver);
+  std::lock_guard<std::mutex> lock(gate_->mu);
+  gate_->receiver = std::move(receiver);
+}
+
+void TcpTransport::quiesce() {
+  std::unique_lock<std::mutex> lock(gate_->mu);
+  gate_->cv.wait(lock, [&] { return gate_->in_flight == 0; });
 }
 
 TrafficStats TcpTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  TrafficStats s;
+  s.msgs_sent = msgs_sent_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.msgs_recv = msgs_recv_.load(std::memory_order_relaxed);
+  s.bytes_recv = bytes_recv_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TcpTransport::wake() {
@@ -105,12 +114,13 @@ void TcpTransport::wake() {
   [[maybe_unused]] auto n = write(wake_fd_, &one, sizeof(one));
 }
 
-void TcpTransport::queue_frame(Conn& conn, const Bytes& payload) {
+void TcpTransport::queue_frame(Conn& conn, const Bytes& payload,
+                               std::size_t payload_bytes) {
   put_u32(conn.outbuf, static_cast<std::uint32_t>(payload.size()));
   conn.outbuf.insert(conn.outbuf.end(), payload.begin(), payload.end());
   conn.want_write = true;
-  stats_.msgs_sent++;
-  stats_.bytes_sent += payload.size();
+  msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(payload_bytes, std::memory_order_relaxed);
 }
 
 TcpTransport::Conn* TcpTransport::connect_to(const Address& dst) {
@@ -166,8 +176,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
     framed.reserve(payload.size() + 1);
     framed.push_back(0x00);
     framed.insert(framed.end(), payload.begin(), payload.end());
-    queue_frame(*conn, framed);
-    stats_.bytes_sent -= 1;  // don't count the marker byte as payload
+    queue_frame(*conn, framed, payload.size());  // marker byte not counted
   }
   wake();
 }
@@ -284,18 +293,30 @@ void TcpTransport::handle_readable(Conn& conn) {
     }
     Bytes payload(frame + 1, frame + len);
     Address src;
-    Receiver receiver;
     {
       std::lock_guard<std::mutex> lock(mu_);
       src = conn.peer;
-      receiver = receiver_;
-      stats_.msgs_recv++;
-      stats_.bytes_recv += payload.size();
     }
-    if (receiver && !src.empty()) {
+    msgs_recv_.fetch_add(1, std::memory_order_relaxed);
+    bytes_recv_.fetch_add(payload.size(), std::memory_order_relaxed);
+    if (!src.empty()) {
       auto shared = std::make_shared<Bytes>(std::move(payload));
-      conn.strand->post([receiver, src, shared]() mutable {
+      conn.strand->post([gate = gate_, src, shared]() mutable {
+        // Resolve the receiver at run time, not post time: a stale copy
+        // would outlive set_receiver(nullptr) and defeat quiesce().
+        Receiver receiver;
+        {
+          std::lock_guard<std::mutex> lock(gate->mu);
+          if (!gate->receiver) return;  // detached: drop
+          receiver = gate->receiver;
+          ++gate->in_flight;
+        }
         receiver(src, std::move(*shared));
+        {
+          std::lock_guard<std::mutex> lock(gate->mu);
+          --gate->in_flight;
+        }
+        gate->cv.notify_all();
       });
     }
   }

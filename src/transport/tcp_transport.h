@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -31,6 +32,7 @@ class TcpTransport final : public Transport {
   const Address& address() const override { return addr_; }
   void send(const Address& dst, Bytes payload) override;
   void set_receiver(Receiver receiver) override;
+  void quiesce() override;
 
   TrafficStats stats() const;
 
@@ -50,7 +52,11 @@ class TcpTransport final : public Transport {
   void handle_writable(Conn& conn);
   void close_conn(int fd);
   Conn* connect_to(const Address& dst);  // caller holds mu_
-  void queue_frame(Conn& conn, const Bytes& payload);  // caller holds mu_
+  /// Appends a length-prefixed frame to conn's outbuf and accounts
+  /// `payload_bytes` of application payload (framing/marker bytes are not
+  /// counted). Caller holds mu_.
+  void queue_frame(Conn& conn, const Bytes& payload,
+                   std::size_t payload_bytes);
   void wake();
 
   Executor& executor_;
@@ -61,11 +67,29 @@ class TcpTransport final : public Transport {
   std::atomic<bool> stopping_{false};
   std::thread io_thread_;
 
+  /// Receiver slot shared with queued strand tasks: tasks re-read the
+  /// current receiver at run time (never a stale copy) and count themselves
+  /// in flight, so set_receiver(nullptr) + quiesce() is a real barrier even
+  /// for deliveries still queued on the executor. shared_ptr because those
+  /// tasks may run after ~TcpTransport when the executor outlives it.
+  struct RecvGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    Receiver receiver;
+    int in_flight = 0;
+  };
+  std::shared_ptr<RecvGate> gate_ = std::make_shared<RecvGate>();
+
   mutable std::mutex mu_;
-  Receiver receiver_;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;       // by fd
   std::unordered_map<Address, int> by_peer_;                   // peer -> fd
-  TrafficStats stats_;
+
+  // Relaxed atomics (like SimNetwork's per-endpoint counters) so stats()
+  // never depends on the mu_ discipline of the send and io paths.
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> msgs_recv_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
 };
 
 }  // namespace srpc

@@ -33,6 +33,14 @@ class Transport {
 
   /// Must be set before the first message can be delivered.
   virtual void set_receiver(Receiver receiver) = 0;
+
+  /// Blocks until no receiver invocation is in flight. Call after
+  /// `set_receiver(nullptr)`: once quiesce() returns, the previous receiver
+  /// — and everything it captures — can safely be destroyed. Without it a
+  /// delivery that copied the receiver just before the swap may still be
+  /// executing (DESIGN.md §7.4). Default is a no-op for transports that
+  /// never invoke receivers concurrently with set_receiver.
+  virtual void quiesce() {}
 };
 
 /// Byte/message counters per transport endpoint, split by direction.

@@ -96,6 +96,45 @@ TEST(Future, ConcurrentThenAndResolveIsSafe) {
   }
 }
 
+TEST(Future, ConcurrentResolversFirstWriterWins) {
+  // The retry layer can race a late first-attempt reply against a retried
+  // attempt's reply and against the timeout path; whichever resolver wins,
+  // the outcome must be exactly one of the candidates and every observer
+  // must agree on it.
+  for (int round = 0; round < 100; ++round) {
+    auto future = Future::create();
+    constexpr int kResolvers = 4;
+    std::vector<std::thread> resolvers;
+    resolvers.reserve(kResolvers);
+    for (int i = 0; i < kResolvers; ++i) {
+      resolvers.emplace_back([&, i] {
+        if (i == kResolvers - 1) {
+          future->resolve(Outcome::failure("timed out"));
+        } else {
+          future->resolve(Outcome::success(Value(i)));
+        }
+      });
+    }
+    std::atomic<int> continuation_value{-2};
+    future->then([&](const Outcome& o) {
+      continuation_value.store(o.ok ? static_cast<int>(o.value.as_int())
+                                    : -1);
+    });
+    for (auto& t : resolvers) t.join();
+    Outcome seen;
+    try {
+      seen = Outcome::success(Value(future->get()));
+    } catch (const RpcError&) {
+      seen = Outcome::failure("timed out");
+    }
+    // get() and the continuation observed the same single winner.
+    const int got = seen.ok ? static_cast<int>(seen.value.as_int()) : -1;
+    EXPECT_GE(got, -1);
+    EXPECT_LT(got, kResolvers - 1);
+    EXPECT_EQ(continuation_value.load(), got);
+  }
+}
+
 TEST(Future, ChainingThroughThen) {
   // The pattern the spec engine uses to link nested chain futures.
   auto inner = Future::create();

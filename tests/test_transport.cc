@@ -119,6 +119,147 @@ TEST(SimNetwork, PartitionDropsAndHeals) {
   EXPECT_EQ(received.load(), 1);
 }
 
+TEST(SimNetworkFaults, DropRateStatistics) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::microseconds(50));
+  FaultCfg faults;
+  faults.drop_prob = 0.5;
+  net.set_faults("a", "b", faults);
+  std::atomic<int> received{0};
+  b.set_receiver([&](const Address&, Bytes) { received.fetch_add(1); });
+  constexpr int kMessages = 400;
+  for (int i = 0; i < kMessages; ++i) a.send("b", bytes_of("x"));
+  // Undropped messages are in flight for <1ms; give them ample slack.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const int got = received.load();
+  // Binomial(400, 0.5): [140, 260] is > 6 sigma around the mean.
+  EXPECT_GE(got, 140);
+  EXPECT_LE(got, 260);
+  EXPECT_EQ(net.fault_stats().dropped, static_cast<std::uint64_t>(kMessages - got));
+}
+
+TEST(SimNetworkFaults, DuplicationDeliversTwice) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::microseconds(50));
+  FaultCfg faults;
+  faults.dup_prob = 1.0;
+  net.set_faults("a", "b", faults);
+  constexpr int kMessages = 50;
+  WaitGroup wg;
+  wg.add(kMessages * 2);
+  std::atomic<int> received{0};
+  b.set_receiver([&](const Address&, Bytes) {
+    received.fetch_add(1);
+    wg.done();
+  });
+  for (int i = 0; i < kMessages; ++i) a.send("b", bytes_of("x"));
+  ASSERT_TRUE(wg.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(received.load(), kMessages * 2);
+  EXPECT_EQ(net.fault_stats().duplicated, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(SimNetworkFaults, ReorderingObserved) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  net.set_one_way("a", "b", std::chrono::microseconds(50));
+  FaultCfg faults;
+  faults.reorder_window = 3;
+  faults.reorder_slack = std::chrono::microseconds(200);
+  net.set_faults("a", "b", faults);
+  constexpr int kMessages = 300;
+  std::vector<int> received;
+  std::mutex mu;
+  WaitGroup wg;
+  wg.add(kMessages);
+  b.set_receiver([&](const Address&, Bytes payload) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back(static_cast<int>(payload[0]) * 256 +
+                       static_cast<int>(payload[1]));
+    wg.done();
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    a.send("b", Bytes{static_cast<std::uint8_t>(i / 256),
+                      static_cast<std::uint8_t>(i % 256)});
+  }
+  ASSERT_TRUE(wg.wait_for(std::chrono::seconds(10)));
+  // Nothing is lost under pure reordering...
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  // ...but with window=3 (held back with prob 3/4 per message) at least one
+  // inversion is overwhelmingly likely.
+  int inversions = 0;
+  for (int i = 1; i < kMessages; ++i) {
+    if (received[i] < received[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0);
+  EXPECT_GT(net.fault_stats().reordered, 0u);
+}
+
+TEST(SimNetworkFaults, FlapDropsThenHeals) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  std::atomic<int> received{0};
+  b.set_receiver([&](const Address&, Bytes) { received.fetch_add(1); });
+  // Up 20ms / down 20ms; sends every 2ms for 160ms straddle several down
+  // phases, so some messages must be eaten.
+  net.flap_link("a", "b", std::chrono::milliseconds(20),
+                std::chrono::milliseconds(20));
+  for (int i = 0; i < 80; ++i) {
+    a.send("b", bytes_of("tick"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(net.fault_stats().dropped, 0u);
+  EXPECT_GT(received.load(), 0);
+  // After stop_flaps() the link is healed for good: a fresh message arrives.
+  net.stop_flaps();
+  Event final_msg;
+  const int before = received.load();
+  b.set_receiver([&](const Address&, Bytes) {
+    received.fetch_add(1);
+    final_msg.set();
+  });
+  a.send("b", bytes_of("after-heal"));
+  ASSERT_TRUE(final_msg.wait_for(std::chrono::seconds(5)));
+  EXPECT_GT(received.load(), before);
+}
+
+TEST(SimNetworkFaults, SetFaultsAllAppliesToLiveLinks) {
+  SimNetwork net;
+  Transport& a = net.add_node("a");
+  Transport& b = net.add_node("b");
+  // Materialize the a->b peer entry with a normal delivery first.
+  Event first;
+  std::atomic<int> received{0};
+  b.set_receiver([&](const Address&, Bytes) {
+    if (received.fetch_add(1) + 1 == 1) first.set();
+  });
+  a.send("b", bytes_of("warm"));
+  ASSERT_TRUE(first.wait_for(std::chrono::seconds(5)));
+  // Now a blanket drop-everything profile must reach the live peer entry.
+  FaultCfg faults;
+  faults.drop_prob = 1.0;
+  net.set_faults_all(faults);
+  a.send("b", bytes_of("lost"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_GE(net.fault_stats().dropped, 1u);
+  // Clearing restores delivery (and applies to links not yet materialized).
+  net.set_faults_all(FaultCfg{});
+  Event second;
+  b.set_receiver([&](const Address&, Bytes) {
+    received.fetch_add(1);
+    second.set();
+  });
+  a.send("b", bytes_of("restored"));
+  ASSERT_TRUE(second.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(received.load(), 2);
+}
+
 TEST(SimNetwork, DuplicateNodeRejected) {
   SimNetwork net;
   net.add_node("a");
