@@ -6,14 +6,18 @@
 //
 // A front-end assembles a page from three dependent services (session ->
 // profile -> recommendations). Each service takes a while; the front-end
-// keeps a small cache of previous answers and uses cached values as
-// client-side predictions. Hits collapse the chain to roughly one service
+// installs a TTL-bounded CachePredictor (src/predict) into its engine, so
+// every call in the chain is predicted from the last seen answer and the
+// actual results are learned back automatically — no per-call cache plumbing
+// in the application code. Hits collapse the chain to roughly one service
 // time; misses cost nothing beyond the sequential baseline (§3.3 forward
 // progress). A rollback hook shows how a speculative side-table is undone.
 #include <iostream>
-#include <map>
 #include <mutex>
+#include <string>
 
+#include "predict/manager.h"
+#include "predict/predictor.h"
 #include "specrpc/engine.h"
 #include "transport/sim_network.h"
 
@@ -23,25 +27,6 @@ using namespace srpc::spec;  // NOLINT
 namespace {
 
 constexpr auto kServiceTime = std::chrono::milliseconds(25);
-
-/// A tiny thread-safe prediction cache: method+arg -> last seen result.
-class PredictionCache {
- public:
-  ValueList predict(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) return {};
-    return {it->second};
-  }
-  void learn(const std::string& key, Value v) {
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_[key] = std::move(v);
-  }
-
- private:
-  std::mutex mu_;
-  std::map<std::string, Value> cache_;
-};
 
 void register_services(SpecEngine& backend) {
   auto slow_echo = [](const char* tag) {
@@ -57,51 +42,54 @@ void register_services(SpecEngine& backend) {
   backend.register_method("recommend", slow_echo("recs"));
 }
 
+/// Speculative side-table for the rollback demo (§3.5.2): callbacks note
+/// the session they saw; a mis-speculated branch undoes its note.
+struct SessionLog {
+  std::mutex mu;
+  std::string last;
+
+  void note(std::string session) {
+    std::lock_guard<std::mutex> lock(mu);
+    last = std::move(session);
+  }
+};
+
 struct Page {
   std::string content;
   double latency_ms = 0;
 };
 
-Page render_page(SpecEngine& client, PredictionCache& cache,
+Page render_page(SpecEngine& client, SessionLog& log,
                  const std::string& user) {
   const auto t0 = Clock::now();
-  // recommend(profile(session(user))) as a speculative chain; every level
-  // consults the cache for its prediction and learns the actual value.
-  auto recommend_cb = [&cache]() -> CallbackFn {
-    return [&cache](SpecContext& ctx, const Value& recs) -> CallbackResult {
+  // recommend(profile(session(user))) as a speculative chain. Predictions
+  // are not passed inline: each call leaves them empty and the engine asks
+  // the installed CachePredictor (and learns each actual back into it).
+  auto recommend_cb = []() -> CallbackFn {
+    return [](SpecContext&, const Value& recs) -> CallbackResult {
       return recs;
     };
   };
-  auto profile_cb = [&cache, recommend_cb]() -> CallbackFn {
-    return [&cache, recommend_cb](SpecContext& ctx,
-                                  const Value& profile) -> CallbackResult {
-      cache.learn("profile", profile);
-      return ctx.call("backend", "recommend", {profile},
-                      cache.predict("recommend:" + profile.as_string()),
-                      recommend_cb);
+  auto profile_cb = [recommend_cb]() -> CallbackFn {
+    return [recommend_cb](SpecContext& ctx,
+                          const Value& profile) -> CallbackResult {
+      return ctx.call("backend", "recommend", {profile}, {}, recommend_cb);
     };
   };
-  auto session_cb = [&cache, profile_cb]() -> CallbackFn {
-    return [&cache, profile_cb](SpecContext& ctx,
-                                const Value& session) -> CallbackResult {
-      // Example of a speculative side-table + rollback (§3.5.2): note the
-      // session in a log, undo the note if this branch was mis-speculated.
-      cache.learn("last_session", session);
-      ctx.set_rollback([&cache] { cache.learn("last_session", Value()); });
-      return ctx.call("backend", "profile", {session},
-                      cache.predict("profile:" + session.as_string()),
-                      profile_cb);
+  auto session_cb = [&log, profile_cb]() -> CallbackFn {
+    return [&log, profile_cb](SpecContext& ctx,
+                              const Value& session) -> CallbackResult {
+      // Note the session in a side-table, undo if this branch turns out to
+      // be mis-speculated.
+      log.note(session.as_string());
+      ctx.set_rollback([&log] { log.note(""); });
+      return ctx.call("backend", "profile", {session}, {}, profile_cb);
     };
   };
 
-  auto future = client.call("backend", "session", make_args(user),
-                            cache.predict("session:" + user), session_cb);
+  auto future = client.call("backend", "session", make_args(user), {},
+                            session_cb);
   const Value recs = future->get();
-  // Learn actual values for next time (futures only deliver actuals).
-  cache.learn("session:" + user, Value("sess(" + user + ")"));
-  cache.learn("profile:sess(" + user + ")",
-              Value("prof(sess(" + user + "))"));
-  cache.learn("recommend:prof(sess(" + user + "))", recs);
   Page page;
   page.content = recs.as_string();
   page.latency_ms = to_ms(Clock::now() - t0);
@@ -113,23 +101,36 @@ Page render_page(SpecEngine& client, PredictionCache& cache,
 int main() {
   SimNetwork net;
   SpecEngine backend(net.add_node("backend"), net.executor(), net.wheel());
-  SpecEngine frontend(net.add_node("frontend"), net.executor(), net.wheel());
   register_services(backend);
-  PredictionCache cache;
+
+  // The whole cache wiring: pick a predictor, install the manager into the
+  // client engine's config (docs/ADOPTING.md "choosing a predictor").
+  predict::PredictorConfig predictor_config;
+  predictor_config.ttl = std::chrono::seconds(60);
+  predict::SpeculationManager manager(
+      predict::make_predictor(predict::Kind::kCache, predictor_config));
+  SpecConfig frontend_config;
+  manager.install(frontend_config);
+  SpecEngine frontend(net.add_node("frontend"), net.executor(), net.wheel(),
+                      frontend_config);
+  SessionLog log;
 
   std::cout << "3-service chain, " << to_ms(kServiceTime)
             << " ms per service\n";
-  Page cold = render_page(frontend, cache, "alice");
+  Page cold = render_page(frontend, log, "alice");
   std::cout << "cold cache:  " << cold.latency_ms << " ms -> "
             << cold.content << "\n";
-  Page warm = render_page(frontend, cache, "alice");
+  Page warm = render_page(frontend, log, "alice");
   std::cout << "warm cache:  " << warm.latency_ms << " ms -> "
             << warm.content << "\n";
 
   const auto stats = frontend.stats();
+  const auto mgr = manager.stats();
   std::cout << "predictions correct/made: " << stats.predictions_correct
             << "/" << stats.predictions_made
-            << ", rollbacks: " << stats.rollbacks_run << "\n";
+            << ", rollbacks: " << stats.rollbacks_run
+            << ", cached entries: " << manager.predictor().size()
+            << ", learned: " << mgr.learned << "\n";
 
   frontend.begin_shutdown();
   backend.begin_shutdown();

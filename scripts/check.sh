@@ -16,10 +16,14 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 
 # Bounded TSan chaos pass: a handful of transactions per client keeps the
 # whole pass within ~2 minutes while still driving retries, duplicate
-# replies, and flapping links through every engine flavour.
+# replies, and flapping links through every engine flavour. The predict
+# subset covers the concurrent predict/learn paths and the adaptive gate's
+# storm/heal loop (supplier + observer hooks firing from engine threads).
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target test_executor_stress test_transport test_chaos_soak
+  --target test_executor_stress test_transport test_chaos_soak test_predict
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
+./build-tsan/tests/test_predict \
+  --gtest_filter='Predictors.ConcurrentPredictLearnStress:PredictEngineTest.*'
 SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak

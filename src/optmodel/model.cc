@@ -48,6 +48,20 @@ double max_speedup(int stages, double lambda_per_T, double T) {
   return speedup(stages, lambda_per_T, t, T);
 }
 
+double t_new_fixed_p(int stages, double p, double T) {
+  if (stages <= 1) return T;
+  return (stages - 1) * (1.0 - p) * T + T;
+}
+
+double speculation_benefit(double p, double misspec_cost, double T) {
+  return p * T - (1.0 - p) * misspec_cost * T;
+}
+
+double break_even_accuracy(double misspec_cost) {
+  if (misspec_cost <= 0.0) return 0.0;
+  return misspec_cost / (1.0 + misspec_cost);
+}
+
 double max_speedup_general(const std::vector<Stage>& stages) {
   if (stages.empty()) return 1.0;
   double old_time = 0.0;

@@ -53,4 +53,28 @@ struct Stage {
 };
 double max_speedup_general(const std::vector<Stage>& stages);
 
+// ---- Fixed-accuracy specialization (online adaptive speculation) ----
+//
+// Client-side predictions are available *before* the call is issued, i.e.
+// hand-off at t = 0, and the prediction rate P is not the exponential model
+// but an accuracy measured online. Equation (2) then degenerates to
+//   T_new = (n-1) * [P*(0 - T) + T] + T = (n-1)*(1-P)*T + T
+// These are what predict::AdaptiveSpeculationController evaluates per call.
+
+/// Expected completion of an n-call dependent chain, unit-T calls, when
+/// every call speculates on a prediction of accuracy p (Equation (2) with
+/// t = 0 and constant P = p).
+double t_new_fixed_p(int stages, double p, double T = 1.0);
+
+/// Expected net benefit (time saved vs. the sequential chain) of
+/// speculating one call at accuracy p, charging `misspec_cost` (in units of
+/// T) for each incorrect speculation's wasted work:
+///   benefit(p) = p*T - (1-p)*misspec_cost*T
+double speculation_benefit(double p, double misspec_cost, double T = 1.0);
+
+/// The break-even accuracy: speculation_benefit(p*, misspec_cost) == 0,
+/// i.e. p* = misspec_cost / (1 + misspec_cost). The adaptive controller
+/// centres its hysteresis band on this threshold.
+double break_even_accuracy(double misspec_cost);
+
 }  // namespace srpc::opt

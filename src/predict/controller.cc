@@ -1,0 +1,104 @@
+#include "predict/controller.h"
+
+#include <algorithm>
+
+#include "optmodel/model.h"
+
+namespace srpc::predict {
+
+AdaptiveSpeculationController::AdaptiveSpeculationController(
+    const AccuracyTracker& tracker, AdaptiveConfig config)
+    : tracker_(tracker),
+      config_(config),
+      break_even_(opt::break_even_accuracy(config.misspec_cost)) {}
+
+double AdaptiveSpeculationController::off_threshold() const {
+  return std::max(0.0, break_even_ - config_.hysteresis);
+}
+
+double AdaptiveSpeculationController::on_threshold() const {
+  return std::min(1.0, break_even_ + config_.hysteresis);
+}
+
+bool AdaptiveSpeculationController::should_speculate(
+    const std::string& method) {
+  // Estimator reads happen before taking our lock (the tracker has its
+  // own); the decision below is a heuristic, momentary staleness is fine.
+  const std::uint64_t samples = tracker_.samples(method);
+  const double windowed = tracker_.windowed_hit_rate(method, 1.0);
+  const double smoothed = tracker_.hit_rate(method, 1.0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Gate& g = gate(method);
+  if (samples >= config_.min_samples) {
+    if (g.open && windowed < off_threshold()) {
+      g.open = false;
+      g.flips++;
+      g.calls_since_probe = 0;
+    } else if (!g.open && windowed >= on_threshold() &&
+               smoothed >= on_threshold()) {
+      g.open = true;
+      g.flips++;
+    }
+  }
+  if (g.open) {
+    g.allowed++;
+    return true;
+  }
+  if (config_.probe_every > 0 &&
+      ++g.calls_since_probe >= config_.probe_every) {
+    g.calls_since_probe = 0;
+    g.probes++;
+    g.allowed++;
+    return true;
+  }
+  g.suppressed++;
+  return false;
+}
+
+bool AdaptiveSpeculationController::gate_open(const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gates_.find(method);
+  return it == gates_.end() ? true : it->second.open;
+}
+
+AdaptiveSpeculationController::Gate& AdaptiveSpeculationController::gate(
+    const std::string& method) {
+  return gates_[method];
+}
+
+AdaptiveSpeculationController::MethodDecisionStats
+AdaptiveSpeculationController::stats(const std::string& method) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MethodDecisionStats out;
+  out.method = method;
+  auto it = gates_.find(method);
+  if (it == gates_.end()) return out;
+  const Gate& g = it->second;
+  out.open = g.open;
+  out.allowed = g.allowed;
+  out.suppressed = g.suppressed;
+  out.probes = g.probes;
+  out.flips = g.flips;
+  return out;
+}
+
+std::vector<AdaptiveSpeculationController::MethodDecisionStats>
+AdaptiveSpeculationController::stats_all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MethodDecisionStats> out;
+  out.reserve(gates_.size());
+  for (const auto& [method, g] : gates_) {
+    MethodDecisionStats m;
+    m.method = method;
+    m.open = g.open;
+    m.allowed = g.allowed;
+    m.suppressed = g.suppressed;
+    m.probes = g.probes;
+    m.flips = g.flips;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace srpc::predict

@@ -1,0 +1,76 @@
+#include "predict/manager.h"
+
+#include <cassert>
+
+namespace srpc::predict {
+
+SpeculationManager::SpeculationManager(PredictorPtr predictor,
+                                       ManagerConfig config)
+    : state_(std::make_shared<State>(std::move(predictor), config)) {
+  assert(state_->predictor != nullptr);
+}
+
+spec::PredictionSupplier SpeculationManager::supplier() {
+  return [state = state_](const std::string& method,
+                          const ValueList& args) -> ValueList {
+    state->supplier_calls.fetch_add(1, std::memory_order_relaxed);
+    if (state->controller && !state->controller->should_speculate(method)) {
+      state->gate_suppressed.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    ValueList predictions = state->predictor->predict(method, args);
+    if (predictions.empty()) {
+      state->predictor_empty.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      state->predictions_supplied.fetch_add(1, std::memory_order_relaxed);
+    }
+    return predictions;
+  };
+}
+
+spec::PredictionObserver SpeculationManager::observer() {
+  return [state = state_](const std::string& method, const ValueList& args,
+                          const spec::Outcome& actual,
+                          std::size_t predictions_made, bool any_correct) {
+    if (predictions_made > 0) {
+      state->tracker.record(method, true, actual.ok && any_correct);
+    } else if (actual.ok) {
+      // Shadow evaluation: score what the predictor would have predicted,
+      // so accuracy keeps tracking while the gate is closed. Evaluate
+      // before learning — learn() may make the prediction trivially right.
+      ValueList would = state->predictor->predict(method, args);
+      bool hit = false;
+      for (const auto& p : would) {
+        if (p == actual.value) {
+          hit = true;
+          break;
+        }
+      }
+      state->tracker.record(method, !would.empty(), hit);
+    }
+    if (actual.ok) {
+      state->predictor->learn(method, args, actual.value);
+      state->learned.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+}
+
+void SpeculationManager::install(spec::SpecConfig& config) {
+  config.prediction_supplier = supplier();
+  config.prediction_observer = observer();
+}
+
+ManagerStats SpeculationManager::stats() const {
+  ManagerStats out;
+  out.supplier_calls = state_->supplier_calls.load(std::memory_order_relaxed);
+  out.predictions_supplied =
+      state_->predictions_supplied.load(std::memory_order_relaxed);
+  out.gate_suppressed =
+      state_->gate_suppressed.load(std::memory_order_relaxed);
+  out.predictor_empty =
+      state_->predictor_empty.load(std::memory_order_relaxed);
+  out.learned = state_->learned.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace srpc::predict

@@ -1,0 +1,83 @@
+// Predictor — the pluggable prediction interface of the speculation
+// subsystem (DESIGN.md §8).
+//
+// SpecRPC's benefit curve hinges entirely on prediction accuracy (paper
+// §2.2, Figure 8a): correct predictions collapse dependent-RPC chains to
+// roughly one RPC time, incorrect ones cost wasted work. The paper treats
+// the prediction source as application-supplied; this module packages the
+// recurring strategies — last value, top-k frequency, Markov transitions,
+// TTL cache — behind one thread-safe interface so applications, the RC
+// client, and the workload drivers can swap them with a flag.
+//
+// A predictor is keyed by (method, args): predict() returns zero or more
+// candidate return values to speculate on, learn() feeds back the actual
+// result once the framework validated the call. Both may be called
+// concurrently from many client threads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serde/value.h"
+
+namespace srpc::predict {
+
+/// Canonical map key for one (method, args) call site. Deterministic and
+/// injective enough for prediction purposes: components are joined with a
+/// separator that cannot appear in the rendered values' framing.
+std::string key_of(const std::string& method, const ValueList& args);
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Candidate return values for `method(args)`, best first. Empty when the
+  /// predictor has nothing (yet) — the engine then simply does not
+  /// speculate this call (§3.3: forward progress never depends on it).
+  virtual ValueList predict(const std::string& method,
+                            const ValueList& args) = 0;
+
+  /// Feeds back the actual, validated return value of `method(args)`.
+  virtual void learn(const std::string& method, const ValueList& args,
+                     const Value& actual) = 0;
+
+  /// Drops any state derived from `method(args)` (rollback hook for
+  /// speculative learns; see examples/spec_cache.cpp).
+  virtual void forget(const std::string& method, const ValueList& args) {}
+
+  /// Number of retained entries (capacity/eviction tests, diagnostics).
+  virtual std::size_t size() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+using PredictorPtr = std::shared_ptr<Predictor>;
+
+/// The built-in predictor families, selectable by workload-runner flags.
+enum class Kind {
+  kNone,       // no predictor: SpecRPC runs without client predictions
+  kLastValue,  // last observed result per (method, args)
+  kTopK,       // k most frequent results per (method, args)
+  kMarkov,     // previous-result -> next-result transitions per method
+  kCache,      // TTL-bounded cache of results per (method, args)
+};
+
+const char* to_string(Kind kind);
+
+/// Parses "none" / "last" / "topk" / "markov" / "cache" (case-sensitive).
+/// Throws std::invalid_argument on anything else.
+Kind parse_kind(const std::string& name);
+
+/// Shared construction knobs; each predictor uses the subset that applies.
+struct PredictorConfig {
+  std::size_t capacity = 4096;  // max retained keys (LRU eviction)
+  int top_k = 2;                // kTopK: candidates returned per key
+  std::size_t values_per_key = 8;  // kTopK: distinct values tracked per key
+  Duration ttl = std::chrono::seconds(10);  // kCache: entry lifetime
+};
+
+/// nullptr for Kind::kNone.
+PredictorPtr make_predictor(Kind kind, PredictorConfig config = {});
+
+}  // namespace srpc::predict

@@ -1,0 +1,63 @@
+#include "predict/predictors.h"
+
+#include <stdexcept>
+
+namespace srpc::predict {
+
+std::string key_of(const std::string& method, const ValueList& args) {
+  // \x1f (unit separator) cannot appear in Value::to_string's rendering of
+  // printable payloads framed with quotes/brackets, and a length prefix per
+  // component removes any remaining ambiguity.
+  std::string key = method;
+  for (const auto& arg : args) {
+    const std::string rendered = arg.to_string();
+    key += '\x1f';
+    key += std::to_string(rendered.size());
+    key += ':';
+    key += rendered;
+  }
+  return key;
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kLastValue:
+      return "last";
+    case Kind::kTopK:
+      return "topk";
+    case Kind::kMarkov:
+      return "markov";
+    case Kind::kCache:
+      return "cache";
+  }
+  return "?";
+}
+
+Kind parse_kind(const std::string& name) {
+  if (name == "none" || name.empty()) return Kind::kNone;
+  if (name == "last") return Kind::kLastValue;
+  if (name == "topk") return Kind::kTopK;
+  if (name == "markov") return Kind::kMarkov;
+  if (name == "cache") return Kind::kCache;
+  throw std::invalid_argument("unknown predictor kind: " + name);
+}
+
+PredictorPtr make_predictor(Kind kind, PredictorConfig config) {
+  switch (kind) {
+    case Kind::kNone:
+      return nullptr;
+    case Kind::kLastValue:
+      return std::make_shared<LastValuePredictor>(config);
+    case Kind::kTopK:
+      return std::make_shared<TopKFrequencyPredictor>(config);
+    case Kind::kMarkov:
+      return std::make_shared<MarkovPredictor>(config);
+    case Kind::kCache:
+      return std::make_shared<CachePredictor>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace srpc::predict

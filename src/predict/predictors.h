@@ -1,0 +1,306 @@
+// The built-in Predictor implementations (DESIGN.md §8.1).
+//
+// All four are thread-safe (one mutex each; predictors sit on the client
+// call path but do constant work per operation) and bounded: keyed state
+// lives in an LRU-evicting map so a predictor never grows past
+// PredictorConfig::capacity entries regardless of workload key churn.
+//
+//   LastValuePredictor  — predicts the last observed result per key. The
+//     right default for read-mostly workloads (the paper's RC quorum reads:
+//     a key's (value, version) pair is stable between writes).
+//   TopKFrequencyPredictor — tracks per-key result frequencies and predicts
+//     the k most frequent, exploiting SpecRPC's support for *multiple*
+//     simultaneous predictions (§2.1: each distinct value speculatively
+//     executes a fresh callback).
+//   MarkovPredictor     — learns previous-result -> next-result transitions
+//     per method and predicts the most likely successor of the last result
+//     seen, for flows whose results form sequences independent of args.
+//   CachePredictor      — LastValue with a TTL: entries expire after
+//     `ttl`, generalizing the web-service-chain cache of the paper's §7
+//     Discussion (see examples/spec_cache.cpp).
+#pragma once
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace srpc::predict {
+
+namespace detail {
+
+/// Minimal LRU map: unordered_map over a recency list. Not thread-safe;
+/// owners lock. Touch-on-read so hot keys survive capacity pressure.
+template <typename V>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Returns the value for `key` (touching it) or nullptr.
+  V* find(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites, touching the entry; evicts the coldest entry
+  /// beyond capacity.
+  V& put(const std::string& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    return order_.front().second;
+  }
+
+  void erase(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  std::size_t size() const { return index_.size(); }
+
+ private:
+  using Entry = std::pair<std::string, V>;
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace detail
+
+class LastValuePredictor final : public Predictor {
+ public:
+  explicit LastValuePredictor(PredictorConfig config = {})
+      : entries_(config.capacity) {}
+
+  ValueList predict(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Value* v = entries_.find(key_of(method, args))) return {*v};
+    return {};
+  }
+
+  void learn(const std::string& method, const ValueList& args,
+             const Value& actual) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.put(key_of(method, args), actual);
+  }
+
+  void forget(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key_of(method, args));
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  const char* name() const override { return "last"; }
+
+ private:
+  mutable std::mutex mu_;
+  detail::LruMap<Value> entries_;
+};
+
+class TopKFrequencyPredictor final : public Predictor {
+ public:
+  explicit TopKFrequencyPredictor(PredictorConfig config = {})
+      : config_(config), entries_(config.capacity) {}
+
+  ValueList predict(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Counts* counts = entries_.find(key_of(method, args));
+    if (counts == nullptr) return {};
+    // Partial selection of the k most frequent values; ties break toward
+    // the smaller Value (operator<) so prediction order is deterministic.
+    std::vector<std::pair<const Value*, std::uint64_t>> ranked;
+    ranked.reserve(counts->size());
+    for (const auto& [value, count] : *counts) ranked.emplace_back(&value, count);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    ValueList out;
+    const std::size_t k = static_cast<std::size_t>(std::max(config_.top_k, 1));
+    for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+      out.push_back(*ranked[i].first);
+    }
+    return out;
+  }
+
+  void learn(const std::string& method, const ValueList& args,
+             const Value& actual) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Counts& counts = [&]() -> Counts& {
+      if (Counts* c = entries_.find(key_of(method, args))) return *c;
+      return entries_.put(key_of(method, args), Counts{});
+    }();
+    counts[actual]++;
+    if (counts.size() > std::max<std::size_t>(config_.values_per_key, 1)) {
+      // Evict the least frequent distinct value (first in Value order among
+      // minima, deterministically).
+      auto victim = counts.begin();
+      for (auto it = counts.begin(); it != counts.end(); ++it) {
+        if (it->second < victim->second) victim = it;
+      }
+      counts.erase(victim);
+    }
+  }
+
+  void forget(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key_of(method, args));
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  const char* name() const override { return "topk"; }
+
+ private:
+  using Counts = std::map<Value, std::uint64_t>;  // Value's operator< orders
+  mutable std::mutex mu_;
+  PredictorConfig config_;
+  detail::LruMap<Counts> entries_;
+};
+
+class MarkovPredictor final : public Predictor {
+ public:
+  explicit MarkovPredictor(PredictorConfig config = {})
+      : config_(config), methods_(config.capacity) {}
+
+  ValueList predict(const std::string& method, const ValueList& args) override {
+    (void)args;  // transitions are a per-method result sequence model
+    std::lock_guard<std::mutex> lock(mu_);
+    MethodState* state = methods_.find(method);
+    if (state == nullptr || !state->has_last) return {};
+    auto it = state->transitions.find(state->last);
+    if (it == state->transitions.end() || it->second.empty()) return {};
+    const auto* best = &*it->second.begin();
+    for (const auto& candidate : it->second) {
+      if (candidate.second > best->second) best = &candidate;
+    }
+    return {best->first};
+  }
+
+  void learn(const std::string& method, const ValueList& args,
+             const Value& actual) override {
+    (void)args;
+    std::lock_guard<std::mutex> lock(mu_);
+    MethodState& state = [&]() -> MethodState& {
+      if (MethodState* s = methods_.find(method)) return *s;
+      return methods_.put(method, MethodState{});
+    }();
+    if (state.has_last) {
+      auto& nexts = state.transitions[state.last];
+      nexts[actual]++;
+      if (state.transitions.size() >
+          std::max<std::size_t>(config_.values_per_key, 1)) {
+        // Bound the per-method transition table: drop the state with the
+        // fewest observed exits (deterministic: first minimum in key order).
+        auto victim = state.transitions.begin();
+        for (auto it = state.transitions.begin();
+             it != state.transitions.end(); ++it) {
+          if (weight(it->second) < weight(victim->second)) victim = it;
+        }
+        state.transitions.erase(victim);
+      }
+    }
+    state.last = actual;
+    state.has_last = true;
+  }
+
+  void forget(const std::string& method, const ValueList& args) override {
+    (void)args;
+    std::lock_guard<std::mutex> lock(mu_);
+    methods_.erase(method);
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return methods_.size();
+  }
+
+  const char* name() const override { return "markov"; }
+
+ private:
+  using Counts = std::map<Value, std::uint64_t>;
+  struct MethodState {
+    std::map<Value, Counts> transitions;
+    Value last;
+    bool has_last = false;
+  };
+  static std::uint64_t weight(const Counts& c) {
+    std::uint64_t w = 0;
+    for (const auto& [_, n] : c) w += n;
+    return w;
+  }
+
+  mutable std::mutex mu_;
+  PredictorConfig config_;
+  detail::LruMap<MethodState> methods_;
+};
+
+class CachePredictor final : public Predictor {
+ public:
+  explicit CachePredictor(PredictorConfig config = {})
+      : config_(config), entries_(config.capacity) {}
+
+  ValueList predict(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* e = entries_.find(key_of(method, args));
+    if (e == nullptr) return {};
+    if (Clock::now() >= e->expires) {
+      entries_.erase(key_of(method, args));
+      return {};
+    }
+    return {e->value};
+  }
+
+  void learn(const std::string& method, const ValueList& args,
+             const Value& actual) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.put(key_of(method, args), Entry{actual, Clock::now() + config_.ttl});
+  }
+
+  void forget(const std::string& method, const ValueList& args) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(key_of(method, args));
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  const char* name() const override { return "cache"; }
+
+ private:
+  struct Entry {
+    Value value;
+    TimePoint expires;
+  };
+  mutable std::mutex mu_;
+  PredictorConfig config_;
+  detail::LruMap<Entry> entries_;
+};
+
+}  // namespace srpc::predict

@@ -13,7 +13,8 @@ struct RcCluster::NodeBundle {
   std::unique_ptr<RpcKit> kit;
 };
 
-RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
+RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name,
+                                            bool with_predictor) {
   auto bundle = std::make_unique<NodeBundle>();
   bundle->transport = &geo_->add_machine(dc, name);
   switch (config_.flavor) {
@@ -40,6 +41,17 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name) {
       spec::SpecConfig spec_config;
       spec_config.call_timeout = config_.call_timeout;
       spec_config.retry = config_.retry;
+      if (with_predictor && config_.read_predictor != predict::Kind::kNone) {
+        predict::ManagerConfig mgr_config;
+        mgr_config.adaptive = config_.adaptive_speculation;
+        mgr_config.adaptive_config = config_.adaptive;
+        predict_managers_.push_back(
+            std::make_unique<predict::SpeculationManager>(
+                predict::make_predictor(config_.read_predictor,
+                                        config_.predictor_config),
+                mgr_config));
+        predict_managers_.back()->install(spec_config);
+      }
       bundle->spec_engine = std::make_unique<spec::SpecEngine>(
           *bundle->transport, *work_executor_, net_->wheel(), spec_config);
       bundle->kit = std::make_unique<SpecKit>(*bundle->spec_engine);
@@ -109,7 +121,8 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
 
   for (int dc = 0; dc < topology_.num_dcs; ++dc) {
     for (int i = 0; i < config_.clients_per_dc; ++i) {
-      auto& bundle = make_node(dc, "client" + std::to_string(i));
+      auto& bundle =
+          make_node(dc, "client" + std::to_string(i), /*with_predictor=*/true);
       RcClientConfig client_config;
       client_config.my_dc = dc;
       clients_.push_back(std::make_unique<RcClient>(*bundle.kit, topology_,
@@ -139,6 +152,26 @@ RcCluster::~RcCluster() {
   geo_.reset();
   net_.reset();
   work_executor_.reset();
+}
+
+predict::SpeculationManager* RcCluster::client_predictor(int dc, int index) {
+  if (predict_managers_.empty()) return nullptr;
+  return predict_managers_
+      .at(static_cast<std::size_t>(dc * config_.clients_per_dc + index))
+      .get();
+}
+
+predict::ManagerStats RcCluster::predict_stats() const {
+  predict::ManagerStats total;
+  for (const auto& mgr : predict_managers_) {
+    const auto s = mgr->stats();
+    total.supplier_calls += s.supplier_calls;
+    total.predictions_supplied += s.predictions_supplied;
+    total.gate_suppressed += s.gate_suppressed;
+    total.predictor_empty += s.predictor_empty;
+    total.learned += s.learned;
+  }
+  return total;
 }
 
 spec::SpecStats RcCluster::spec_stats() const {

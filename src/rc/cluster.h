@@ -12,6 +12,8 @@
 #include "common/cpu_model.h"
 #include "common/flavor.h"
 #include "common/retry.h"
+#include "predict/manager.h"
+#include "predict/predictor.h"
 #include "rc/client.h"
 #include "rc/server.h"
 #include "transport/geo.h"
@@ -40,6 +42,16 @@ struct ClusterConfig {
   /// Non-empty: each shard server writes an async transaction log
   /// <log_dir>/<dc>.<shard>.rclog (the paper persists txn logs to SSD).
   std::string log_dir;
+  /// kNone disables client-side read prediction. Any other kind gives every
+  /// client machine (kSpec flavour only) its own predictor whose learned
+  /// state feeds "rc.read" quorum calls through the engine's prediction
+  /// hooks (DESIGN.md §8), on top of the first-response prediction of §4.1.
+  predict::Kind read_predictor = predict::Kind::kNone;
+  predict::PredictorConfig predictor_config;
+  /// With a predictor installed: gate read speculation on observed accuracy
+  /// (AdaptiveSpeculationController) instead of always speculating.
+  bool adaptive_speculation = false;
+  predict::AdaptiveConfig adaptive;
 };
 
 class RcCluster {
@@ -60,6 +72,13 @@ class RcCluster {
   /// Sum of the SpecRPC stats over all engines (zeroes for other flavours).
   spec::SpecStats spec_stats() const;
 
+  /// The read predictor attached to one client machine, or nullptr when the
+  /// cluster runs without prediction (read_predictor == kNone or non-spec
+  /// flavour). Index mirrors client(dc, index).
+  predict::SpeculationManager* client_predictor(int dc, int index);
+  /// Sum of the per-client prediction-manager counters.
+  predict::ManagerStats predict_stats() const;
+
   /// Direct store access for invariants checks in tests.
   kv::VersionedStore& store(int dc, int shard) {
     return *stores_.at(static_cast<std::size_t>(dc * kNumShards + shard));
@@ -68,7 +87,8 @@ class RcCluster {
  private:
   struct NodeBundle;  // one machine: transport + engine + kit (+ roles)
 
-  NodeBundle& make_node(int dc, const std::string& name);
+  NodeBundle& make_node(int dc, const std::string& name,
+                        bool with_predictor = false);
 
   ClusterConfig config_;
   Topology topology_;
@@ -85,6 +105,10 @@ class RcCluster {
   std::vector<std::unique_ptr<ShardServer>> shard_servers_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;
   std::vector<std::unique_ptr<RcClient>> clients_;
+  /// One per client machine when read prediction is on (same order as
+  /// clients_); empty otherwise. The installed hooks hold the state by
+  /// shared_ptr, so destruction order vs. engines is not delicate.
+  std::vector<std::unique_ptr<predict::SpeculationManager>> predict_managers_;
 };
 
 }  // namespace srpc::rc

@@ -75,6 +75,29 @@ using Handler = std::function<void(const ServerCallPtr& call)>;
 /// Creates a fresh handler per request (SpecRpcHostFactory).
 using HandlerFactory = std::function<Handler()>;
 
+/// Supplies predicted return values for an outgoing call that was issued
+/// with a callback factory but *without* explicit predictions
+/// (SpecConfig::prediction_supplier). Returning an empty list means "do not
+/// speculate this call" — the engine then runs the callback once on the
+/// actual result, which is exactly TradRPC behaviour (§3.3 forward
+/// progress). Runs on the caller's thread, outside the engine lock; must be
+/// thread-safe and must not call back into the engine.
+using PredictionSupplier =
+    std::function<ValueList(const std::string& method, const ValueList& args)>;
+
+/// Observes the validation of one speculation-capable call (a call issued
+/// with a callback factory) once its actual result arrives: `actual` is the
+/// call's actual outcome, `predictions_made` how many distinct predicted
+/// values were speculated on, and `any_correct` whether one of them matched.
+/// Calls whose predictions list was empty still report (with
+/// predictions_made == 0), so predictors can learn and accuracy trackers
+/// can observe even while speculation is gated off. Runs outside the engine
+/// lock, after the validating transition batch; `args` are the call's
+/// arguments (retained by the engine whenever an observer is installed).
+using PredictionObserver = std::function<void(
+    const std::string& method, const ValueList& args, const Outcome& actual,
+    std::size_t predictions_made, bool any_correct)>;
+
 /// Builds a ValueList from heterogeneous arguments.
 template <typename... Args>
 ValueList make_args(Args&&... args) {

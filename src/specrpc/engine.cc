@@ -283,6 +283,13 @@ SpecFuturePtr SpecEngine::call(const Address& dst, const std::string& method,
                                ValueList args, ValueList predictions,
                                CallbackFactory factory) {
   const SpecNode::Ptr caller = context_node();
+  // Prediction hook (DESIGN.md §8): a call that could speculate but carries
+  // no explicit predictions asks the configured supplier. Consulted outside
+  // the engine lock — suppliers run user code (predictor lookups, the
+  // adaptive gate).
+  if (predictions.empty() && factory && config_.prediction_supplier) {
+    predictions = config_.prediction_supplier(method, args);
+  }
   Actions actions;
   SpecFuturePtr future;
   {
@@ -299,16 +306,29 @@ SpecFuturePtr SpecEngine::call_quorum(const std::vector<Address>& dsts,
                                       int quorum, const std::string& method,
                                       ValueList args, Combiner combiner,
                                       CallbackFactory factory) {
+  return call_quorum(dsts, quorum, method, std::move(args), ValueList{},
+                     std::move(combiner), std::move(factory));
+}
+
+SpecFuturePtr SpecEngine::call_quorum(const std::vector<Address>& dsts,
+                                      int quorum, const std::string& method,
+                                      ValueList args, ValueList predictions,
+                                      Combiner combiner,
+                                      CallbackFactory factory) {
   assert(!dsts.empty());
   assert(quorum >= 1 && quorum <= static_cast<int>(dsts.size()));
   const SpecNode::Ptr caller = context_node();
+  if (predictions.empty() && factory && config_.prediction_supplier) {
+    predictions = config_.prediction_supplier(method, args);
+  }
   SpecFuturePtr future;
   {
     std::lock_guard<std::mutex> lock(mu_);
     check_live(caller);
     stats_.quorum_calls_issued++;
-    future = start_call(caller, dsts, quorum, method, std::move(args), {},
-                        std::move(combiner), std::move(factory));
+    future = start_call(caller, dsts, quorum, method, std::move(args),
+                        std::move(predictions), std::move(combiner),
+                        std::move(factory));
   }
   return future;
 }
@@ -352,7 +372,11 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
     msg.args = args;  // copied per destination (quorum fan-out)
     transport_.send(rec->dsts[i], encode(msg, *config_.codec));
   }
-  if (config_.retry.enabled()) rec->args = std::move(args);
+  // Retries re-encode the arguments; the prediction observer reports them
+  // so predictors can key their learning.
+  if (config_.retry.enabled() || config_.prediction_observer) {
+    rec->args = std::move(args);
+  }
 
   // Cross-machine dependency edge (§3.4): when this call's caller chain
   // resolves, tell every executing server so its RPC object (and its own
@@ -577,6 +601,21 @@ void SpecEngine::process_actual(const std::shared_ptr<OutgoingCall>& rec,
     set_value_status(branch->node,
                      match ? ValueStatus::kCorrect : ValueStatus::kIncorrect,
                      actions);
+  }
+  // Report the validation to the prediction observer (outside the lock,
+  // with the transition batch) so predictors learn the actual value and
+  // accuracy trackers see the hit/miss — including predictions_made == 0
+  // calls, which keep learning alive while the adaptive gate is off.
+  if (config_.prediction_observer && rec->factory) {
+    std::size_t made = 0;
+    for (const auto& branch : rec->branches) {
+      made += branch->from_prediction ? 1 : 0;
+    }
+    actions.push_back([obs = config_.prediction_observer, method = rec->method,
+                       args = rec->args, outcome = rec->actual, made,
+                       correct = rec->branch_matched] {
+      obs(method, args, outcome, made, correct);
+    });
   }
   if (!rec->branch_matched) {
     if (rec->actual.ok && rec->factory) {

@@ -41,6 +41,16 @@ struct SpecConfig {
   /// (duplicate actuals are deduplicated per destination). Handlers must be
   /// idempotent — see DESIGN.md §7.
   RetryPolicy retry;
+  /// Optional prediction hook (DESIGN.md §8): consulted by call()/
+  /// call_quorum() for every speculation-capable call issued without
+  /// explicit predictions. The usual installer is
+  /// predict::SpeculationManager, which routes through a Predictor and the
+  /// adaptive speculation gate.
+  PredictionSupplier prediction_supplier;
+  /// Optional observer of per-call prediction validation (method, args,
+  /// actual, predictions_made, any_correct) — the feedback edge that lets
+  /// predictors learn online and accuracy trackers drive the adaptive gate.
+  PredictionObserver prediction_observer;
 };
 
 /// Counters exposed for tests, benches and EXPERIMENTS.md (snapshot is
@@ -109,6 +119,16 @@ class SpecEngine {
   SpecFuturePtr call_quorum(const std::vector<Address>& dsts, int quorum,
                             const std::string& method, ValueList args,
                             Combiner combiner, CallbackFactory factory);
+
+  /// call_quorum with client-side predictions of the *combined* result
+  /// (validated against the combiner's output). The first quorum response
+  /// still doubles as a prediction; client predictions start callbacks even
+  /// earlier — before any response arrives (the RC read-chain pattern with
+  /// a warm predictor).
+  SpecFuturePtr call_quorum(const std::vector<Address>& dsts, int quorum,
+                            const std::string& method, ValueList args,
+                            ValueList predictions, Combiner combiner,
+                            CallbackFactory factory);
 
   /// Blocks the calling computation until it is non-speculative; throws
   /// MisspeculationError if its speculation was incorrect (§3.5.2).
@@ -308,6 +328,15 @@ class SpecContext {
                             Combiner combiner, CallbackFactory factory) {
     return engine_.call_quorum(dsts, quorum, method, std::move(args),
                                std::move(combiner), std::move(factory));
+  }
+
+  SpecFuturePtr call_quorum(const std::vector<Address>& dsts, int quorum,
+                            const std::string& method, ValueList args,
+                            ValueList predictions, Combiner combiner,
+                            CallbackFactory factory) {
+    return engine_.call_quorum(dsts, quorum, method, std::move(args),
+                               std::move(predictions), std::move(combiner),
+                               std::move(factory));
   }
 
   void spec_block() { engine_.spec_block(); }

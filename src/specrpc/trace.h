@@ -10,8 +10,10 @@
 //   +0.000ms  callback #12  CalleeSpeculative -> SpeculationCorrect
 //   +0.113ms  call     #13  CallerSpeculative -> SpeculationIncorrect
 //
-// Attach with `trace.attach(engine)`; detach by destroying the trace or
-// re-setting the engine's observer.
+// Attach with `trace.attach(engine)`. The engine's observer captures a raw
+// pointer to the trace: detach (engine.set_transition_observer(nullptr)) or
+// shut the engine down before destroying a live trace — destroying the
+// trace alone does NOT detach it.
 #pragma once
 
 #include <mutex>
@@ -33,9 +35,19 @@ class SpecTrace {
     SpecState to;
   };
 
-  /// Starts recording `engine`'s transitions (replaces any observer).
+  /// Starts recording `engine`'s transitions (replaces any observer the
+  /// engine had — including a previous SpecTrace's). Safe to call while
+  /// observer callbacks from an earlier attach (same or another engine) are
+  /// still firing: the timestamp origin is written under `mu_`, the same
+  /// lock those callbacks take to record. Re-attaching resets the origin
+  /// but keeps already-recorded events; call clear() for a fresh timeline.
+  /// A trace attached to several engines interleaves their events on one
+  /// shared clock.
   void attach(SpecEngine& engine) {
-    start_ = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      start_ = Clock::now();
+    }
     engine.set_transition_observer(
         [this](SpecNode::Kind kind, std::uint64_t id, SpecState from,
                SpecState to) {

@@ -1,5 +1,7 @@
 #include "workload/microbench.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -57,6 +59,45 @@ bool server_flip(const std::string& arg, double rate, std::uint64_t seed) {
   return (static_cast<double>(h >> 11) * 0x1.0p-53) < rate;
 }
 
+/// Predictor wrapper over the deterministic oracle: predicts work_fn(arg)
+/// but deliberately corrupts it at rate 1 - correct_rate. Gives the fig8a
+/// adaptive series a predictor with a *controlled* accuracy.
+class OraclePredictor : public predict::Predictor {
+ public:
+  OraclePredictor(double correct_rate, std::uint64_t seed)
+      : correct_rate_(correct_rate), rng_(seed) {}
+
+  ValueList predict(const std::string& method, const ValueList& args) override {
+    if (method != "work" || args.empty()) return {};
+    const std::string correct = work_fn(args.at(0).as_string());
+    bool flip;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flip = rng_.flip(correct_rate_);
+    }
+    ValueList out;
+    out.emplace_back(flip ? correct : wrong_value(correct));
+    return out;
+  }
+
+  void learn(const std::string&, const ValueList&, const Value&) override {}
+  void forget(const std::string&, const ValueList&) override {}
+  std::size_t size() const override { return 0; }
+  const char* name() const override { return "oracle"; }
+
+ private:
+  const double correct_rate_;
+  std::mutex mu_;
+  Rng rng_;
+};
+
+/// Per-server mutable state for the predictor-mode twists.
+struct ServerState {
+  std::mutex mu;
+  TimePoint busy_until{};                 // server_serial occupancy timeline
+  std::atomic<std::uint64_t> counter{0};  // volatile_results phase
+};
+
 struct Fixture {
   ~Fixture() {
     // Stop engines (wakes spec_block waiters), drain their executor, then
@@ -86,13 +127,16 @@ struct Fixture {
       const Address addr = "server" + std::to_string(s);
       Transport& transport = net->add_node(addr);
       server_addrs.push_back(addr);
+      server_states.push_back(std::make_unique<ServerState>());
+      ServerState* state = server_states.back().get();
       if (config.flavor == Flavor::kSpec) {
         auto engine = std::make_unique<spec::SpecEngine>(
             transport, *work_executor, net->wheel());
         engine->register_method(
-            "work", spec::Handler([this](const spec::ServerCallPtr& call) {
+            "work",
+            spec::Handler([this, state](const spec::ServerCallPtr& call) {
               const std::string arg = call->args().at(0).as_string();
-              const std::string result = work_fn(arg);
+              const std::string result = twist(*state, work_fn(arg));
               if (this->config.server_side_prediction) {
                 // Figure 2c: the server predicts its own result partway
                 // through execution. Accuracy is drawn deterministically
@@ -112,17 +156,18 @@ struct Fixture {
                   }
                 });
               }
-              call->finish_after(this->config.service_time, Value(result));
+              call->finish_after(service_delay(*state), Value(result));
             }));
         spec_servers.push_back(std::move(engine));
       } else {
         auto node = std::make_unique<rpc::Node>(transport, *work_executor,
                                                 net->wheel(), node_config());
         node->register_method(
-            "work", [this](const rpc::CallContext& ctx, ValueList args,
-                           rpc::Responder responder) {
-              ctx.finish_after(this->config.service_time, std::move(responder),
-                               Value(work_fn(args.at(0).as_string())));
+            "work", [this, state](const rpc::CallContext& ctx, ValueList args,
+                                  rpc::Responder responder) {
+              ctx.finish_after(
+                  service_delay(*state), std::move(responder),
+                  Value(twist(*state, work_fn(args.at(0).as_string()))));
             });
         rpc_servers.push_back(std::move(node));
       }
@@ -132,8 +177,26 @@ struct Fixture {
       Transport& transport = net->add_node(addr);
       client_addrs.push_back(addr);
       if (config.flavor == Flavor::kSpec) {
+        spec::SpecConfig spec_config;
+        if (predictor_mode()) {
+          predict::ManagerConfig mgr_config;
+          mgr_config.adaptive = config.predict.adaptive;
+          mgr_config.adaptive_config = config.predict.adaptive_config;
+          predict::PredictorPtr predictor =
+              config.predict.oracle
+                  ? std::make_shared<OraclePredictor>(
+                        config.correct_rate,
+                        config.seed * 104729 +
+                            static_cast<std::uint64_t>(c))
+                  : predict::make_predictor(config.predict.kind,
+                                            config.predict.predictor);
+          predict_managers.push_back(
+              std::make_unique<predict::SpeculationManager>(
+                  std::move(predictor), mgr_config));
+          predict_managers.back()->install(spec_config);
+        }
         spec_clients.push_back(std::make_unique<spec::SpecEngine>(
-            transport, *work_executor, net->wheel()));
+            transport, *work_executor, net->wheel(), spec_config));
       } else {
         rpc_clients.push_back(std::make_unique<rpc::Node>(
             transport, *work_executor, net->wheel(), node_config()));
@@ -153,6 +216,34 @@ struct Fixture {
                         server_addrs.size()];
   }
 
+  /// True when client-side predictions come from an installed supplier
+  /// (predict module or wrapped oracle) instead of inline oracle values.
+  bool predictor_mode() const {
+    return (config.predict.kind != predict::Kind::kNone ||
+            config.predict.oracle) &&
+           !config.server_side_prediction;
+  }
+
+  std::string twist(ServerState& state, std::string result) const {
+    if (config.predict.volatile_results && !result.empty()) {
+      result[0] = static_cast<char>(
+          'A' + state.counter.fetch_add(1, std::memory_order_relaxed) % 7);
+    }
+    return result;
+  }
+
+  /// Completion delay for one RPC: the fixed service time, or — with
+  /// server_serial — that time booked on the server's occupancy timeline,
+  /// so concurrent (and misspeculated) calls queue.
+  Duration service_delay(ServerState& state) const {
+    if (!config.predict.server_serial) return config.service_time;
+    const TimePoint now = Clock::now();
+    std::lock_guard<std::mutex> lock(state.mu);
+    const TimePoint start = std::max(now, state.busy_until);
+    state.busy_until = start + config.service_time;
+    return state.busy_until - now;
+  }
+
   MicroConfig config;
   std::unique_ptr<SimNetwork> net;
   std::unique_ptr<Executor> work_executor;
@@ -162,6 +253,9 @@ struct Fixture {
   std::vector<std::unique_ptr<spec::SpecEngine>> spec_clients;
   std::vector<std::unique_ptr<rpc::Node>> rpc_servers;
   std::vector<std::unique_ptr<rpc::Node>> rpc_clients;
+  std::vector<std::unique_ptr<ServerState>> server_states;
+  /// One per spec client in predictor mode (same order as spec_clients).
+  std::vector<std::unique_ptr<predict::SpeculationManager>> predict_managers;
 };
 
 /// One SpecRPC request: the whole chain is expressed as nested callbacks so
@@ -178,12 +272,15 @@ spec::CallbackFactory chain_factory(Fixture& fixture,
       const std::string arg =
           next_arg(v.as_string(), next, fixture.config.payload_size);
       ValueList predictions;
-      if (!fixture.config.server_side_prediction) {
+      if (!fixture.config.server_side_prediction &&
+          !fixture.predictor_mode()) {
         const std::string correct = work_fn(arg);
         predictions.emplace_back((*flips)[static_cast<std::size_t>(next)]
                                      ? correct
                                      : wrong_value(correct));
       }
+      // Predictor mode: leave predictions empty — the engine consults the
+      // client's installed prediction supplier.
       ValueList args;
       args.emplace_back(arg);
       return ctx.call(fixture.server_for(next), "work", std::move(args),
@@ -203,10 +300,13 @@ Duration run_one_request_spec(Fixture& fixture, int client, std::uint64_t seq,
     flips->push_back(rng.flip(fixture.config.correct_rate));
 
   const TimePoint t0 = Clock::now();
-  const std::string arg0 =
-      initial_arg(client, seq, fixture.config.payload_size);
+  const int key_space = fixture.config.predict.key_space;
+  const std::uint64_t key = key_space > 0
+                                ? seq % static_cast<std::uint64_t>(key_space)
+                                : seq;
+  const std::string arg0 = initial_arg(client, key, fixture.config.payload_size);
   ValueList predictions;
-  if (!fixture.config.server_side_prediction) {
+  if (!fixture.config.server_side_prediction && !fixture.predictor_mode()) {
     const std::string correct0 = work_fn(arg0);
     predictions.emplace_back((*flips)[0] ? correct0 : wrong_value(correct0));
   }
@@ -223,7 +323,11 @@ Duration run_one_request_sync(Fixture& fixture, int client,
                               std::uint64_t seq) {
   auto& node = *fixture.rpc_clients[static_cast<std::size_t>(client)];
   const TimePoint t0 = Clock::now();
-  std::string arg = initial_arg(client, seq, fixture.config.payload_size);
+  const int key_space = fixture.config.predict.key_space;
+  const std::uint64_t key = key_space > 0
+                                ? seq % static_cast<std::uint64_t>(key_space)
+                                : seq;
+  std::string arg = initial_arg(client, key, fixture.config.payload_size);
   for (int i = 0; i < fixture.config.rpcs_per_request; ++i) {
     ValueList args;
     args.emplace_back(arg);
@@ -292,6 +396,25 @@ MicroResult run_microbench(const MicroConfig& config, Duration warmup,
     result.client_traffic += fixture.net->stats(addr);
   for (const auto& addr : fixture.server_addrs)
     result.server_traffic += fixture.net->stats(addr);
+  for (const auto& engine : fixture.spec_clients) {
+    const auto s = engine->stats();
+    result.spec.calls_issued += s.calls_issued;
+    result.spec.callbacks_spawned += s.callbacks_spawned;
+    result.spec.reexecutions += s.reexecutions;
+    result.spec.predictions_made += s.predictions_made;
+    result.spec.predictions_correct += s.predictions_correct;
+    result.spec.predictions_incorrect += s.predictions_incorrect;
+    result.spec.branches_abandoned += s.branches_abandoned;
+    result.spec.rollbacks_run += s.rollbacks_run;
+  }
+  for (const auto& mgr : fixture.predict_managers) {
+    const auto s = mgr->stats();
+    result.managers.supplier_calls += s.supplier_calls;
+    result.managers.predictions_supplied += s.predictions_supplied;
+    result.managers.gate_suppressed += s.gate_suppressed;
+    result.managers.predictor_empty += s.predictor_empty;
+    result.managers.learned += s.learned;
+  }
   return result;
 }
 

@@ -1,0 +1,448 @@
+// The prediction subsystem: predictors (determinism, bounds, eviction),
+// accuracy tracking, the adaptive controller's hysteresis, and the full
+// observer -> tracker -> controller -> engine-hook loop under a
+// misspeculation storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "predict/accuracy.h"
+#include "predict/controller.h"
+#include "predict/manager.h"
+#include "predict/predictors.h"
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::predict {
+namespace {
+
+ValueList args_of(std::int64_t k) {
+  ValueList args;
+  args.emplace_back(k);
+  return args;
+}
+
+// ------------------------------------------------------------- predictors
+
+TEST(KeyOf, DistinguishesMethodsAndArgs) {
+  EXPECT_NE(key_of("a", args_of(1)), key_of("b", args_of(1)));
+  EXPECT_NE(key_of("a", args_of(1)), key_of("a", args_of(2)));
+  EXPECT_EQ(key_of("a", args_of(1)), key_of("a", args_of(1)));
+  // Multi-arg framing must not collide with single-arg strings.
+  ValueList two;
+  two.emplace_back("x");
+  two.emplace_back("y");
+  ValueList one;
+  one.emplace_back("xy");
+  EXPECT_NE(key_of("m", two), key_of("m", one));
+}
+
+TEST(LastValuePredictor, PredictsLastObservedPerKey) {
+  LastValuePredictor p;
+  EXPECT_TRUE(p.predict("get", args_of(1)).empty());
+  p.learn("get", args_of(1), Value("v1"));
+  p.learn("get", args_of(2), Value("v2"));
+  ASSERT_EQ(p.predict("get", args_of(1)).size(), 1u);
+  EXPECT_EQ(p.predict("get", args_of(1)).at(0), Value("v1"));
+  p.learn("get", args_of(1), Value("v1b"));  // overwrites
+  EXPECT_EQ(p.predict("get", args_of(1)).at(0), Value("v1b"));
+  p.forget("get", args_of(1));
+  EXPECT_TRUE(p.predict("get", args_of(1)).empty());
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(LastValuePredictor, LruEvictionKeepsHotKeys) {
+  PredictorConfig config;
+  config.capacity = 4;
+  LastValuePredictor p(config);
+  for (std::int64_t k = 0; k < 4; ++k) p.learn("get", args_of(k), Value(k));
+  // Touch key 0 so it is the hottest, then insert a 5th key.
+  EXPECT_FALSE(p.predict("get", args_of(0)).empty());
+  p.learn("get", args_of(99), Value(99));
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_FALSE(p.predict("get", args_of(0)).empty());  // survived (hot)
+  EXPECT_TRUE(p.predict("get", args_of(1)).empty());   // evicted (coldest)
+}
+
+TEST(TopKFrequencyPredictor, RanksByFrequencyDeterministically) {
+  PredictorConfig config;
+  config.top_k = 2;
+  TopKFrequencyPredictor p(config);
+  for (int i = 0; i < 5; ++i) p.learn("roll", args_of(1), Value("common"));
+  for (int i = 0; i < 2; ++i) p.learn("roll", args_of(1), Value("rare"));
+  p.learn("roll", args_of(1), Value("once"));
+  const ValueList out = p.predict("roll", args_of(1));
+  ASSERT_EQ(out.size(), 2u);  // top_k bounds the candidate list
+  EXPECT_EQ(out.at(0), Value("common"));
+  EXPECT_EQ(out.at(1), Value("rare"));
+  // Repeated calls are stable.
+  EXPECT_EQ(p.predict("roll", args_of(1)), out);
+}
+
+TEST(TopKFrequencyPredictor, BoundsDistinctValuesPerKey) {
+  PredictorConfig config;
+  config.values_per_key = 3;
+  config.top_k = 8;
+  TopKFrequencyPredictor p(config);
+  // 5 distinct values; the two least frequent must be dropped.
+  for (int i = 0; i < 9; ++i) p.learn("m", args_of(0), Value("a"));
+  for (int i = 0; i < 7; ++i) p.learn("m", args_of(0), Value("b"));
+  for (int i = 0; i < 5; ++i) p.learn("m", args_of(0), Value("c"));
+  p.learn("m", args_of(0), Value("d"));
+  p.learn("m", args_of(0), Value("e"));
+  const ValueList out = p.predict("m", args_of(0));
+  ASSERT_LE(out.size(), 3u);
+  EXPECT_EQ(out.at(0), Value("a"));
+  EXPECT_EQ(out.at(1), Value("b"));
+}
+
+TEST(MarkovPredictor, PredictsLikeliestSuccessor) {
+  MarkovPredictor p;
+  EXPECT_TRUE(p.predict("next", {}).empty());
+  // Sequence a->b, a->b, a->c: after seeing "a" the prediction is "b".
+  p.learn("next", {}, Value("a"));
+  p.learn("next", {}, Value("b"));
+  p.learn("next", {}, Value("a"));
+  p.learn("next", {}, Value("b"));
+  p.learn("next", {}, Value("a"));
+  p.learn("next", {}, Value("c"));
+  p.learn("next", {}, Value("a"));  // last seen = "a"
+  const ValueList out = p.predict("next", {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.at(0), Value("b"));
+  p.forget("next", {});
+  EXPECT_TRUE(p.predict("next", {}).empty());
+}
+
+TEST(CachePredictor, EntriesExpireAfterTtl) {
+  PredictorConfig config;
+  config.ttl = std::chrono::milliseconds(50);
+  CachePredictor p(config);
+  p.learn("fetch", args_of(7), Value("fresh"));
+  ASSERT_EQ(p.predict("fetch", args_of(7)).size(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(p.predict("fetch", args_of(7)).empty());  // lazy expiry
+  EXPECT_EQ(p.size(), 0u);
+  p.learn("fetch", args_of(7), Value("again"));  // re-learn restarts the TTL
+  EXPECT_EQ(p.predict("fetch", args_of(7)).at(0), Value("again"));
+}
+
+TEST(MakePredictor, BuildsEveryKindAndRoundTripsNames) {
+  for (Kind kind : {Kind::kLastValue, Kind::kTopK, Kind::kMarkov,
+                    Kind::kCache}) {
+    PredictorPtr p = make_predictor(kind);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(parse_kind(to_string(kind)), kind);
+    EXPECT_STREQ(p->name(), to_string(kind));
+  }
+  EXPECT_EQ(make_predictor(Kind::kNone), nullptr);
+  EXPECT_THROW(parse_kind("bogus"), std::invalid_argument);
+}
+
+TEST(Predictors, ConcurrentPredictLearnStress) {
+  // Four predictors hammered by predict/learn/forget from several threads;
+  // run under TSan by scripts/check.sh. Assertions are minimal — the point
+  // is the absence of races and of unbounded growth.
+  std::vector<PredictorPtr> predictors = {
+      make_predictor(Kind::kLastValue), make_predictor(Kind::kTopK),
+      make_predictor(Kind::kMarkov), make_predictor(Kind::kCache)};
+  constexpr int kThreads = 4;
+  constexpr int kOps = 4000;
+  std::atomic<int> barrier{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      barrier.fetch_add(1);
+      while (barrier.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kOps; ++i) {
+        const std::int64_t key = (t * kOps + i) % 61;
+        for (auto& p : predictors) {
+          if (i % 7 == 3) {
+            p->forget("m", args_of(key));
+          } else if (i % 2 == 0) {
+            p->learn("m", args_of(key), Value(key * 3 + t));
+          } else {
+            (void)p->predict("m", args_of(key));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& p : predictors) {
+    EXPECT_LE(p->size(), PredictorConfig{}.capacity);
+  }
+}
+
+// ------------------------------------------------------ accuracy tracking
+
+TEST(AccuracyTracker, CountsAndRatesPerMethod) {
+  AccuracyTracker tracker;
+  for (int i = 0; i < 8; ++i) tracker.record("hot", true, true);
+  for (int i = 0; i < 2; ++i) tracker.record("hot", true, false);
+  tracker.record("hot", false, false);  // shadow no-prediction outcome
+  tracker.record("cold", true, false);
+
+  const MethodAccuracy hot = tracker.snapshot("hot");
+  EXPECT_EQ(hot.predictions, 10u);
+  EXPECT_EQ(hot.hits, 8u);
+  EXPECT_EQ(hot.no_prediction, 1u);
+  EXPECT_DOUBLE_EQ(hot.windowed_hit_rate, 0.8);
+  EXPECT_GT(hot.ewma_hit_rate, 0.5);
+  EXPECT_EQ(tracker.samples("hot"), 10u);
+  // The no-prediction outcome must not dilute the hit-rate estimators.
+  EXPECT_DOUBLE_EQ(tracker.windowed_hit_rate("hot"), 0.8);
+
+  EXPECT_EQ(tracker.samples("cold"), 1u);
+  EXPECT_DOUBLE_EQ(tracker.hit_rate("cold"), 0.0);
+  EXPECT_EQ(tracker.snapshot_all().size(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.hit_rate("unknown", 0.42), 0.42);
+
+  tracker.reset();
+  EXPECT_EQ(tracker.samples("hot"), 0u);
+}
+
+TEST(AccuracyTracker, EwmaConvergesToStreamAccuracy) {
+  AccuracyConfig config;
+  config.ewma_alpha = 0.2;
+  AccuracyTracker tracker(config);
+  // 3-of-4 correct stream: both estimators settle near 0.75.
+  for (int i = 0; i < 400; ++i) tracker.record("m", true, i % 4 != 0);
+  EXPECT_NEAR(tracker.hit_rate("m"), 0.75, 0.15);
+  EXPECT_NEAR(tracker.windowed_hit_rate("m"), 0.75, 0.05);
+}
+
+// ----------------------------------------------------- adaptive controller
+
+struct ControllerFixture {
+  ControllerFixture() {
+    accuracy.window = 8;
+    tracker = std::make_unique<AccuracyTracker>(accuracy);
+    adaptive.misspec_cost = 1.0;  // break-even 0.5; on 0.65 / off 0.35
+    adaptive.hysteresis = 0.15;
+    adaptive.min_samples = 4;
+    adaptive.probe_every = 3;
+    controller = std::make_unique<AdaptiveSpeculationController>(*tracker,
+                                                                 adaptive);
+  }
+  void feed(int hits, int misses) {
+    for (int i = 0; i < hits; ++i) tracker->record("m", true, true);
+    for (int i = 0; i < misses; ++i) tracker->record("m", true, false);
+  }
+  AccuracyConfig accuracy;
+  AdaptiveConfig adaptive;
+  std::unique_ptr<AccuracyTracker> tracker;
+  std::unique_ptr<AdaptiveSpeculationController> controller;
+};
+
+TEST(AdaptiveController, ThresholdsComeFromCostModel) {
+  ControllerFixture f;
+  EXPECT_DOUBLE_EQ(f.controller->off_threshold(), 0.35);
+  EXPECT_DOUBLE_EQ(f.controller->on_threshold(), 0.65);
+}
+
+TEST(AdaptiveController, OpensUntilMinSamples) {
+  ControllerFixture f;
+  f.feed(0, 3);  // all misses, but below min_samples=4
+  EXPECT_TRUE(f.controller->should_speculate("m"));
+  EXPECT_TRUE(f.controller->gate_open("m"));
+}
+
+TEST(AdaptiveController, ClosesOnStormAndProbesWhileClosed) {
+  ControllerFixture f;
+  f.feed(8, 0);
+  EXPECT_TRUE(f.controller->should_speculate("m"));
+  // Storm: the 8-slot window goes fully wrong -> windowed 0 < 0.35.
+  f.feed(0, 8);
+  EXPECT_FALSE(f.controller->should_speculate("m"));  // flips off
+  EXPECT_FALSE(f.controller->gate_open("m"));
+  // While closed, exactly every probe_every-th call is allowed through.
+  int allowed = 0;
+  for (int i = 0; i < 9; ++i) {
+    allowed += f.controller->should_speculate("m") ? 1 : 0;
+  }
+  EXPECT_EQ(allowed, 3);  // 9 calls / probe_every=3
+  const auto stats = f.controller->stats("m");
+  EXPECT_FALSE(stats.open);
+  EXPECT_EQ(stats.probes, 3u);
+  EXPECT_GE(stats.flips, 1u);
+  EXPECT_GT(stats.suppressed, 0u);
+}
+
+TEST(AdaptiveController, HysteresisHoldsStateInsideTheBand) {
+  ControllerFixture f;
+  // Open gate at windowed 0.5 (inside the 0.35..0.65 band): stays open.
+  f.feed(4, 4);
+  EXPECT_TRUE(f.controller->should_speculate("m"));
+  EXPECT_TRUE(f.controller->gate_open("m"));
+  // Close it, then feed back to 0.5: must stay closed (no thrashing).
+  f.feed(0, 8);
+  EXPECT_FALSE(f.controller->should_speculate("m"));
+  f.feed(4, 4);  // windowed back to 0.5 — inside the band
+  (void)f.controller->should_speculate("m");
+  EXPECT_FALSE(f.controller->gate_open("m"));
+}
+
+TEST(AdaptiveController, ReopensOnlyWhenBothEstimatorsClearOnThreshold) {
+  ControllerFixture f;
+  f.feed(8, 0);
+  (void)f.controller->should_speculate("m");
+  f.feed(0, 8);
+  EXPECT_FALSE(f.controller->should_speculate("m"));
+  // Recovery: windowed recovers quickly (8-slot window), but the EWMA
+  // (alpha 0.2) needs a longer correct run — the gate must wait for both.
+  f.feed(8, 0);  // windowed = 1.0 now
+  const bool reopened_early = f.controller->gate_open("m") ||
+                              (f.controller->should_speculate("m") &&
+                               f.controller->gate_open("m"));
+  if (!reopened_early) {
+    f.feed(8, 0);  // more correct history lifts the EWMA past 0.65
+    (void)f.controller->should_speculate("m");
+  }
+  EXPECT_TRUE(f.controller->gate_open("m"));
+  EXPECT_TRUE(f.controller->should_speculate("m"));
+}
+
+// ------------------------------------------- engine-integrated (the loop)
+
+class PredictEngineTest : public ::testing::Test {
+ protected:
+  PredictEngineTest() {
+    net_ = std::make_unique<SimNetwork>();
+    server_ = std::make_unique<spec::SpecEngine>(net_->add_node("server"),
+                                                 net_->executor(),
+                                                 net_->wheel());
+    // Pure function of the argument, so a learned LastValue prediction for
+    // a repeated key is always correct.
+    server_->register_method(
+        "inc", spec::Handler([](const spec::ServerCallPtr& c) {
+          c->finish_after(std::chrono::milliseconds(5),
+                          Value(c->args().at(0).as_int() + 1));
+        }));
+  }
+
+  ~PredictEngineTest() override {
+    if (client_) client_->begin_shutdown();
+    server_->begin_shutdown();
+    net_->executor().shutdown();
+  }
+
+  void make_client(ManagerConfig mgr_config, Duration timeout) {
+    manager_ = std::make_unique<SpeculationManager>(
+        make_predictor(Kind::kLastValue), mgr_config);
+    spec::SpecConfig config;
+    config.call_timeout = timeout;
+    manager_->install(config);
+    client_ = std::make_unique<spec::SpecEngine>(net_->add_node("client"),
+                                                 net_->executor(),
+                                                 net_->wheel(), config);
+  }
+
+  /// One speculation-capable call (it has a factory); returns success.
+  bool call_once(std::int64_t key) {
+    auto factory = []() -> spec::CallbackFn {
+      return [](spec::SpecContext&, const Value& v) -> spec::CallbackResult {
+        return v;
+      };
+    };
+    auto future = client_->call("server", "inc", args_of(key), {}, factory);
+    try {
+      (void)future->get();
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  void settle() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+
+  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<spec::SpecEngine> server_;
+  std::unique_ptr<spec::SpecEngine> client_;
+  std::unique_ptr<SpeculationManager> manager_;
+};
+
+TEST_F(PredictEngineTest, SupplierPredictsAndObserverLearns) {
+  make_client(ManagerConfig{}, std::chrono::seconds(5));
+  ASSERT_TRUE(call_once(41));  // cold: no prediction, observer learns 42
+  settle();
+  EXPECT_EQ(manager_->stats().learned, 1u);
+  EXPECT_EQ(manager_->stats().predictor_empty, 1u);
+
+  ASSERT_TRUE(call_once(41));  // warm: supplier predicts 42, which is right
+  settle();
+  const auto stats = client_->stats();
+  EXPECT_EQ(stats.predictions_made, 1u);
+  EXPECT_EQ(stats.predictions_correct, 1u);
+  EXPECT_EQ(stats.predictions_incorrect, 0u);
+  EXPECT_EQ(manager_->stats().predictions_supplied, 1u);
+  EXPECT_GT(manager_->tracker().hit_rate("inc"), 0.9);
+}
+
+TEST_F(PredictEngineTest, MisspeculationStormClosesGateHealingReopensIt) {
+  ManagerConfig mgr_config;
+  mgr_config.accuracy.window = 8;
+  mgr_config.adaptive = true;
+  mgr_config.adaptive_config.min_samples = 4;
+  mgr_config.adaptive_config.probe_every = 4;
+  make_client(mgr_config, std::chrono::milliseconds(100));
+  auto* controller = manager_->controller();
+  ASSERT_NE(controller, nullptr);
+
+  // Warm phase: learn a few keys, then hit them — gate open, accuracy high.
+  for (std::int64_t k = 0; k < 4; ++k) ASSERT_TRUE(call_once(k));
+  for (int round = 0; round < 2; ++round) {
+    for (std::int64_t k = 0; k < 4; ++k) ASSERT_TRUE(call_once(k));
+  }
+  settle();
+  EXPECT_TRUE(controller->gate_open("inc"));
+  EXPECT_GT(manager_->tracker().hit_rate("inc"), 0.8);
+
+  // Storm: drop everything (SimNetwork fault injection). Calls carry warm
+  // predictions but time out — every observation is a miss.
+  FaultCfg storm;
+  storm.drop_prob = 1.0;
+  net_->set_faults_all(storm);
+  std::vector<spec::SpecFuturePtr> inflight;
+  auto factory = []() -> spec::CallbackFn {
+    return [](spec::SpecContext&, const Value& v) -> spec::CallbackResult {
+      return v;
+    };
+  };
+  for (int i = 0; i < 12; ++i) {
+    inflight.push_back(
+        client_->call("server", "inc", args_of(i % 4), {}, factory));
+  }
+  for (auto& f : inflight) {
+    EXPECT_THROW((void)f->get(), std::exception);  // all time out
+  }
+  settle();
+  // The gate flips on the next decision after the misses are recorded, so
+  // issue a couple more (still-dropped) calls to drive should_speculate.
+  const auto suppressed_before = manager_->stats().gate_suppressed;
+  for (int i = 0; i < 2; ++i) (void)call_once(i);
+  EXPECT_FALSE(controller->gate_open("inc"));
+  EXPECT_GE(controller->stats("inc").flips, 1u);
+  EXPECT_GT(manager_->stats().gate_suppressed, suppressed_before);
+
+  // Heal the network: shadow evaluation on non-speculated calls (plus
+  // probes) rebuilds accuracy, and the gate reopens.
+  net_->set_faults_all(FaultCfg{});
+  for (int i = 0; i < 40 && !controller->gate_open("inc"); ++i) {
+    (void)call_once(i % 4);
+    settle();
+  }
+  EXPECT_TRUE(controller->gate_open("inc"));
+  // And speculation actually resumes: a warm call predicts correctly again.
+  const auto correct_before = client_->stats().predictions_correct;
+  ASSERT_TRUE(call_once(2));
+  settle();
+  EXPECT_GT(client_->stats().predictions_correct, correct_before);
+}
+
+}  // namespace
+}  // namespace srpc::predict

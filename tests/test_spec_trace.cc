@@ -92,5 +92,44 @@ TEST_F(SpecTraceTest, EventsCarryMonotoneTimestamps) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST_F(SpecTraceTest, ReattachWhileEventsFlowIsSafeAndResetsOrigin) {
+  // Regression: attach() used to write the timestamp origin outside the
+  // lock, racing observer callbacks from a previous attach. Re-attach
+  // repeatedly while calls complete; under TSan this must stay clean, and
+  // every recorded timestamp must still be non-negative.
+  SpecTrace trace;
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+  for (int round = 0; round < 10; ++round) {
+    trace.attach(*client_);
+    client_->call("server", "slow_inc", make_args(round), {Value(round + 1)},
+                  factory);
+    // No settling on purpose: the next attach lands while transitions from
+    // this round's call are still being observed.
+  }
+  settle();
+  const auto events = trace.events();
+  ASSERT_GE(events.size(), 1u);  // re-attach keeps already-recorded events
+  for (const auto& e : events) {
+    EXPECT_GE(e.at, Duration::zero() - std::chrono::milliseconds(1));
+  }
+}
+
+TEST_F(SpecTraceTest, SecondTraceReplacesFirst) {
+  SpecTrace first;
+  SpecTrace second;
+  first.attach(*client_);
+  second.attach(*client_);  // documented: replaces the first observer
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+  client_->call("server", "slow_inc", make_args(1), {Value(2)}, factory)
+      ->get();
+  settle();
+  EXPECT_EQ(first.size(), 0u);
+  EXPECT_GE(second.size(), 1u);
+}
+
 }  // namespace
 }  // namespace srpc::spec

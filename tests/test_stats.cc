@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "stats/ewma.h"
 #include "stats/histogram.h"
 
 namespace srpc::stats {
@@ -109,6 +110,70 @@ TEST(Histogram, ConcurrentRecording) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(h.count(), 40000u);
+}
+
+TEST(Ewma, FirstSampleInitializesExactly) {
+  Ewma e(0.2);
+  EXPECT_EQ(e.count(), 0u);
+  EXPECT_DOUBLE_EQ(e.value(0.75), 0.75);  // fallback before any sample
+  e.observe(0.5);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);  // no bias toward a zero prior
+  EXPECT_EQ(e.count(), 1u);
+}
+
+TEST(Ewma, ConvergesToSteadyStream) {
+  Ewma e(0.2);
+  for (int i = 0; i < 100; ++i) e.observe(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+  // A step change converges geometrically: after n samples the residual is
+  // (1 - alpha)^n of the step.
+  for (int i = 0; i < 50; ++i) e.observe(0.0);
+  EXPECT_LT(e.value(), 1e-4);
+  EXPECT_GT(e.value(), 0.0);
+}
+
+TEST(Ewma, TracksAlternatingStreamToMean) {
+  Ewma e(0.1);
+  for (int i = 0; i < 1000; ++i) e.observe(i % 2 == 0 ? 1.0 : 0.0);
+  EXPECT_NEAR(e.value(), 0.5, 0.06);
+}
+
+TEST(WindowedRate, ExactOverPartialWindow) {
+  WindowedRate w(8);
+  EXPECT_DOUBLE_EQ(w.rate(0.9), 0.9);  // fallback when empty
+  w.record(true);
+  w.record(false);
+  w.record(true);
+  EXPECT_EQ(w.occupied(), 3u);
+  EXPECT_DOUBLE_EQ(w.rate(), 2.0 / 3.0);
+}
+
+TEST(WindowedRate, EvictsOldestOnceFull) {
+  WindowedRate w(4);
+  for (int i = 0; i < 4; ++i) w.record(true);
+  EXPECT_DOUBLE_EQ(w.rate(), 1.0);
+  // Four misses push every hit out of the window.
+  for (int i = 0; i < 4; ++i) w.record(false);
+  EXPECT_DOUBLE_EQ(w.rate(), 0.0);
+  EXPECT_EQ(w.occupied(), 4u);
+  EXPECT_EQ(w.total(), 8u);
+}
+
+TEST(WindowedRate, ForgetsFullyUnlikeEwma) {
+  // The motivating property: after a misspeculation storm, the windowed
+  // estimate reflects only recent outcomes regardless of history length.
+  WindowedRate w(16);
+  Ewma e(0.05);
+  for (int i = 0; i < 1000; ++i) {
+    w.record(true);
+    e.observe(1.0);
+  }
+  for (int i = 0; i < 16; ++i) {
+    w.record(false);
+    e.observe(0.0);
+  }
+  EXPECT_DOUBLE_EQ(w.rate(), 0.0);
+  EXPECT_GT(e.value(), 0.3);  // the EWMA still remembers the good past
 }
 
 TEST(RunStats, ThroughputFromWindow) {
