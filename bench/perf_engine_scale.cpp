@@ -1,0 +1,277 @@
+// Engine lock-decomposition bench (DESIGN.md §6): calls/s through a
+// client/server SpecEngine pair as client threads scale 1 -> 16, sharded
+// engine vs the same build pinned to shards=1 (the historical single-lock /
+// single-concurrency-domain engine, reproduced exactly by
+// SpecConfig::shards = 1). Writes BENCH_engine.json (cwd).
+//
+// The transport is a bench-local inline-delivery pipe: send() invokes the
+// peer's receiver on the calling thread, so the bench measures engine
+// locking, not network machinery. This is safe precisely because the engine
+// sends with no locks held; with the old global-lock engine an inline
+// transport would deadlock (cross-engine A->B->A lock acquisition), which is
+// why shards=1 reproduces the old *concurrency domain* on the new lock-free
+// send path.
+//
+// Workload: a fixed background population of long-lived speculative
+// computations parked in spec_block (the paper's multi-level chains waiting
+// on a slow dependency), plus hot client threads hammering fast predicted
+// calls. With one shared concurrency domain (N=1) every hot-call validation
+// notify_all()s every parked computation in the process — O(parked) futex
+// wakeups and mutex reacquisitions per call, all stealing the one core from
+// productive work — and every tree operation crosses the same mutex. With
+// per-tree control blocks the parked chains are simply never touched by
+// unrelated traffic. This is the lock convoy + thundering herd the shard
+// decomposition removes.
+//
+// Env knobs:
+//   SPECRPC_ENGINE_SCALE_SECS     seconds per measured point (default 1.0)
+//   SPECRPC_ENGINE_SCALE_THREADS  comma list (default "1,2,4,8,16")
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/executor.h"
+#include "common/timer_wheel.h"
+#include "common/types.h"
+#include "specrpc/engine.h"
+#include "transport/transport.h"
+
+namespace {
+
+using namespace srpc;
+using namespace srpc::spec;
+
+constexpr int kOutstandingPerThread = 1;
+constexpr int kParkedComputations = 256;
+
+/// Zero-latency pipe: send() posts the peer's delivery to the shared
+/// executor (the receiver runs asynchronously, like a real transport, so a
+/// call's speculative callback genuinely parks in spec_block before the
+/// actual response is processed). Thread-safe; quiesce() is a real barrier.
+class DirectTransport final : public Transport {
+ public:
+  DirectTransport(Address addr, Executor& executor)
+      : addr_(std::move(addr)), executor_(executor) {}
+
+  void peer(DirectTransport* p) { peer_ = p; }
+
+  const Address& address() const override { return addr_; }
+
+  void send(const Address&, Bytes payload) override {
+    DirectTransport* p = peer_;
+    if (p != nullptr) p->deliver(addr_, std::move(payload));
+  }
+
+  void set_receiver(Receiver receiver) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    receiver_ = std::make_shared<Receiver>(std::move(receiver));
+  }
+
+  void quiesce() override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+
+ private:
+  void deliver(const Address& src, Bytes payload) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++in_flight_;
+    }
+    const bool posted =
+        executor_.post([this, src, payload = std::move(payload)]() mutable {
+          // Re-read the receiver at run time so set_receiver(nullptr) +
+          // quiesce() is a real barrier even for queued deliveries.
+          std::shared_ptr<Receiver> r;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            r = receiver_;
+          }
+          if (r != nullptr && *r) (*r)(src, std::move(payload));
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            --in_flight_;
+          }
+          cv_.notify_all();
+        });
+    if (!posted) {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      cv_.notify_all();
+    }
+  }
+
+  Address addr_;
+  Executor& executor_;
+  DirectTransport* peer_ = nullptr;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Receiver> receiver_;
+  int in_flight_ = 0;
+};
+
+CallbackFactory blocking_factory() {
+  return []() -> CallbackFn {
+    return [](SpecContext& ctx, const Value& v) -> CallbackResult {
+      ctx.spec_block();  // park until validated — the dependent-op pattern
+      return v;
+    };
+  };
+}
+
+CallbackFactory passthrough_factory() {
+  return []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+}
+
+/// Calls/s sustained by `threads` client threads, each keeping
+/// kOutstandingPerThread predicted calls in flight, for ~secs seconds.
+double calls_per_sec(std::size_t shards, int threads, double secs) {
+  // Generous pool: parked spec_block callbacks occupy worker threads
+  // (before_block republishes queued work but does not add threads).
+  Executor executor(kParkedComputations + 32, "engine-scale");
+  DirectTransport client_pipe("client", executor);
+  DirectTransport server_pipe("server", executor);
+  client_pipe.peer(&server_pipe);
+  server_pipe.peer(&client_pipe);
+  TimerWheel wheel;
+  SpecConfig config;
+  config.shards = shards;
+  config.call_timeout = Duration::zero();  // no timer churn in the loop
+  SpecEngine client(client_pipe, executor, wheel, config);
+  SpecEngine server(server_pipe, executor, wheel, config);
+  server.register_method("inc", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args()[0].as_int() + 1));
+  }));
+  // The slow dependency the background chains wait on; it resolves long
+  // after the measure window (shutdown unparks the chains).
+  server.register_method("slow", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::seconds(60), Value(0));
+  }));
+
+  // Park the background computations: correctly-predicted calls whose
+  // callbacks spec_block until validation, which only comes at t=60s.
+  std::vector<SpecFuturePtr> parked;
+  parked.reserve(kParkedComputations);
+  for (int p = 0; p < kParkedComputations; ++p) {
+    parked.push_back(client.call("server", "slow", make_args(p), {Value(0)},
+                                 blocking_factory()));
+  }
+  // Let every parked callback reach its spec_block wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::int64_t arg = t * 1'000'000;
+      std::vector<SpecFuturePtr> batch;
+      batch.reserve(kOutstandingPerThread);
+      while (!stop.load(std::memory_order_relaxed)) {
+        batch.clear();
+        for (int k = 0; k < kOutstandingPerThread; ++k, ++arg) {
+          batch.push_back(client.call("server", "inc", make_args(arg),
+                                      {Value(arg + 1)},
+                                      passthrough_factory()));
+        }
+        for (auto& f : batch) f->get();
+        completed.fetch_add(kOutstandingPerThread,
+                            std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const double warmup = secs * 0.25;
+  std::this_thread::sleep_for(std::chrono::duration<double>(warmup));
+  const std::uint64_t base = completed.load();
+  const TimePoint start = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  const std::uint64_t done = completed.load() - base;
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  client.begin_shutdown();
+  server.begin_shutdown();
+  executor.shutdown();
+  return static_cast<double>(done) / elapsed;
+}
+
+std::vector<int> thread_counts() {
+  const std::string spec =
+      env_str("SPECRPC_ENGINE_SCALE_THREADS", "1,2,4,8,16");
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::stoi(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double secs = env_double("SPECRPC_ENGINE_SCALE_SECS", 1.0);
+  const std::vector<int> threads = thread_counts();
+
+  std::printf("engine scaling: %d outstanding calls per client thread, "
+              "%.1fs per point\n\n", kOutstandingPerThread, secs);
+  std::printf("%8s %18s %18s %8s\n", "threads", "shards=1 calls/s",
+              "sharded calls/s", "ratio");
+
+  std::vector<double> single(threads.size()), sharded(threads.size());
+  std::size_t auto_shards = 0;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    single[i] = calls_per_sec(/*shards=*/1, threads[i], secs);
+    {
+      // Report the auto-sized shard count once (0 = auto).
+      Executor probe_exec(1, "probe");
+      DirectTransport probe_pipe("probe", probe_exec);
+      TimerWheel probe_wheel;
+      SpecEngine probe(probe_pipe, probe_exec, probe_wheel, SpecConfig{});
+      auto_shards = probe.shard_count();
+      probe.begin_shutdown();
+      probe_exec.shutdown();
+    }
+    sharded[i] = calls_per_sec(/*shards=*/0, threads[i], secs);
+    std::printf("%8d %18.0f %18.0f %7.2fx\n", threads[i], single[i],
+                sharded[i], sharded[i] / single[i]);
+  }
+
+  FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_engine.json");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"outstanding_per_thread\": %d,\n"
+               "  \"sharded_shard_count\": %zu,\n  \"points\": [\n",
+               kOutstandingPerThread, auto_shards);
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"client_threads\": %d, "
+                 "\"single_shard_calls_per_sec\": %.0f, "
+                 "\"sharded_calls_per_sec\": %.0f, \"ratio\": %.3f}%s\n",
+                 threads[i], single[i], sharded[i], sharded[i] / single[i],
+                 i + 1 < threads.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_engine.json\n");
+  return 0;
+}

@@ -19,11 +19,23 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 # replies, and flapping links through every engine flavour. The predict
 # subset covers the concurrent predict/learn paths and the adaptive gate's
 # storm/heal loop (supplier + observer hooks firing from engine threads).
+# The engine-shard suite storms the sharded call tables, per-tree locks,
+# and stat snapshots (DESIGN.md §6.4) with 8 client threads.
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target test_executor_stress test_transport test_chaos_soak test_predict
+  --target test_executor_stress test_transport test_chaos_soak test_predict \
+  test_engine_shard
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
 ./build-tsan/tests/test_predict \
   --gtest_filter='Predictors.ConcurrentPredictLearnStress:PredictEngineTest.*'
 SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
+./build-tsan/tests/test_engine_shard
+
+# Engine-scale smoke (reuses the asan build): sanity-check that the sharded
+# engine beats the single-domain baseline at 8 client threads and that the
+# bench's shutdown path is leak-free. Sanitizer overhead mutes the ratio —
+# the ≥3× acceptance number (EXPERIMENTS.md) is for the release build.
+cmake --build --preset asan -j"$(nproc)" --target perf_engine_scale
+SPECRPC_ENGINE_SCALE_SECS=0.5 SPECRPC_ENGINE_SCALE_THREADS=8 \
+  ./build-asan/bench/perf_engine_scale

@@ -12,12 +12,21 @@
 // Like rpc::Node, an engine is client and server at once: server-side
 // handlers routinely issue speculative calls of their own (multi-level
 // speculation, §2.2).
+//
+// Concurrency (DESIGN.md §6): the engine has no global lock. Call-tracking
+// tables are striped into N shards keyed by call id; dependency-tree state
+// is guarded per tree (TreeControl); stats are per-shard relaxed-ish atomics
+// summed on snapshot. Lock-ordering rule: shard lock → tree lock is allowed
+// (and common), tree lock → shard lock is forbidden — cross-domain work is
+// routed through deferred Actions that run with no locks held.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <condition_variable>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,10 +60,24 @@ struct SpecConfig {
   /// actual, predictions_made, any_correct) — the feedback edge that lets
   /// predictors learn online and accuracy trackers drive the adaptive gate.
   PredictionObserver prediction_observer;
+  /// Number of lock shards for the call-tracking tables (DESIGN.md §6).
+  /// 0 = auto (~2× hardware_concurrency). 1 additionally collapses every
+  /// speculation tree into one shared concurrency domain, reproducing the
+  /// historical single-lock engine — the honest baseline for
+  /// bench/perf_engine_scale.
+  std::size_t shards = 0;
+  /// TTL for stashed early state-change entries (a state message that beat
+  /// its request, engine.cc on_state_change). If the request never arrives —
+  /// dropped by fault injection with retries exhausted — the stash is
+  /// evicted after this long instead of leaking forever. 0 disables.
+  Duration early_state_ttl = std::chrono::seconds(30);
 };
 
-/// Counters exposed for tests, benches and EXPERIMENTS.md (snapshot is
-/// internally consistent).
+/// Counters exposed for tests, benches and EXPERIMENTS.md. Maintained as
+/// per-shard atomic cells; stats() sums them with an acquire discipline that
+/// keeps derived counters consistent with their base counters (a snapshot
+/// never shows predictions_correct + predictions_incorrect >
+/// predictions_made, etc.) even under concurrent load.
 struct SpecStats {
   std::uint64_t calls_issued = 0;
   std::uint64_t quorum_calls_issued = 0;
@@ -70,6 +93,7 @@ struct SpecStats {
   std::uint64_t spec_returns = 0;
   std::uint64_t spec_blocks = 0;
   std::uint64_t retries = 0;  // attempts re-issued after a timeout
+  std::uint64_t early_state_evictions = 0;  // TTL'd early state stashes
 };
 
 class SpecEngine {
@@ -132,7 +156,9 @@ class SpecEngine {
 
   /// Blocks the calling computation until it is non-speculative; throws
   /// MisspeculationError if its speculation was incorrect (§3.5.2).
-  /// No-op on a non-speculative application thread.
+  /// No-op on a non-speculative application thread. Parks on the
+  /// computation's *tree* condition variable, so resolutions in unrelated
+  /// trees neither wake nor contend with this waiter.
   void spec_block();
 
   /// True if the current computation context is speculative.
@@ -148,9 +174,13 @@ class SpecEngine {
   TimerWheel& wheel() { return wheel_; }
   SpecStats stats() const;
 
+  /// Number of lock shards this engine was built with (after auto-sizing).
+  std::size_t shard_count() const { return shards_.size(); }
+
   /// Diagnostic: live bookkeeping sizes {outgoing calls, incoming RPCs,
-  /// wire-id routes, stashed early state changes}. After a quiesced
-  /// workload these must drain back to ~zero (GC hygiene; tested).
+  /// wire-id routes, stashed early state changes}, summed across shards.
+  /// After a quiesced workload these must drain back to ~zero (GC hygiene;
+  /// tested).
   struct DebugSizes {
     std::size_t outgoing = 0;
     std::size_t incoming = 0;
@@ -160,7 +190,9 @@ class SpecEngine {
   DebugSizes debug_sizes() const;
 
   /// Test hook: observes every state transition (old -> new) of every node.
-  /// Runs outside the engine lock, after the transition batch.
+  /// Runs outside all engine locks, after the transition batch. With a
+  /// sharded engine, events from *unrelated* trees may interleave in any
+  /// order; events for one node are still well-ordered.
   using TransitionObserver = std::function<void(
       SpecNode::Kind kind, std::uint64_t debug_id, SpecState from,
       SpecState to)>;
@@ -182,6 +214,11 @@ class SpecEngine {
     bool delivered = false;
   };
 
+  /// One logical outbound call. Immutable after start_call's tree phase:
+  /// id, dsts, method, quorum, combiner, factory, future, node, deadline,
+  /// args. Everything else is guarded by node->tree->mu (the shard mutex
+  /// only guards the map entry pointing here). timeout_timer is atomic so
+  /// begin_shutdown can harvest it under the shard lock alone.
   struct OutgoingCall {
     CallId id = 0;
     std::vector<Address> dsts;
@@ -189,7 +226,7 @@ class SpecEngine {
     /// the destination it was sent to (retries append fresh ids).
     std::vector<std::pair<CallId, std::size_t>> wire_ids;
     std::string method;
-    ValueList args;  // retained only when retries are enabled
+    ValueList args;  // retained only when retries/observer are enabled
     SpecNode::Ptr node;
     SpecFuturePtr future;
     CallbackFactory factory;
@@ -206,7 +243,7 @@ class SpecEngine {
     /// Per-destination flag: an actual from this replica already counted
     /// toward the quorum (a retried attempt must not double-count it).
     std::vector<bool> dst_responded;
-    TimerId timeout_timer = 0;  // current attempt-timeout or backoff timer
+    std::atomic<TimerId> timeout_timer{0};  // attempt-timeout/backoff timer
   };
 
   struct PendingFinish {
@@ -214,6 +251,9 @@ class SpecEngine {
     Outcome outcome;
   };
 
+  /// One incoming RPC. All mutable fields (predictions_sent, actual_sent,
+  /// pending, args) are guarded by the owning shard's mutex; the mirror
+  /// node follows the tree discipline.
   struct IncomingRpc {
     CallId id = 0;
     Address caller;
@@ -227,7 +267,64 @@ class SpecEngine {
 
   using Actions = std::vector<std::function<void()>>;
 
-  // Wire ingress.
+  // Per-shard stat counters. Writes are fetch_add(release); stats() reads
+  // acquire in derived-before-base order so cross-counter invariants hold
+  // in every snapshot.
+  enum StatIdx : std::size_t {
+    kCallsIssued = 0,
+    kQuorumCallsIssued,
+    kCallbacksSpawned,
+    kReexecutions,
+    kPredictionsMade,
+    kPredictionsCorrect,
+    kPredictionsIncorrect,
+    kBranchesAbandoned,
+    kRollbacksRun,
+    kStateMsgsSent,
+    kSpecReturns,
+    kSpecBlocks,
+    kRetries,
+    kEarlyStateEvictions,
+    kNumStats,
+  };
+  struct alignas(64) StatsCell {
+    std::array<std::atomic<std::uint64_t>, kNumStats> v{};
+  };
+
+  /// An early state-change stash (state message beat its request) with the
+  /// timer that will evict it if the request never shows up.
+  struct EarlyState {
+    bool correct = false;
+    TimerId ttl_timer = 0;
+  };
+
+  /// One lock stripe of the call-tracking tables. A call id belongs to
+  /// shard id % N; note a call's logical id and its attempt-tagged wire ids
+  /// generally land in *different* shards, so multi-map updates (publish,
+  /// GC) take the shard locks one at a time, never nested.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CallId, std::shared_ptr<OutgoingCall>> outgoing;
+    std::unordered_map<CallId, CallId> wire_to_logical;
+    std::unordered_map<CallId, std::shared_ptr<IncomingRpc>> incoming;
+    std::unordered_map<CallId, EarlyState> early_state;
+    /// Live trees homed here, so begin_shutdown can wake every spec_block
+    /// waiter. Weak entries; pruned amortized on insert.
+    std::vector<std::weak_ptr<TreeControl>> trees;
+    std::size_t trees_prune_at = 16;
+    Rng rng;  // retry backoff jitter; guarded by mu
+    StatsCell stats;
+  };
+
+  Shard& shard_of(CallId id) const { return *shards_[id % shards_.size()]; }
+  void bump(StatIdx idx, std::uint64_t key) const;
+  std::uint64_t sum(StatIdx idx) const;
+  void register_tree_locked(Shard& shard,
+                            const std::shared_ptr<TreeControl>& tree);
+  std::shared_ptr<OutgoingCall> find_outgoing(CallId logical_id) const;
+
+  // Wire ingress. Dispatch is lock-free; each handler takes the shard and
+  // tree locks it needs.
   void on_message(const Address& src, Bytes frame);
   void on_request(const Address& src, RequestMsg msg, Actions& actions);
   void on_predicted(PredictedResponseMsg msg, Actions& actions);
@@ -235,20 +332,27 @@ class SpecEngine {
   void on_state_change(StateChangeMsg msg, Actions& actions);
   void on_attempt_timeout(CallId logical_id, int attempt);
   void resend_attempt(CallId logical_id, int attempt);
-  void schedule_call_timer_locked(const std::shared_ptr<OutgoingCall>& rec);
+  void evict_early_state(CallId id);
 
-  // Tree machinery (all under mu_).
+  // Tree machinery: callers hold the node's tree mutex.
   SpecState compute_state(const SpecNode& node) const;
   void recompute_subtree(const SpecNode::Ptr& node, Actions& actions);
   void apply_transition(const SpecNode::Ptr& node, SpecState next,
                         Actions& actions);
   void set_value_status(const SpecNode::Ptr& cb_node, ValueStatus vs,
                         Actions& actions);
+  void drain_tree_flush(TreeControl& tree, Actions& actions);
+  /// Pure read walk over atomic states; callers that need it to be stable
+  /// against concurrent validation hold ctx's tree mutex.
   bool locally_resolved(const SpecNode::Ptr& ctx,
                         const SpecNode::Ptr& mirror) const;
-  SpecNode::Ptr make_node(SpecNode::Kind kind, SpecNode::Ptr parent);
+  SpecNode::Ptr make_node(SpecNode::Kind kind, SpecNode::Ptr parent,
+                          std::shared_ptr<TreeControl> tree);
 
-  // Call progress (under mu_).
+  // Call progress. spawn_branch/process_actual/maybe_deliver_branch/
+  // deliver_direct/schedule_call_timer_tree_locked require the call's tree
+  // mutex; gc_outgoing/flush_incoming take their own locks and must be
+  // invoked with none held (use deferred Actions from locked regions).
   SpecFuturePtr start_call(SpecNode::Ptr caller, std::vector<Address> dsts,
                            int quorum, const std::string& method,
                            ValueList args, ValueList predictions,
@@ -262,21 +366,19 @@ class SpecEngine {
                             Actions& actions);
   void deliver_direct(const std::shared_ptr<OutgoingCall>& rec,
                       Actions& actions);
-  void maybe_gc_outgoing(CallId id);
-  void maybe_gc_incoming(CallId id);
-  void flush_pending_finishes(Actions& actions);
-  void send_actual_response(IncomingRpc& rec, const Outcome& outcome,
-                            Actions& actions);
+  void schedule_call_timer_tree_locked(
+      const std::shared_ptr<OutgoingCall>& rec);
+  void gc_outgoing(CallId id);
+  void maybe_gc_incoming_locked(Shard& shard, CallId id);
+  void flush_incoming(CallId id);
+  void send_actual_response_locked(IncomingRpc& rec, const Outcome& outcome,
+                                   Actions& actions);
 
   // Context plumbing used by SpecContext / ServerCall.
   SpecNode::Ptr context_node() const;
   void check_live(const SpecNode::Ptr& node) const;  // throws if kIncorrect
   void server_spec_return(CallId id, Value value);
   void server_finish(CallId id, SpecNode::Ptr ctx, Outcome outcome);
-  void run_callback(const std::shared_ptr<OutgoingCall>& rec,
-                    const std::shared_ptr<Branch>& branch, CallbackFn fn);
-  void run_handler(CallId id, Handler handler);
-  void block_on(const SpecNode::Ptr& node);
 
   /// Keeps timer-wheel callbacks from touching a destroyed engine: each
   /// callback holds the token's mutex for its whole run and bails if the
@@ -293,20 +395,19 @@ class SpecEngine {
   SpecConfig config_;
   std::shared_ptr<LifeToken> life_ = std::make_shared<LifeToken>();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // spec_block waiters
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Non-null only when shards == 1: every tree shares this control block,
+  /// reproducing the single global concurrency domain of the pre-shard
+  /// engine (one mutex, one cv with notify_all thundering herd).
+  std::shared_ptr<TreeControl> single_tree_;
+
   SpecNode::Ptr root_;
-  std::unordered_map<CallId, std::shared_ptr<OutgoingCall>> outgoing_;
-  std::unordered_map<CallId, CallId> wire_to_logical_;
-  std::unordered_map<CallId, std::shared_ptr<IncomingRpc>> incoming_;
-  std::unordered_map<CallId, bool> early_state_;  // state msg beat request
+  std::shared_mutex methods_mu_;  // read-mostly: registration precedes serving
   std::unordered_map<std::string, HandlerFactory> methods_;
-  CallId next_call_id_ = 1;
-  std::uint64_t next_debug_id_ = 1;
-  Rng rng_;  // retry backoff jitter; guarded by mu_
-  SpecStats stats_;
-  TransitionObserver observer_;
-  bool stopping_ = false;
+  std::atomic<CallId> next_call_id_{1};
+  std::atomic<std::uint64_t> next_debug_id_{1};
+  std::shared_ptr<TransitionObserver> observer_;  // std::atomic_load/store
+  std::atomic<bool> stopping_{false};
 };
 
 /// Execution context passed to callbacks; also constructible on the server

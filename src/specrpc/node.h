@@ -7,18 +7,44 @@
 // Each node tracks only its children; state changes propagate downward
 // (§3.5.1: "each node only tracks its child nodes").
 //
-// All mutation happens under the owning SpecEngine's lock; SpecNode itself
-// is a passive data holder.
+// Locking (DESIGN.md §6): every tree has its own TreeControl; all structural
+// mutation of a node (children, listeners, rollback bookkeeping, forced
+// state) happens under that tree's mutex. `state` and `value_status` are
+// additionally atomic so hot-path reads (check_live, speculative(),
+// locally_resolved walks, GC predicates) never need a lock; they are only
+// *written* under the tree mutex. Lock-ordering rule: a shard lock may be
+// held while taking a tree lock, never the reverse.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/types.h"
 #include "serde/value.h"
 #include "specrpc/state.h"
 
 namespace srpc::spec {
+
+/// Per-tree concurrency domain. One instance is shared by every node of a
+/// speculation tree (a top-level call and all its descendants, or a server
+/// mirror and all the nested work its handler spawns). Transitions in
+/// unrelated trees never contend.
+struct TreeControl {
+  std::mutex mu;
+  std::condition_variable cv;  // spec_block waiters parked in this tree
+
+  /// Incoming-RPC ids whose queued finishes may become sendable when this
+  /// tree transitions (the producing context of a PendingFinish lives in
+  /// this tree). Drained into a deferred flush after every transition batch;
+  /// guarded by `mu`. This is how cross-tree work (an engine's server half
+  /// reacting to its client half resolving) escapes the per-tree lock
+  /// without ever taking two tree locks at once.
+  std::vector<CallId> flush_ids;
+};
 
 struct SpecNode {
   enum class Kind : std::uint8_t {
@@ -32,35 +58,48 @@ struct SpecNode {
   using WeakPtr = std::weak_ptr<SpecNode>;
 
   Kind kind = Kind::kCallback;
-  SpecState state = SpecState::kCallerSpeculative;
+
+  /// Read lock-free anywhere; written only under tree->mu. Terminal states
+  /// are sticky, so a lock-free reader observing kCorrect/kIncorrect can
+  /// trust it forever.
+  std::atomic<SpecState> state{SpecState::kCallerSpeculative};
 
   /// Strong upward edge: a live descendant keeps its ancestry alive so state
   /// computation always has the full path. Downward edges are weak; a dead
   /// child is a child nobody (record, running lambda, listener) observes.
+  /// Immutable after construction.
   Ptr parent;
-  std::vector<WeakPtr> children;
+  std::vector<WeakPtr> children;  // guarded by tree->mu
+
+  /// The concurrency domain this node belongs to. Set at construction and
+  /// immutable; children share their parent's tree. Null only for the
+  /// engine root, which never transitions.
+  std::shared_ptr<TreeControl> tree;
 
   /// kCallback only: has this callback's input value been validated?
-  ValueStatus value_status = ValueStatus::kUnknown;
+  /// Same discipline as `state`: atomic reads anywhere, writes under
+  /// tree->mu. kCorrect/kIncorrect are sticky.
+  std::atomic<ValueStatus> value_status{ValueStatus::kUnknown};
 
   /// kMirror only: terminal state imposed by a remote state-change message.
+  /// Guarded by tree->mu (or pre-publication).
   bool forced = false;
   SpecState forced_state = SpecState::kCorrect;
 
   /// Fired exactly once when the node reaches a terminal state. Listeners
-  /// run outside the engine lock.
+  /// run outside all engine locks. Guarded by tree->mu.
   std::vector<std::function<void(SpecState)>> terminal_listeners;
 
   /// Optional user rollback (§3.5.2), run when the node transitions to
-  /// kIncorrect after having started execution.
+  /// kIncorrect after having started execution. Guarded by tree->mu.
   std::function<void()> rollback;
-  bool executed = false;        // run()/handler started
-  bool rollback_fired = false;  // rollback runs at most once
+  bool executed = false;        // run()/handler started; tree->mu
+  bool rollback_fired = false;  // rollback runs at most once; tree->mu
 
   /// Diagnostic id (monotonic per engine) used in logs and tests.
   std::uint64_t debug_id = 0;
 
-  bool terminal() const { return is_terminal(state); }
+  bool terminal() const { return is_terminal(state.load()); }
 };
 
 }  // namespace srpc::spec

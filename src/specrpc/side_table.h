@@ -12,12 +12,19 @@
 // branch is abandoned the previous value is restored. Puts from
 // non-speculative contexts are plain writes.
 //
+// Concurrency: the table is lock-striped by key hash, matching the engine's
+// shard discipline (DESIGN.md §6) — branches touching disjoint keys never
+// contend, and rollbacks (which run outside all engine locks) only take the
+// one stripe their key hashes to.
+//
 // Limitations (documented, matching the paper's advisory model): undo is
 // per-branch last-writer-wins; two *concurrent speculative branches* writing
 // the same key still race, exactly like any shared mutable state under the
 // advisory model — prefer callback-object state for branch-parallel data.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -34,46 +41,67 @@ class SpecSideTable {
   /// Writes key=value. From a speculative context, registers a rollback
   /// restoring the previous state of `key` if this branch is abandoned.
   void put(const std::string& key, Value value) {
+    Stripe& stripe = stripe_of(key);
     std::optional<Value> previous;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = data_.find(key);
-      if (it != data_.end()) previous = it->second;
-      data_[key] = std::move(value);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.data.find(key);
+      if (it != stripe.data.end()) previous = it->second;
+      stripe.data[key] = std::move(value);
     }
     if (engine_.speculative()) {
       engine_.set_rollback([this, key, previous] {
-        std::lock_guard<std::mutex> lock(mu_);
+        Stripe& s = stripe_of(key);
+        std::lock_guard<std::mutex> lock(s.mu);
         if (previous.has_value()) {
-          data_[key] = *previous;
+          s.data[key] = *previous;
         } else {
-          data_.erase(key);
+          s.data.erase(key);
         }
       });
     }
   }
 
   std::optional<Value> get(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = data_.find(key);
-    if (it == data_.end()) return std::nullopt;
+    const Stripe& stripe = stripe_of(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.data.find(key);
+    if (it == stripe.data.end()) return std::nullopt;
     return it->second;
   }
 
   void erase(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    data_.erase(key);
+    Stripe& stripe = stripe_of(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.data.erase(key);
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return data_.size();
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.data.size();
+    }
+    return total;
   }
 
  private:
+  static constexpr std::size_t kStripes = 16;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, Value> data;
+  };
+
+  Stripe& stripe_of(const std::string& key) {
+    return stripes_[std::hash<std::string>{}(key) % kStripes];
+  }
+  const Stripe& stripe_of(const std::string& key) const {
+    return stripes_[std::hash<std::string>{}(key) % kStripes];
+  }
+
   SpecEngine& engine_;
-  mutable std::mutex mu_;
-  std::map<std::string, Value> data_;
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace srpc::spec

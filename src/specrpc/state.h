@@ -19,6 +19,10 @@ enum class SpecState : std::uint8_t {
   kIncorrect = 3,  // "speculation incorrect" (terminal)
 };
 
+/// Terminal states are *sticky*: once a node reaches kCorrect/kIncorrect it
+/// never transitions again. The engine relies on this to read node state
+/// lock-free (an atomic load that observes a terminal state can trust it
+/// forever; see node.h).
 inline bool is_terminal(SpecState s) {
   return s == SpecState::kCorrect || s == SpecState::kIncorrect;
 }

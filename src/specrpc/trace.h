@@ -14,6 +14,12 @@
 // pointer to the trace: detach (engine.set_transition_observer(nullptr)) or
 // shut the engine down before destroying a live trace — destroying the
 // trace alone does NOT detach it.
+//
+// Ordering note: with a sharded engine (DESIGN.md §6) transitions in
+// *unrelated* speculation trees are recorded in whatever order their
+// deferred observer actions happen to run — the timeline is totally ordered
+// by arrival at the trace lock, not by any global engine order. Events for
+// one node (and for one tree's transition batch) remain well-ordered.
 #pragma once
 
 #include <mutex>

@@ -114,13 +114,15 @@ void TcpTransport::wake() {
   [[maybe_unused]] auto n = write(wake_fd_, &one, sizeof(one));
 }
 
-void TcpTransport::queue_frame(Conn& conn, const Bytes& payload,
-                               std::size_t payload_bytes) {
-  put_u32(conn.outbuf, static_cast<std::uint32_t>(payload.size()));
+void TcpTransport::queue_frame(Conn& conn, const Bytes& payload) {
+  // The length prefix covers the marker byte; marker and payload are written
+  // straight into the connection buffer (no intermediate framed copy).
+  put_u32(conn.outbuf, static_cast<std::uint32_t>(payload.size() + 1));
+  conn.outbuf.push_back(0x00);  // data marker (0x01 = handshake)
   conn.outbuf.insert(conn.outbuf.end(), payload.begin(), payload.end());
   conn.want_write = true;
   msgs_sent_.fetch_add(1, std::memory_order_relaxed);
-  bytes_sent_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
 }
 
 TcpTransport::Conn* TcpTransport::connect_to(const Address& dst) {
@@ -170,13 +172,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
         return;
       }
     }
-    // Data frames carry a 0x00 marker so they are distinguishable from the
-    // handshake frame.
-    Bytes framed;
-    framed.reserve(payload.size() + 1);
-    framed.push_back(0x00);
-    framed.insert(framed.end(), payload.begin(), payload.end());
-    queue_frame(*conn, framed, payload.size());  // marker byte not counted
+    queue_frame(*conn, payload);
   }
   wake();
 }

@@ -52,11 +52,11 @@ class TcpTransport final : public Transport {
   void handle_writable(Conn& conn);
   void close_conn(int fd);
   Conn* connect_to(const Address& dst);  // caller holds mu_
-  /// Appends a length-prefixed frame to conn's outbuf and accounts
-  /// `payload_bytes` of application payload (framing/marker bytes are not
-  /// counted). Caller holds mu_.
-  void queue_frame(Conn& conn, const Bytes& payload,
-                   std::size_t payload_bytes);
+  /// Appends a length-prefixed data frame (0x00 marker + payload) to conn's
+  /// outbuf in place and accounts the payload bytes (framing/marker bytes
+  /// are not counted). Caller holds mu_. The handshake frame (0x01 marker)
+  /// is built by connect_to directly and is not stats-accounted.
+  void queue_frame(Conn& conn, const Bytes& payload);
   void wake();
 
   Executor& executor_;

@@ -1,0 +1,202 @@
+// Sharded-engine stress coverage (DESIGN.md §6): stat-snapshot consistency
+// under a multi-threaded call storm, N=1 vs N=8 semantic equivalence,
+// early-state TTL eviction, and bookkeeping drain across shards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "specrpc/engine.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Client/server pair over a SimNetwork with a configurable client shard
+/// count. The server always uses engine defaults.
+struct Harness {
+  explicit Harness(std::size_t client_shards,
+                   Duration early_state_ttl = std::chrono::seconds(30)) {
+    SimConfig config;
+    config.executor_threads = 16;
+    config.default_delay = std::chrono::milliseconds(1);
+    net = std::make_unique<SimNetwork>(config);
+    SpecConfig client_config;
+    client_config.shards = client_shards;
+    client_config.early_state_ttl = early_state_ttl;
+    client = std::make_unique<SpecEngine>(net->add_node("client"),
+                                          net->executor(), net->wheel(),
+                                          client_config);
+    SpecConfig server_config;
+    server_config.early_state_ttl = early_state_ttl;
+    server = std::make_unique<SpecEngine>(net->add_node("server"),
+                                          net->executor(), net->wheel(),
+                                          server_config);
+    server->register_method("inc", Handler([](const ServerCallPtr& c) {
+      c->finish(Value(c->args()[0].as_int() + 1));
+    }));
+  }
+
+  ~Harness() {
+    client->begin_shutdown();
+    server->begin_shutdown();
+    net->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net;
+  std::unique_ptr<SpecEngine> client;
+  std::unique_ptr<SpecEngine> server;
+};
+
+CallbackFactory blocking_inc_factory() {
+  return []() -> CallbackFn {
+    return [](SpecContext& ctx, const Value& v) -> CallbackResult {
+      ctx.spec_block();  // park until this branch is validated
+      return Value(v.as_int() * 10);
+    };
+  };
+}
+
+void assert_snapshot_invariants(const SpecStats& s) {
+  // Derived counters may never exceed their bases, in any concurrent
+  // snapshot — this is the acquire-ordering contract of stats().
+  EXPECT_LE(s.predictions_correct + s.predictions_incorrect,
+            s.predictions_made);
+  EXPECT_LE(s.predictions_made, s.callbacks_spawned);
+  EXPECT_LE(s.reexecutions, s.callbacks_spawned);
+  EXPECT_LE(s.rollbacks_run, s.branches_abandoned);
+}
+
+/// 8 client threads issue predicted calls (half correct, half wrong) while a
+/// sampler hammers stats(); every sample must satisfy the invariants.
+void run_storm(Harness& h, int threads, int calls_per_thread) {
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> samples{0};
+  std::thread sampler([&] {
+    while (!done.load()) {
+      assert_snapshot_invariants(h.client->stats());
+      samples.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < calls_per_thread; ++i) {
+        const std::int64_t arg = t * calls_per_thread + i;
+        // Even calls predict correctly (arg+1); odd calls mispredict.
+        const std::int64_t guess = (i % 2 == 0) ? arg + 1 : -1;
+        auto f = h.client->call("server", "inc", make_args(arg),
+                                {Value(guess)}, blocking_inc_factory());
+        try {
+          if (f->get().as_int() != (arg + 1) * 10) failures.fetch_add(1);
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true);
+  sampler.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(samples.load(), 0u);
+
+  const SpecStats s = h.client->stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(threads) * calls_per_thread;
+  // Even indices predict correctly: (calls_per_thread + 1) / 2 per thread.
+  const std::uint64_t correct =
+      static_cast<std::uint64_t>(threads) * ((calls_per_thread + 1) / 2);
+  const std::uint64_t wrong = total - correct;
+  EXPECT_EQ(s.calls_issued, total);
+  EXPECT_EQ(s.predictions_made, total);
+  EXPECT_EQ(s.predictions_correct, correct);
+  EXPECT_EQ(s.predictions_incorrect, wrong);
+  EXPECT_EQ(s.reexecutions, wrong);
+  EXPECT_EQ(s.callbacks_spawned, total + wrong);
+  assert_snapshot_invariants(s);
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                Duration timeout = std::chrono::seconds(5)) {
+  const TimePoint deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(EngineShard, ShardCountConfiguration) {
+  Harness h(8);
+  EXPECT_EQ(h.client->shard_count(), 8u);
+  EXPECT_GE(h.server->shard_count(), 1u);  // auto-sized
+  Harness single(1);
+  EXPECT_EQ(single.client->shard_count(), 1u);
+}
+
+TEST(EngineShard, StatSnapshotsConsistentUnderCallStorm) {
+  Harness h(8);
+  run_storm(h, 8, 40);
+}
+
+TEST(EngineShard, SingleShardBaselineSameSemantics) {
+  // N=1 collapses every tree into one concurrency domain (the historical
+  // global-lock engine); results and final stats must be identical.
+  Harness h(1);
+  run_storm(h, 8, 40);
+}
+
+TEST(EngineShard, BookkeepingDrainsAcrossShards) {
+  Harness h(8);
+  run_storm(h, 4, 25);
+  ASSERT_TRUE(wait_until([&] {
+    const auto c = h.client->debug_sizes();
+    const auto s = h.server->debug_sizes();
+    return c.outgoing == 0 && c.wire_routes == 0 && c.incoming == 0 &&
+           s.incoming == 0 && s.early_state == 0;
+  })) << "call-tracking tables did not drain after quiesce";
+}
+
+TEST(EngineShard, EarlyStateStashEvictedAfterTtl) {
+  Harness h(4, /*early_state_ttl=*/50ms);
+  // A state-change whose request never arrives (fault-injected loss with
+  // retries exhausted): the stash must not leak past the TTL.
+  StateChangeMsg orphan;
+  orphan.call_id = 0xDEADBEEF;
+  orphan.correct = true;
+  Transport& injector = h.net->add_node("injector");
+  injector.send("server", encode(orphan, binary_codec()));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server->debug_sizes().early_state == 1; }, 2s))
+      << "early state-change was not stashed";
+  ASSERT_TRUE(wait_until([&] {
+    return h.server->debug_sizes().early_state == 0 &&
+           h.server->stats().early_state_evictions == 1;
+  })) << "stashed early state-change was not TTL-evicted";
+}
+
+TEST(EngineShard, EarlyStateZeroTtlDisablesEviction) {
+  Harness h(4, /*early_state_ttl=*/Duration::zero());
+  StateChangeMsg orphan;
+  orphan.call_id = 0xFEEDFACE;
+  orphan.correct = false;
+  Transport& injector = h.net->add_node("injector");
+  injector.send("server", encode(orphan, binary_codec()));
+  ASSERT_TRUE(wait_until(
+      [&] { return h.server->debug_sizes().early_state == 1; }, 2s));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(h.server->debug_sizes().early_state, 1u);  // no timer, no evict
+  EXPECT_EQ(h.server->stats().early_state_evictions, 0u);
+}
+
+}  // namespace
+}  // namespace srpc::spec
