@@ -1,0 +1,386 @@
+// Frozen copy of the pre-multi-reactor TcpTransport, kept verbatim (modulo
+// the rename and header-only packaging) as the A/B baseline for perf_tcp.
+//
+// This is the transport this repo shipped before the reactor shard rework:
+// one io thread, a single global mutex held across ::write() syscalls, an
+// epoll_ctl re-arm of every connection per 100 ms loop tick, one eventfd
+// write per send(), and copy-in/erase-from-front byte buffers. perf_tcp
+// measures the rework against exactly this code, so the speedup numbers in
+// BENCH_tcp.json are an honest before/after rather than a config-flag
+// approximation. Do not "fix" or modernize it.
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "common/executor.h"
+#include "common/logging.h"
+#include "common/strand.h"
+#include "transport/transport.h"
+
+namespace srpc::bench {
+
+class BaselineTcpTransport final : public Transport {
+ public:
+  explicit BaselineTcpTransport(Executor& executor, std::uint16_t port = 0)
+      : executor_(executor) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port = htons(port);
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+      throw std::runtime_error("bind() failed");
+    if (listen(listen_fd_, 128) != 0)
+      throw std::runtime_error("listen() failed");
+
+    socklen_t len = sizeof(sa);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sa), &len);
+    addr_ = "127.0.0.1:" + std::to_string(ntohs(sa.sin_port));
+    set_nonblocking(listen_fd_);
+
+    epoll_fd_ = epoll_create1(0);
+    wake_fd_ = eventfd(0, EFD_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    ev.data.fd = wake_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+    io_thread_ = std::thread([this] { io_loop(); });
+  }
+
+  ~BaselineTcpTransport() override {
+    stopping_.store(true);
+    wake();
+    if (io_thread_.joinable()) io_thread_.join();
+    for (auto& [fd, conn] : conns_) close(fd);
+    close(listen_fd_);
+    close(epoll_fd_);
+    close(wake_fd_);
+  }
+
+  const Address& address() const override { return addr_; }
+
+  void send(const Address& dst, Bytes payload) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Conn* conn = nullptr;
+      auto it = by_peer_.find(dst);
+      if (it != by_peer_.end()) {
+        conn = conns_.at(it->second).get();
+      } else {
+        conn = connect_to(dst);
+        if (conn == nullptr) {
+          SRPC_LOG(WARN) << addr_ << ": connect to " << dst << " failed";
+          return;
+        }
+      }
+      queue_frame(*conn, payload);
+    }
+    wake();
+  }
+
+  void set_receiver(Receiver receiver) override {
+    std::lock_guard<std::mutex> lock(gate_->mu);
+    gate_->receiver = std::move(receiver);
+  }
+
+  void quiesce() override {
+    std::unique_lock<std::mutex> lock(gate_->mu);
+    gate_->cv.wait(lock, [&] { return gate_->in_flight == 0; });
+  }
+
+  TrafficStats stats() const {
+    TrafficStats s;
+    s.msgs_sent = msgs_sent_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.msgs_recv = msgs_recv_.load(std::memory_order_relaxed);
+    s.bytes_recv = bytes_recv_.load(std::memory_order_relaxed);
+    s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Address peer;
+    Bytes inbuf;
+    Bytes outbuf;
+    std::size_t out_off = 0;
+    bool want_write = false;
+    std::shared_ptr<Strand> strand;
+  };
+
+  static void set_nonblocking(int fd) {
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  static void set_nodelay(int fd) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  static std::pair<std::string, std::uint16_t> split_addr(
+      const Address& addr) {
+    const auto pos = addr.find_last_of(':');
+    if (pos == std::string::npos)
+      throw std::invalid_argument("bad address: " + addr);
+    return {addr.substr(0, pos),
+            static_cast<std::uint16_t>(std::stoi(addr.substr(pos + 1)))};
+  }
+
+  static void put_u32(Bytes& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  static std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+  }
+
+  void wake() {
+    std::uint64_t one = 1;
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    [[maybe_unused]] auto n = write(wake_fd_, &one, sizeof(one));
+  }
+
+  void queue_frame(Conn& conn, const Bytes& payload) {
+    put_u32(conn.outbuf, static_cast<std::uint32_t>(payload.size() + 1));
+    conn.outbuf.push_back(0x00);
+    conn.outbuf.insert(conn.outbuf.end(), payload.begin(), payload.end());
+    conn.want_write = true;
+    msgs_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  }
+
+  Conn* connect_to(const Address& dst) {
+    const auto [host, port] = split_addr(dst);
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    inet_pton(AF_INET, host.c_str(), &sa.sin_addr);
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 &&
+        errno != EINPROGRESS) {
+      close(fd);
+      return nullptr;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->peer = dst;
+    conn->strand = Strand::create(executor_);
+    Bytes hello(addr_.begin(), addr_.end());
+    put_u32(conn->outbuf, static_cast<std::uint32_t>(hello.size() + 1));
+    conn->outbuf.push_back(0x01);
+    conn->outbuf.insert(conn->outbuf.end(), hello.begin(), hello.end());
+    conn->want_write = true;
+    Conn* raw = conn.get();
+    conns_.emplace(fd, std::move(conn));
+    by_peer_.emplace(dst, fd);
+    return raw;
+  }
+
+  void io_loop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (!stopping_.load()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [fd, conn] : conns_) {
+          epoll_event ev{};
+          ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+          ev.data.fd = fd;
+          if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0 &&
+              errno == ENOENT) {
+            epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+          }
+        }
+      }
+      const int n = epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+      if (n < 0 && errno != EINTR) break;
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd_) {
+          std::uint64_t buf;
+          [[maybe_unused]] auto r = read(wake_fd_, &buf, sizeof(buf));
+          continue;
+        }
+        if (fd == listen_fd_) {
+          for (;;) {
+            const int cfd = accept(listen_fd_, nullptr, nullptr);
+            if (cfd < 0) break;
+            set_nonblocking(cfd);
+            set_nodelay(cfd);
+            auto conn = std::make_unique<Conn>();
+            conn->fd = cfd;
+            conn->strand = Strand::create(executor_);
+            std::lock_guard<std::mutex> lock(mu_);
+            conns_.emplace(cfd, std::move(conn));
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.fd = cfd;
+            epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+          }
+          continue;
+        }
+        Conn* conn = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = conns_.find(fd);
+          if (it == conns_.end()) continue;
+          conn = it->second.get();
+        }
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          close_conn(fd);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) handle_writable(*conn);
+        if (events[i].events & EPOLLIN) handle_readable(*conn);
+      }
+    }
+  }
+
+  void handle_writable(Conn& conn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (conn.out_off < conn.outbuf.size()) {
+      const ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.out_off,
+                                conn.outbuf.size() - conn.out_off);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        return;
+      }
+      conn.out_off += static_cast<std::size_t>(n);
+    }
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    conn.want_write = false;
+  }
+
+  void handle_readable(Conn& conn) {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n == 0) {
+        close_conn(conn.fd);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(conn.fd);
+        return;
+      }
+      conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+    }
+    std::size_t off = 0;
+    for (;;) {
+      if (conn.inbuf.size() - off < 4) break;
+      const std::uint32_t len = get_u32(conn.inbuf.data() + off);
+      if (conn.inbuf.size() - off - 4 < len) break;
+      const std::uint8_t* frame = conn.inbuf.data() + off + 4;
+      off += 4 + len;
+      if (len == 0) continue;
+      const std::uint8_t marker = frame[0];
+      if (marker == 0x01) {
+        Address peer(reinterpret_cast<const char*>(frame + 1), len - 1);
+        std::lock_guard<std::mutex> lock(mu_);
+        conn.peer = peer;
+        by_peer_.emplace(peer, conn.fd);
+        continue;
+      }
+      Bytes payload(frame + 1, frame + len);
+      Address src;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        src = conn.peer;
+      }
+      msgs_recv_.fetch_add(1, std::memory_order_relaxed);
+      bytes_recv_.fetch_add(payload.size(), std::memory_order_relaxed);
+      if (!src.empty()) {
+        auto shared = std::make_shared<Bytes>(std::move(payload));
+        conn.strand->post([gate = gate_, src, shared]() mutable {
+          Receiver receiver;
+          {
+            std::lock_guard<std::mutex> lock(gate->mu);
+            if (!gate->receiver) return;
+            receiver = gate->receiver;
+            ++gate->in_flight;
+          }
+          receiver(src, std::move(*shared));
+          {
+            std::lock_guard<std::mutex> lock(gate->mu);
+            --gate->in_flight;
+          }
+          gate->cv.notify_all();
+        });
+      }
+    }
+    if (off > 0)
+      conn.inbuf.erase(conn.inbuf.begin(), conn.inbuf.begin() + off);
+  }
+
+  void close_conn(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    if (!it->second->peer.empty()) by_peer_.erase(it->second->peer);
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    close(fd);
+    conns_.erase(it);
+  }
+
+  struct RecvGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    Receiver receiver;
+    int in_flight = 0;
+  };
+
+  Executor& executor_;
+  Address addr_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread io_thread_;
+  std::shared_ptr<RecvGate> gate_ = std::make_shared<RecvGate>();
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<Address, int> by_peer_;
+
+  std::atomic<std::uint64_t> msgs_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> msgs_recv_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+};
+
+}  // namespace srpc::bench

@@ -24,9 +24,16 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_executor_stress test_transport test_chaos_soak test_predict \
-  test_engine_shard
+  test_engine_shard rc_cluster_node
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
+# The real-TCP reactor suite under TSan: reactor sharding, wake coalescing,
+# backpressure park/release, simultaneous-connect dedup, and the
+# cross-process smoke (the TSan-built rc_cluster_node is pointed at
+# explicitly so the children run instrumented too). DESIGN.md §10.
+SPECRPC_CLUSTER_NODE_BIN=./build-tsan/src/rc/rc_cluster_node \
+  ./build-tsan/tests/test_transport \
+  --gtest_filter='TcpTransport.*:ProcessCluster.*'
 ./build-tsan/tests/test_predict \
   --gtest_filter='Predictors.ConcurrentPredictLearnStress:PredictEngineTest.*'
 SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
@@ -36,6 +43,15 @@ SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
 # engine beats the single-domain baseline at 8 client threads and that the
 # bench's shutdown path is leak-free. Sanitizer overhead mutes the ratio —
 # the ≥3× acceptance number (EXPERIMENTS.md) is for the release build.
-cmake --build --preset asan -j"$(nproc)" --target perf_engine_scale
+cmake --build --preset asan -j"$(nproc)" --target perf_engine_scale perf_tcp
 SPECRPC_ENGINE_SCALE_SECS=0.5 SPECRPC_ENGINE_SCALE_THREADS=8 \
   ./build-asan/bench/perf_engine_scale
+
+# TCP transport smoke under ASan: short echo/pipeline A/B against the frozen
+# baseline plus the 2-process cluster smoke inside the test suite above;
+# the full fig9/fig13 cross-process points are release-build only (the
+# cluster children would inherit sanitizer slowdowns and distort the
+# orderings), so they are skipped here. Run from the build tree so the
+# instrumented BENCH_tcp.json doesn't clobber the release one at the root.
+(cd build-asan && SPECRPC_TCP_SECONDS=0.3 SPECRPC_TCP_SKIP_CLUSTER=1 \
+  ./bench/perf_tcp)

@@ -10,10 +10,15 @@ int shard_of(const std::string& key) {
 }
 
 Address Topology::shard_addr(int dc, int shard) const {
+  if (!shard_addrs_override.empty())
+    return shard_addrs_override.at(static_cast<std::size_t>(dc))
+        .at(static_cast<std::size_t>(shard));
   return dc_names.at(dc) + ".shard" + std::to_string(shard);
 }
 
 Address Topology::coord_addr(int dc) const {
+  if (!coord_addrs_override.empty())
+    return coord_addrs_override.at(static_cast<std::size_t>(dc));
   return dc_names.at(dc) + ".coord";
 }
 

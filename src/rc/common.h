@@ -68,6 +68,13 @@ struct Topology {
   std::vector<Address> all_replicas(int shard) const;
   std::vector<Address> all_coords() const;
   std::vector<std::string> dc_names = {"oregon", "ireland", "seoul"};
+
+  /// Optional explicit address maps. In-process clusters use the logical
+  /// name-derived addresses above; a cross-process cluster fills these with
+  /// real TCP "host:port" endpoints learned during the port exchange, and
+  /// they take precedence when non-empty.
+  std::vector<std::vector<Address>> shard_addrs_override;  // [dc][shard]
+  std::vector<Address> coord_addrs_override;               // [dc]
 };
 
 // ------------------------------------------------------------ wire helpers

@@ -1,0 +1,120 @@
+// ProcessCluster — cross-process Replicated Commit harness.
+//
+// Forks one `rc_cluster_node` process per datacentre role (a server process
+// hosting that DC's 3 shard transports + coordinator, and a client process
+// hosting its client machines), exchanges real TCP addresses over the
+// children's stdio pipes, barriers on readiness, runs the closed-loop
+// workload in the client processes, and aggregates their RESULT lines.
+// This is the first configuration where the RC evaluation crosses real
+// process boundaries on the TcpTransport instead of SimNetwork.
+//
+// Pipe line protocol (one line per step, parent-driven):
+//
+//   child  -> parent : ADDRS <shard0> <shard1> <shard2> <coord>   (servers)
+//   child  -> parent : ADDRS -                                    (clients)
+//   parent -> child  : TOPOLOGY <a(0,0)> <a(0,1)> <a(0,2)> <c(0)> <a(1,0)>...
+//   child  -> parent : READY
+//   parent -> child  : RUN
+//   client -> parent : RESULT committed=... aborted=... mean_us=...
+//   parent -> child  : QUIT
+//
+// Children that miss a phase deadline are SIGKILLed; teardown is otherwise
+// cooperative (QUIT, then waitpid).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flavor.h"
+#include "common/types.h"
+#include "rc/server.h"
+
+namespace srpc::rc {
+
+struct ProcessClusterConfig {
+  Flavor flavor = Flavor::kTrad;
+  int num_dcs = 3;
+  int clients_per_dc = 4;
+  /// Quorum sizes forwarded to every RcClient (shrink to 1 for the
+  /// single-DC smoke configuration).
+  int read_quorum = 2;
+  int vote_quorum = 2;
+  std::size_t num_keys = 20'000;
+  std::size_t value_size = 16;
+  /// >0 enables the CpuModel on every server (Figure 13 configuration).
+  int server_cores = 0;
+  ServerCosts costs;
+  /// Multiplier on `costs` for every datacentre other than DC 0. Loopback
+  /// has no WAN RTT, so the latency asymmetry the paper gets from geography
+  /// (the local replica answers long before the quorum completes, §5.2) is
+  /// reproduced as a service-time asymmetry: DC 0 answers fast, the DCs
+  /// that complete the quorum answer slow. 1.0 = symmetric.
+  double remote_cost_mult = 1.0;
+  /// gRPC flavour only: GrpcSim per-message overhead.
+  double grpc_overhead_us = 75.0;
+  std::string workload = "ycsbt";  // "ycsbt" | "retwis"
+  int ops_per_txn = 5;
+  double read_fraction = 0.5;
+  std::uint64_t seed = 1;
+  Duration warmup = std::chrono::milliseconds(200);
+  Duration measure = std::chrono::seconds(2);
+  /// Path to rc_cluster_node; empty = find_node_binary().
+  std::string node_binary;
+  /// Per-protocol-phase deadline before children are declared hung.
+  Duration phase_timeout = std::chrono::seconds(60);
+};
+
+struct ProcessClusterResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t read_only = 0;
+  double elapsed_s = 0;
+  double mean_txn_ms = 0;    // committed-weighted mean over client processes
+  double p50_txn_ms = 0;     // committed-weighted mean of per-process p50s
+  double p99_txn_ms = 0;     // max over client processes (conservative)
+  double mean_commit_ms = 0;
+  double committed_per_s() const {
+    return elapsed_s > 0 ? static_cast<double>(committed) / elapsed_s : 0;
+  }
+};
+
+class ProcessCluster {
+ public:
+  /// Locates the rc_cluster_node binary: $SPECRPC_CLUSTER_NODE_BIN, then
+  /// candidates relative to /proc/self/exe (same directory, and the build
+  /// tree's src/rc/ from tests/ or bench/). Empty string when not found —
+  /// callers (tests) skip rather than fail.
+  static std::string find_node_binary();
+
+  explicit ProcessCluster(ProcessClusterConfig config);
+  ~ProcessCluster();
+
+  /// Full lifecycle: spawn, address exchange, readiness barrier, RUN,
+  /// collect client RESULTs, QUIT + reap. Children are SIGKILLed on any
+  /// phase timeout and the result carries `error` instead of numbers.
+  ProcessClusterResult run();
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int to_child = -1;    // parent writes protocol lines here
+    int from_child = -1;  // parent reads protocol lines here
+    std::string buf;      // partial-line accumulator
+    bool is_client = false;
+  };
+
+  bool spawn(const std::vector<std::string>& kv, bool is_client,
+             std::string& error);
+  bool read_line(Child& c, std::string& line, TimePoint deadline);
+  bool write_line(Child& c, const std::string& line);
+  void kill_all();
+  void reap_all(Duration grace);
+
+  ProcessClusterConfig config_;
+  std::string binary_;
+  std::vector<Child> children_;
+};
+
+}  // namespace srpc::rc

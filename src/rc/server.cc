@@ -83,8 +83,16 @@ void ShardServer::serve_read(const std::string& key,
 }
 
 void ShardServer::with_cpu(Duration cost, std::function<void()> work) {
-  if (cpu_ == nullptr || cost <= Duration::zero()) {
+  if (cost <= Duration::zero()) {
     work();
+    return;
+  }
+  if (cpu_ == nullptr) {
+    // No CPU model: charge the cost as pure latency (a slow but
+    // non-saturating server). The cross-process cluster leans on this for
+    // its WAN stand-in — remote-DC service times scaled up without the
+    // queueing a 1-core CpuModel would add (DESIGN.md §10.2).
+    kit_.wheel().schedule_after(cost, std::move(work));
     return;
   }
   cpu_->execute(cost, std::move(work));
@@ -113,8 +121,12 @@ Coordinator::Coordinator(RpcKit& kit, Topology topology, int dc, CpuModel* cpu,
 }
 
 void Coordinator::with_cpu(Duration cost, std::function<void()> work) {
-  if (cpu_ == nullptr || cost <= Duration::zero()) {
+  if (cost <= Duration::zero()) {
     work();
+    return;
+  }
+  if (cpu_ == nullptr) {
+    kit_.wheel().schedule_after(cost, std::move(work));  // latency-only, as above
     return;
   }
   cpu_->execute(cost, std::move(work));

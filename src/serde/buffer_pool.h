@@ -20,17 +20,25 @@ namespace srpc {
 
 class BufferPool {
  public:
-  /// Max buffers parked per thread; further releases just free.
-  static constexpr std::size_t kMaxPooled = 32;
+  /// Max buffers parked per thread; further releases just free. Sized for
+  /// the TCP reactor's batch cycle: a read pass acquires a payload buffer
+  /// per frame and the following drain releases them all, so the pool must
+  /// hold a full burst (hundreds of small frames) for the capacity to
+  /// recirculate instead of round-tripping through the allocator.
+  static constexpr std::size_t kMaxPooled = 1024;
   /// Buffers that grew beyond this are freed on release, not pooled.
   static constexpr std::size_t kMaxPooledCapacity = 256 * 1024;
+  /// Total capacity parked per thread: bounds worst-case pool memory
+  /// (kMaxPooled buffers could otherwise pin kMaxPooled * 256 KiB each).
+  static constexpr std::size_t kMaxPooledBytes = 4 * 1024 * 1024;
 
   /// Returns an empty Bytes, reusing pooled capacity when available.
   static Bytes acquire(std::size_t reserve_hint = 0) {
     auto& pool = local();
-    if (!pool.empty()) {
-      Bytes b = std::move(pool.back());
-      pool.pop_back();
+    if (!pool.entries.empty()) {
+      Bytes b = std::move(pool.entries.back());
+      pool.entries.pop_back();
+      pool.bytes -= b.capacity();
       b.clear();
       if (reserve_hint > 0) b.reserve(reserve_hint);
       return b;
@@ -44,19 +52,25 @@ class BufferPool {
   /// including ones that did not come from acquire().
   static void release(Bytes&& b) {
     auto& pool = local();
-    if (pool.size() >= kMaxPooled || b.capacity() > kMaxPooledCapacity ||
-        b.capacity() == 0) {
+    if (pool.entries.size() >= kMaxPooled ||
+        b.capacity() > kMaxPooledCapacity || b.capacity() == 0 ||
+        pool.bytes + b.capacity() > kMaxPooledBytes) {
       return;  // drop: destructor frees
     }
-    pool.push_back(std::move(b));
+    pool.bytes += b.capacity();
+    pool.entries.push_back(std::move(b));
   }
 
   /// Buffers currently parked for the calling thread (diagnostic/tests).
-  static std::size_t local_size() { return local().size(); }
+  static std::size_t local_size() { return local().entries.size(); }
 
  private:
-  static std::vector<Bytes>& local() {
-    thread_local std::vector<Bytes> pool;
+  struct Pool {
+    std::vector<Bytes> entries;
+    std::size_t bytes = 0;  // summed capacity of `entries`
+  };
+  static Pool& local() {
+    thread_local Pool pool;
     return pool;
   }
 };

@@ -44,18 +44,39 @@ class Transport {
 };
 
 /// Byte/message counters per transport endpoint, split by direction.
-/// Figure 8c reports exactly these four series.
+/// Figure 8c reports exactly the first four series; the rest are loss /
+/// protection counters a real transport needs to make drops observable
+/// (SimNetwork models loss separately via FaultStats and leaves them 0).
 struct TrafficStats {
   std::uint64_t msgs_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t msgs_recv = 0;
   std::uint64_t bytes_recv = 0;
+  /// send() could not reach the peer (connect failed / connection already
+  /// closed): the frame was dropped after a WARN. The retry layer turns
+  /// these into timeouts; the counter makes them visible without log
+  /// scraping.
+  std::uint64_t send_drops = 0;
+  /// Frames shed by the outbound watermark (TcpConfig::OverflowPolicy::
+  /// kShed, or a blocked sender released by shutdown/close).
+  std::uint64_t send_shed = 0;
+  /// Inbound frames whose length prefix failed validation (0 or larger
+  /// than max_frame_bytes); the connection is closed when this trips.
+  std::uint64_t frames_rejected = 0;
+  /// Reactor wakeup syscalls issued by senders (eventfd writes). The wake
+  /// protocol coalesces many send() calls into one wakeup; the bench
+  /// reports msgs_sent / wakeups as the batching factor.
+  std::uint64_t wakeups = 0;
 
   TrafficStats& operator+=(const TrafficStats& o) {
     msgs_sent += o.msgs_sent;
     bytes_sent += o.bytes_sent;
     msgs_recv += o.msgs_recv;
     bytes_recv += o.bytes_recv;
+    send_drops += o.send_drops;
+    send_shed += o.send_shed;
+    frames_rejected += o.frames_rejected;
+    wakeups += o.wakeups;
     return *this;
   }
 };

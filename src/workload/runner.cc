@@ -12,6 +12,17 @@ namespace srpc::wl {
 RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
                                const WorkloadFactory& workload_factory,
                                Duration warmup, Duration measure) {
+  std::vector<rc::RcClient*> clients;
+  const int per_dc = cluster.clients_per_dc();
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc)
+    for (int i = 0; i < per_dc; ++i) clients.push_back(&cluster.client(dc, i));
+  return run_rc_closed_loop(clients, 0, workload_factory, warmup, measure);
+}
+
+RcRunResult run_rc_closed_loop(const std::vector<rc::RcClient*>& clients,
+                               int index_base,
+                               const WorkloadFactory& workload_factory,
+                               Duration warmup, Duration measure) {
   RcRunResult result;
   std::mutex result_mu;
   const TimePoint start = Clock::now();
@@ -19,13 +30,11 @@ RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
   const TimePoint measure_until = measure_from + measure;
 
   std::vector<std::thread> threads;
-  const int per_dc = cluster.clients_per_dc();
-  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
-    for (int i = 0; i < per_dc; ++i) {
-      const int global_index = dc * per_dc + i;
-      threads.emplace_back([&, dc, i, global_index] {
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const int global_index = index_base + static_cast<int>(c);
+    threads.emplace_back([&, c, global_index] {
         auto next_txn = workload_factory(global_index);
-        rc::RcClient& client = cluster.client(dc, i);
+        rc::RcClient& client = *clients[c];
         while (Clock::now() < measure_until) {
           const TimePoint t0 = Clock::now();
           rc::TxnResult txn;
@@ -47,8 +56,7 @@ RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
             result.abort_latency.record(txn.total);
           }
         }
-      });
-    }
+    });
   }
   for (auto& t : threads) t.join();
   result.elapsed_s = std::chrono::duration<double>(measure).count();

@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "rc/cluster.h"
 #include "stats/histogram.h"
@@ -39,6 +40,14 @@ using WorkloadFactory =
 /// recording only transactions that *start* inside the measurement window
 /// (the paper measures the middle of each run for the same reason).
 RcRunResult run_rc_closed_loop(rc::RcCluster& cluster,
+                               const WorkloadFactory& workload_factory,
+                               Duration warmup, Duration measure);
+
+/// Same closed loop over bare clients. A cross-process cluster node drives
+/// only its local clients through this; `index_base` offsets the global
+/// client index so workload streams stay distinct across processes.
+RcRunResult run_rc_closed_loop(const std::vector<rc::RcClient*>& clients,
+                               int index_base,
                                const WorkloadFactory& workload_factory,
                                Duration warmup, Duration measure);
 

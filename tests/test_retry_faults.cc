@@ -9,10 +9,12 @@
 #include <thread>
 
 #include "common/sync.h"
+#include "common/timer_wheel.h"
 #include "grpcsim/grpcsim.h"
 #include "rpc/node.h"
 #include "specrpc/engine.h"
 #include "transport/sim_network.h"
+#include "transport/tcp_transport.h"
 
 namespace srpc::rpc {
 namespace {
@@ -181,6 +183,42 @@ TEST_F(RetryFaultTest, RetryUnderHeavyLossEventuallyCompletes) {
     }
   }
   EXPECT_GE(ok, 25);
+}
+
+// Over the real transport, every retry attempt to an unreachable peer used
+// to vanish with only a WARN log; the send_drops counter makes the loss the
+// retry layer is papering over observable without log scraping.
+TEST(RetryOverTcp, UnreachablePeerDropsAreCountedPerAttempt) {
+  Executor executor(4, "retry-tcp");
+  TimerWheel wheel;
+  {
+    // Reserve-then-release a port so the dial target is definitely closed.
+    std::uint16_t dead_port;
+    {
+      TcpTransport probe(executor);
+      const auto& addr = probe.address();
+      dead_port = static_cast<std::uint16_t>(
+          std::stoi(addr.substr(addr.find(':') + 1)));
+    }
+    TcpTransport transport(executor);
+    NodeConfig config;
+    config.call_timeout = std::chrono::seconds(2);
+    config.retry.max_attempts = 3;
+    config.retry.attempt_timeout = std::chrono::milliseconds(100);
+    config.retry.initial_backoff = std::chrono::milliseconds(10);
+    Node client(transport, executor, wheel, config);
+    auto future = client.call("127.0.0.1:" + std::to_string(dead_port),
+                              "anything", {});
+    const auto outcome = future->get_for(std::chrono::seconds(10));
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_FALSE(outcome->ok);
+    // One drop per failed attempt: retries are visible in the counter, so
+    // a flapping peer shows up as send_drops, not as silence.
+    EXPECT_GE(transport.stats().send_drops,
+              static_cast<std::uint64_t>(config.retry.max_attempts));
+  }
+  wheel.shutdown();
+  executor.shutdown();
 }
 
 }  // namespace

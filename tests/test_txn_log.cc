@@ -112,6 +112,9 @@ TEST(TxnLog, AppendsFromManyThreads) {
 TEST(TxnLogRcIntegration, ClusterLogsAppliedCommits) {
   const std::string dir = ::testing::TempDir() + "/rclogs_" +
                           std::to_string(::getpid());
+  // A crashed prior run leaves its dir behind and pids recycle: start from
+  // scratch so stale logs can't leak records into this run's recovery.
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   {
     rc::ClusterConfig config;
