@@ -82,7 +82,7 @@ class BaselineTcpTransport final : public Transport {
 
   const Address& address() const override { return addr_; }
 
-  void send(const Address& dst, Bytes payload) override {
+  bool send(const Address& dst, Bytes payload) override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       Conn* conn = nullptr;
@@ -93,12 +93,13 @@ class BaselineTcpTransport final : public Transport {
         conn = connect_to(dst);
         if (conn == nullptr) {
           SRPC_LOG(WARN) << addr_ << ": connect to " << dst << " failed";
-          return;
+          return false;
         }
       }
       queue_frame(*conn, payload);
     }
     wake();
+    return true;
   }
 
   void set_receiver(Receiver receiver) override {

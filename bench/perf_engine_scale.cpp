@@ -64,9 +64,10 @@ class DirectTransport final : public Transport {
 
   const Address& address() const override { return addr_; }
 
-  void send(const Address&, Bytes payload) override {
+  bool send(const Address&, Bytes payload) override {
     DirectTransport* p = peer_;
     if (p != nullptr) p->deliver(addr_, std::move(payload));
+    return p != nullptr;
   }
 
   void set_receiver(Receiver receiver) override {

@@ -24,7 +24,7 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_executor_stress test_transport test_chaos_soak test_predict \
-  test_engine_shard rc_cluster_node
+  test_engine_shard test_overload rc_cluster_node
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
 # The real-TCP reactor suite under TSan: reactor sharding, wake coalescing,
@@ -38,6 +38,10 @@ SPECRPC_CLUSTER_NODE_BIN=./build-tsan/src/rc/rc_cluster_node \
   --gtest_filter='Predictors.ConcurrentPredictLearnStress:PredictEngineTest.*'
 SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
 ./build-tsan/tests/test_engine_shard
+# Overload protection (DESIGN.md §11): the admission controller's admit()
+# fast path + try_lock poll + tick() under an 8-thread storm, and the
+# budget's exactly-once token accounting under the engine call paths.
+./build-tsan/tests/test_overload
 
 # Engine-scale smoke (reuses the asan build): sanity-check that the sharded
 # engine beats the single-domain baseline at 8 client threads and that the
@@ -55,3 +59,11 @@ SPECRPC_ENGINE_SCALE_SECS=0.5 SPECRPC_ENGINE_SCALE_THREADS=8 \
 # instrumented BENCH_tcp.json doesn't clobber the release one at the root.
 (cd build-asan && SPECRPC_TCP_SECONDS=0.3 SPECRPC_TCP_SKIP_CLUSTER=1 \
   ./bench/perf_tcp)
+
+# Overload-ramp smoke under ASan: tiny windows, low offered load — checks
+# the budget/admission/shed paths and the bench's open-loop shutdown drain
+# for leaks and lifetime bugs. The goodput acceptance numbers
+# (EXPERIMENTS.md) are for the release build; the JSON here is noise.
+cmake --build --preset asan -j"$(nproc)" --target perf_overload
+(cd build-asan && SPECRPC_OVERLOAD_SECS=0.2 SPECRPC_OVERLOAD_FRACS=0.5,2 \
+  SPECRPC_OVERLOAD_THREADS=4 ./bench/perf_overload)

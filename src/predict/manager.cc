@@ -14,6 +14,13 @@ spec::PredictionSupplier SpeculationManager::supplier() {
   return [state = state_](const std::string& method,
                           const ValueList& args) -> ValueList {
     state->supplier_calls.fetch_add(1, std::memory_order_relaxed);
+    // Overload admission first (DESIGN.md §11): system pressure trumps
+    // accuracy — a shed call skips the adaptive gate and the predictor
+    // entirely and runs as TradRPC.
+    if (state->admission && !state->admission->admit(method)) {
+      state->admission_shed.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
     if (state->controller && !state->controller->should_speculate(method)) {
       state->gate_suppressed.fetch_add(1, std::memory_order_relaxed);
       return {};
@@ -67,6 +74,8 @@ ManagerStats SpeculationManager::stats() const {
       state_->predictions_supplied.load(std::memory_order_relaxed);
   out.gate_suppressed =
       state_->gate_suppressed.load(std::memory_order_relaxed);
+  out.admission_shed =
+      state_->admission_shed.load(std::memory_order_relaxed);
   out.predictor_empty =
       state_->predictor_empty.load(std::memory_order_relaxed);
   out.learned = state_->learned.load(std::memory_order_relaxed);

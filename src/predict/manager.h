@@ -26,6 +26,7 @@
 #include <atomic>
 #include <memory>
 
+#include "predict/admission.h"
 #include "predict/controller.h"
 #include "predict/predictor.h"
 #include "specrpc/engine.h"
@@ -38,6 +39,11 @@ struct ManagerConfig {
   /// speculates (the "always" mode of the benches).
   bool adaptive = false;
   AdaptiveConfig adaptive_config;
+  /// Optional overload admission controller (DESIGN.md §11), consulted
+  /// before the adaptive gate and the predictor: under pressure the
+  /// supplier returns no predictions at all and the call runs as TradRPC.
+  /// Shared so one controller can govern every client of a process.
+  std::shared_ptr<AdmissionController> admission;
 };
 
 /// Aggregate counters for benches/tests (snapshot; internally consistent
@@ -46,6 +52,7 @@ struct ManagerStats {
   std::uint64_t supplier_calls = 0;
   std::uint64_t predictions_supplied = 0;  // calls given >= 1 prediction
   std::uint64_t gate_suppressed = 0;       // calls the controller declined
+  std::uint64_t admission_shed = 0;        // calls the overload ladder shed
   std::uint64_t predictor_empty = 0;       // gate open but predictor cold
   std::uint64_t learned = 0;               // actuals fed to the predictor
 };
@@ -70,12 +77,22 @@ class SpeculationManager {
   AdaptiveSpeculationController* controller() {
     return state_->controller.get();
   }
+  /// nullptr unless config.admission was set.
+  const std::shared_ptr<AdmissionController>& admission() const {
+    return state_->admission;
+  }
+  /// Late-binds the admission controller (it often needs this manager's
+  /// tracker(), which exists only after construction). Wire before traffic
+  /// starts; not synchronized against a concurrently running supplier.
+  void set_admission(std::shared_ptr<AdmissionController> admission) {
+    state_->admission = std::move(admission);
+  }
   ManagerStats stats() const;
 
  private:
   struct State {
     State(PredictorPtr p, const ManagerConfig& c)
-        : predictor(std::move(p)), tracker(c.accuracy) {
+        : predictor(std::move(p)), tracker(c.accuracy), admission(c.admission) {
       if (c.adaptive) {
         controller = std::make_unique<AdaptiveSpeculationController>(
             tracker, c.adaptive_config);
@@ -84,9 +101,11 @@ class SpeculationManager {
     PredictorPtr predictor;
     AccuracyTracker tracker;
     std::unique_ptr<AdaptiveSpeculationController> controller;
+    std::shared_ptr<AdmissionController> admission;
     std::atomic<std::uint64_t> supplier_calls{0};
     std::atomic<std::uint64_t> predictions_supplied{0};
     std::atomic<std::uint64_t> gate_suppressed{0};
+    std::atomic<std::uint64_t> admission_shed{0};
     std::atomic<std::uint64_t> predictor_empty{0};
     std::atomic<std::uint64_t> learned{0};
   };

@@ -41,10 +41,12 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name,
       spec::SpecConfig spec_config;
       spec_config.call_timeout = config_.call_timeout;
       spec_config.retry = config_.retry;
+      spec_config.budget.max_inflight = config_.spec_budget;
       if (with_predictor && config_.read_predictor != predict::Kind::kNone) {
         predict::ManagerConfig mgr_config;
         mgr_config.adaptive = config_.adaptive_speculation;
         mgr_config.adaptive_config = config_.adaptive;
+        mgr_config.admission = admission_;  // shared; null when disabled
         predict_managers_.push_back(
             std::make_unique<predict::SpeculationManager>(
                 predict::make_predictor(config_.read_predictor,
@@ -74,6 +76,20 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
   work_executor_ = std::make_unique<Executor>(
       std::max(32, total_clients * 3 + 16), "rc-work");
   geo_ = std::make_unique<GeoTopology>(*net_, config_.geo);
+
+  // Cluster-wide overload admission (DESIGN.md §11): one controller watches
+  // the shared work executor's queue depth; every client's manager consults
+  // it before speculating. Created before make_node so the managers can
+  // capture it.
+  if (config_.flavor == Flavor::kSpec && config_.admission_control) {
+    admission_ =
+        std::make_shared<predict::AdmissionController>(config_.admission);
+    admission_->add_source([exec = work_executor_.get()] {
+      predict::PressureSample s;
+      s.queue_depth = exec->queue_depth();
+      return s;
+    });
+  }
 
   // Preload the dataset once, then copy into every replica.
   std::vector<std::pair<std::string, std::string>> dataset;

@@ -52,6 +52,15 @@ struct ClusterConfig {
   /// (AdaptiveSpeculationController) instead of always speculating.
   bool adaptive_speculation = false;
   predict::AdaptiveConfig adaptive;
+  /// Overload protection (DESIGN.md §11; kSpec flavour only). Bounds
+  /// in-flight speculative branches per engine; 0 = unbounded.
+  std::size_t spec_budget = 0;
+  /// Adds one cluster-wide AdmissionController, fed by the shared work
+  /// executor's queue depth and shared by every client's
+  /// SpeculationManager: under executor pressure read speculation degrades
+  /// to TradRPC before the queues grow unbounded.
+  bool admission_control = false;
+  predict::AdmissionConfig admission;
 };
 
 class RcCluster {
@@ -76,6 +85,9 @@ class RcCluster {
   /// cluster runs without prediction (read_predictor == kNone or non-spec
   /// flavour). Index mirrors client(dc, index).
   predict::SpeculationManager* client_predictor(int dc, int index);
+  /// The cluster-wide admission controller; nullptr unless
+  /// config.admission_control (kSpec flavour).
+  predict::AdmissionController* admission() { return admission_.get(); }
   /// Sum of the per-client prediction-manager counters.
   predict::ManagerStats predict_stats() const;
 
@@ -109,6 +121,10 @@ class RcCluster {
   /// clients_); empty otherwise. The installed hooks hold the state by
   /// shared_ptr, so destruction order vs. engines is not delicate.
   std::vector<std::unique_ptr<predict::SpeculationManager>> predict_managers_;
+  /// Shared by every client manager when admission_control is on. Its
+  /// pressure source samples work_executor_, so it must not be polled after
+  /// the cluster is destroyed.
+  std::shared_ptr<predict::AdmissionController> admission_;
 };
 
 }  // namespace srpc::rc

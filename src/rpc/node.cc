@@ -107,8 +107,9 @@ class NodeCore : public std::enable_shared_from_this<NodeCore> {
       by_wire_.emplace(req.call_id, rec);
       schedule_attempt_timer_locked(*rec);
     }
-    if (transport != nullptr) {
-      transport->send(dst, encode_request(req, *config_.codec));
+    if (transport != nullptr &&
+        !transport->send(dst, encode_request(req, *config_.codec))) {
+      on_send_failed(rec->logical_id, 1);
     }
     return future;
   }
@@ -221,9 +222,32 @@ class NodeCore : public std::enable_shared_from_this<NodeCore> {
       transport = transport_;
       schedule_attempt_timer_locked(rec);
     }
-    if (transport != nullptr) {
-      transport->send(dst, encode_request(req, *config_.codec));
+    if (transport != nullptr &&
+        !transport->send(dst, encode_request(req, *config_.codec))) {
+      on_send_failed(logical_id, attempt);
     }
+  }
+
+  /// The request frame never left this process (connect refused, connection
+  /// closed, or outbound watermark shed): fail the attempt now instead of
+  /// waiting out the attempt timeout. RetryPolicy backoff paces any further
+  /// attempts exactly as if the timer had fired.
+  void on_send_failed(CallId logical_id, int attempt) {
+    TimerId stale = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = calls_.find(logical_id);
+      if (it == calls_.end()) return;
+      auto& rec = *it->second;
+      if (rec.done || rec.attempt != attempt) return;
+      stale = rec.timer;
+      rec.timer = 0;
+    }
+    if (stale != 0) wheel_.cancel(stale);
+    // If the attempt timer squeezed in between the unlock and the cancel,
+    // on_attempt_timeout has already advanced rec.attempt and this call is
+    // discarded by the staleness check — the expedite is at-most-once.
+    on_attempt_timeout(logical_id, attempt);
   }
 
   void on_message(const Address& src, Bytes frame) {

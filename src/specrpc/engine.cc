@@ -125,6 +125,10 @@ void SpecEngine::begin_shutdown() {
     rec->node->terminal_listeners.clear();
     rec->node->rollback = nullptr;
     for (auto& branch : rec->branches) {
+      // The listeners that would have refilled the budget are being torn
+      // down with the branch: return the token here so acquired == released
+      // even across shutdown.
+      release_spec_token_tree_locked(*branch, rec->id);
       branch->node->terminal_listeners.clear();
       branch->node->rollback = nullptr;
     }
@@ -161,6 +165,12 @@ SpecStats SpecEngine::stats() const {
   // e.g. predictions_correct + predictions_incorrect <= predictions_made
   // true in every snapshot, concurrent load included.
   SpecStats out;
+  // budget_released is derived from budget_acquired (every release
+  // happens-after its acquire in the same tree-lock chain): read it first
+  // so released <= acquired in every snapshot.
+  out.budget_released = sum(kBudgetReleased);
+  out.budget_acquired = sum(kBudgetAcquired);
+  out.budget_denied = sum(kBudgetDenied);
   out.predictions_correct = sum(kPredictionsCorrect);
   out.predictions_incorrect = sum(kPredictionsIncorrect);
   out.rollbacks_run = sum(kRollbacksRun);
@@ -205,6 +215,60 @@ void SpecEngine::register_method(const std::string& name,
 
 void SpecEngine::register_method(const std::string& name, Handler handler) {
   register_method(name, HandlerFactory([handler] { return handler; }));
+}
+
+// ------------------------------------------------- QoS + speculation budget
+
+void SpecEngine::set_method_qos(const std::string& method, QosClass qos) {
+  std::unique_lock<std::shared_mutex> lock(qos_mu_);
+  qos_[method] = qos;
+  qos_any_.store(true, std::memory_order_release);
+}
+
+QosClass SpecEngine::method_qos(const std::string& method) const {
+  if (!qos_any_.load(std::memory_order_acquire)) return QosClass{};
+  std::shared_lock<std::shared_mutex> lock(qos_mu_);
+  auto it = qos_.find(method);
+  return it != qos_.end() ? it->second : QosClass{};
+}
+
+namespace {
+std::int64_t tier_cap(const SpecBudget& budget, QosPriority priority) {
+  const double frac = budget.tier_frac[static_cast<std::size_t>(priority)];
+  return static_cast<std::int64_t>(
+      static_cast<double>(budget.max_inflight) * frac);
+}
+}  // namespace
+
+bool SpecEngine::spec_budget_headroom(const std::string& method) const {
+  if (config_.budget.max_inflight == 0) return true;
+  const QosPriority pri = method_qos(method).priority;
+  return spec_inflight_.load(std::memory_order_acquire) <
+         tier_cap(config_.budget, pri);
+}
+
+bool SpecEngine::try_acquire_spec_token(QosPriority priority,
+                                        std::uint64_t key) {
+  // The gauge is maintained even when the budget is unbounded, so tests and
+  // the admission controller can watch spec_inflight() drain to zero.
+  const std::int64_t occ =
+      spec_inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (config_.budget.max_inflight != 0 &&
+      occ > tier_cap(config_.budget, priority)) {
+    spec_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    bump(kBudgetDenied, key);
+    return false;
+  }
+  bump(kBudgetAcquired, key);
+  return true;
+}
+
+void SpecEngine::release_spec_token_tree_locked(Branch& branch,
+                                                std::uint64_t key) {
+  if (!branch.token_held) return;
+  branch.token_held = false;  // exactly-once: guarded by the tree mutex
+  bump(kBudgetReleased, key);
+  spec_inflight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void SpecEngine::register_tree_locked(
@@ -406,9 +470,15 @@ SpecFuturePtr SpecEngine::call(const Address& dst, const std::string& method,
   // Prediction hook (DESIGN.md §8): a call that could speculate but carries
   // no explicit predictions asks the configured supplier. Consulted outside
   // all engine locks — suppliers run user code (predictor lookups, the
-  // adaptive gate).
+  // adaptive gate). With no budget headroom for this method's tier the
+  // supplier is skipped entirely (DESIGN.md §11 degradation ladder: no
+  // predictions consulted, no speculative callbacks spawned).
   if (predictions.empty() && factory && config_.prediction_supplier) {
-    predictions = config_.prediction_supplier(method, args);
+    if (spec_budget_headroom(method)) {
+      predictions = config_.prediction_supplier(method, args);
+    } else {
+      bump(kBudgetDenied, caller->debug_id);
+    }
   }
   check_live(caller);  // §3.3: abandoned computations may not issue RPCs
   return start_call(caller, {dst}, 1, method, std::move(args),
@@ -432,7 +502,11 @@ SpecFuturePtr SpecEngine::call_quorum(const std::vector<Address>& dsts,
   assert(quorum >= 1 && quorum <= static_cast<int>(dsts.size()));
   const SpecNode::Ptr caller = context_node();
   if (predictions.empty() && factory && config_.prediction_supplier) {
-    predictions = config_.prediction_supplier(method, args);
+    if (spec_budget_headroom(method)) {
+      predictions = config_.prediction_supplier(method, args);
+    } else {
+      bump(kBudgetDenied, caller->debug_id);
+    }
   }
   check_live(caller);
   bump(kQuorumCallsIssued, caller->debug_id);
@@ -454,9 +528,15 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
   rec->combiner = std::move(combiner);
   rec->factory = std::move(factory);
   rec->future = SpecFuture::create();
-  rec->deadline = config_.call_timeout > Duration::zero()
-                      ? Clock::now() + config_.call_timeout
-                      : TimePoint::max();
+  // QoS (DESIGN.md §11): the priority tier gates this call's speculative
+  // branches against the budget; a non-zero deadline class overrides the
+  // engine-wide call_timeout.
+  const QosClass qos = method_qos(method);
+  rec->priority = qos.priority;
+  const Duration timeout =
+      qos.deadline > Duration::zero() ? qos.deadline : config_.call_timeout;
+  rec->deadline = timeout > Duration::zero() ? Clock::now() + timeout
+                                             : TimePoint::max();
   rec->dst_responded.assign(rec->dsts.size(), false);
   bump(kCallsIssued, rec->id);
 
@@ -563,13 +643,16 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
 
   // Requests go out with no locks held: an inline-delivery transport may
   // hand us the response on this very stack.
+  bool send_failed = false;
   for (const auto& [wire_id, dst_idx] : rec->wire_ids) {
     RequestMsg msg;
     msg.call_id = wire_id;
     msg.caller_speculative = caller_speculative;
     msg.method = method;
     msg.args = args;  // copied per destination (quorum fan-out)
-    transport_.send(rec->dsts[dst_idx], encode(msg, *config_.codec));
+    if (!transport_.send(rec->dsts[dst_idx], encode(msg, *config_.codec))) {
+      send_failed = true;
+    }
   }
   for (auto& a : actions) a();
 
@@ -578,6 +661,14 @@ SpecFuturePtr SpecEngine::start_call(SpecNode::Ptr caller,
     if (!rec->actual_done && !stopping_.load()) {
       schedule_call_timer_tree_locked(rec);
     }
+  }
+  if (send_failed) {
+    // The frame(s) never left this process (connect refused / watermark
+    // shed): expedite the attempt instead of waiting out the attempt
+    // timeout. on_attempt_timeout runs the normal retry/fail decision; the
+    // dst_responded dedup absorbs any replica that did get the request.
+    if (const TimerId t = rec->timeout_timer.exchange(0)) wheel_.cancel(t);
+    on_attempt_timeout(rec->id, 1);
   }
   return rec->future;
 }
@@ -608,6 +699,15 @@ void SpecEngine::schedule_call_timer_tree_locked(
 
 void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
                               Value value, ValueStatus vs, Actions& actions) {
+  // Budget gate (DESIGN.md §11): only *speculative* branches (value still
+  // unknown) consume a token. Re-executions on the actual value (vs ==
+  // kCorrect) always run — forward progress never depends on budget. A
+  // denied spawn simply skips the branch: the call keeps TradRPC semantics
+  // and process_actual re-executes when the actual arrives.
+  if (vs == ValueStatus::kUnknown &&
+      !try_acquire_spec_token(rec->priority, rec->id)) {
+    return;
+  }
   auto branch = std::make_shared<Branch>();
   branch->node = make_node(SpecNode::Kind::kCallback, rec->node,
                            rec->node->tree);
@@ -615,6 +715,7 @@ void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
   branch->node->state.store(compute_state(*branch->node));
   branch->predicted_value = value;
   branch->from_prediction = (vs == ValueStatus::kUnknown);
+  branch->token_held = branch->from_prediction;
   rec->branches.push_back(branch);
   // Counter order matters for snapshot consistency: the base counter
   // (callbacks_spawned) is bumped before the derived one (predictions_made).
@@ -622,6 +723,7 @@ void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
   if (vs == ValueStatus::kUnknown) bump(kPredictionsMade, rec->id);
 
   if (branch->node->state.load() == SpecState::kIncorrect) {
+    release_spec_token_tree_locked(*branch, rec->id);
     return;  // dead on arrival
   }
 
@@ -631,6 +733,10 @@ void SpecEngine::spawn_branch(const std::shared_ptr<OutgoingCall>& rec,
           Actions inner;
           {
             std::lock_guard<std::mutex> lock(rec->node->tree->mu);
+            // Either terminal outcome retires the branch's speculation:
+            // refill the budget if validation didn't already (kIncorrect
+            // via an abandoned caller chain arrives here first).
+            release_spec_token_tree_locked(*branch, rec->id);
             if (s == SpecState::kCorrect) {
               maybe_deliver_branch(rec, branch, inner);
             }
@@ -744,7 +850,11 @@ void SpecEngine::process_actual(const std::shared_ptr<OutgoingCall>& rec,
     actions.push_back([this, id = rec->id] { gc_outgoing(id); });
     return;
   }
-  // Validate every outstanding prediction (§3.3).
+  // Validate every outstanding prediction (§3.3). Validation retires the
+  // branch's speculation either way — a validated-correct branch is no
+  // longer speculative risk, an incorrect one is being abandoned — so each
+  // releases its budget token here (exactly once; the terminal listener's
+  // release becomes a no-op).
   for (auto& branch : rec->branches) {
     if (branch->node->value_status.load() != ValueStatus::kUnknown) continue;
     const bool match =
@@ -755,6 +865,7 @@ void SpecEngine::process_actual(const std::shared_ptr<OutgoingCall>& rec,
     } else {
       bump(kPredictionsIncorrect, rec->id);
     }
+    release_spec_token_tree_locked(*branch, rec->id);
     set_value_status(branch->node,
                      match ? ValueStatus::kCorrect : ValueStatus::kIncorrect,
                      actions);
@@ -903,7 +1014,16 @@ void SpecEngine::resend_attempt(CallId logical_id, int attempt) {
       wire_shard.wire_to_logical.emplace(wire_id, logical_id);
     }
   }
-  for (auto& [dst, bytes] : msgs) transport_.send(dst, std::move(bytes));
+  bool send_failed = false;
+  for (auto& [dst, bytes] : msgs) {
+    if (!transport_.send(dst, std::move(bytes))) send_failed = true;
+  }
+  if (send_failed) {
+    // Locally refused: fail the attempt fast so backoff (or the final
+    // failure) engages now rather than after the attempt timeout.
+    if (const TimerId t = rec->timeout_timer.exchange(0)) wheel_.cancel(t);
+    on_attempt_timeout(logical_id, attempt);
+  }
 }
 
 // --------------------------------------------------------------- server

@@ -37,9 +37,29 @@
 #include "common/timer_wheel.h"
 #include "specrpc/api.h"
 #include "specrpc/node.h"
+#include "specrpc/qos.h"
 #include "specrpc/wire.h"
 
 namespace srpc::spec {
+
+/// Global speculation budget (DESIGN.md §11): a token bucket over in-flight
+/// *speculative* branches (value_status still kUnknown), refilled by
+/// completions — validation, branch abandonment, or shutdown each release
+/// the branch's token. When the bucket is exhausted a call degrades to
+/// TradRPC semantics (no predictions consulted, no speculative callback
+/// spawned); it never queues. Re-executions on the actual value are exempt:
+/// they are forward progress, not speculation risk.
+struct SpecBudget {
+  /// Max in-flight speculative branches. 0 = unbounded (the historical
+  /// behaviour; the gauge is still maintained for stats).
+  std::size_t max_inflight = 0;
+  /// Per-priority fraction of max_inflight a tier may occupy, indexed by
+  /// QosPriority. Lower tiers get smaller caps, so under pressure
+  /// best-effort speculation exhausts its slice (and degrades to TradRPC)
+  /// while critical traffic still finds tokens. Monotone non-increasing by
+  /// construction of the defaults; not enforced.
+  std::array<double, kNumQosPriorities> tier_frac = {1.0, 0.85, 0.6};
+};
 
 struct SpecConfig {
   const Codec* codec = &binary_codec();
@@ -71,6 +91,9 @@ struct SpecConfig {
   /// dropped by fault injection with retries exhausted — the stash is
   /// evicted after this long instead of leaking forever. 0 disables.
   Duration early_state_ttl = std::chrono::seconds(30);
+  /// Overload protection: bounds in-flight speculative branches
+  /// (DESIGN.md §11). Default-unbounded so existing users are unaffected.
+  SpecBudget budget;
 };
 
 /// Counters exposed for tests, benches and EXPERIMENTS.md. Maintained as
@@ -94,6 +117,12 @@ struct SpecStats {
   std::uint64_t spec_blocks = 0;
   std::uint64_t retries = 0;  // attempts re-issued after a timeout
   std::uint64_t early_state_evictions = 0;  // TTL'd early state stashes
+  // Speculation-budget accounting (DESIGN.md §11). Exactly one release per
+  // acquired token, so budget_released <= budget_acquired in every snapshot
+  // and the two are equal once the workload drains.
+  std::uint64_t budget_acquired = 0;  // tokens taken by speculative branches
+  std::uint64_t budget_released = 0;  // tokens returned on completion
+  std::uint64_t budget_denied = 0;    // speculation skipped: no headroom
 };
 
 class SpecEngine {
@@ -174,6 +203,27 @@ class SpecEngine {
   TimerWheel& wheel() { return wheel_; }
   SpecStats stats() const;
 
+  /// Assigns a QoS class to an outbound method (DESIGN.md §11): its
+  /// priority tier for speculation-budget admission and an optional
+  /// per-method deadline overriding call_timeout. Unclassified methods run
+  /// at kNormal with the engine-wide timeout. Thread-safe; usually called
+  /// once at setup (registry::apply_qos).
+  void set_method_qos(const std::string& method, QosClass qos);
+  QosClass method_qos(const std::string& method) const;
+
+  /// Current in-flight speculative branches (budget gauge). Maintained even
+  /// when the budget is unbounded; drains to 0 after a quiesced workload.
+  std::int64_t spec_inflight() const {
+    return spec_inflight_.load(std::memory_order_acquire);
+  }
+
+  /// True if a speculative branch for `method` would currently find budget
+  /// headroom. Advisory (the authoritative check is at spawn time): call()
+  /// uses it to skip the prediction supplier entirely when the bucket is
+  /// dry, which is what "no predictions consulted" means in the
+  /// degradation ladder.
+  bool spec_budget_headroom(const std::string& method) const;
+
   /// Number of lock shards this engine was built with (after auto-sizing).
   std::size_t shard_count() const { return shards_.size(); }
 
@@ -206,6 +256,11 @@ class SpecEngine {
     SpecNode::Ptr node;
     Value predicted_value;     // the value run() received
     bool from_prediction;      // value_status started kUnknown
+    /// Holds a speculation-budget token. Set at spawn for speculative
+    /// branches, cleared (exactly once, under the tree mutex) by whichever
+    /// of validation / terminal transition / shutdown reaps the branch
+    /// first.
+    bool token_held = false;
     bool run_done = false;
     bool failed = false;
     std::string error;
@@ -234,6 +289,7 @@ class SpecEngine {
     bool actual_done = false;
     Outcome actual;
     bool branch_matched = false;
+    QosPriority priority = QosPriority::kNormal;  // from method_qos at issue
     int attempt = 1;
     TimePoint deadline{};  // TimePoint::max() when call_timeout is 0
     // Quorum mode:
@@ -285,6 +341,9 @@ class SpecEngine {
     kSpecBlocks,
     kRetries,
     kEarlyStateEvictions,
+    kBudgetAcquired,
+    kBudgetReleased,
+    kBudgetDenied,
     kNumStats,
   };
   struct alignas(64) StatsCell {
@@ -368,6 +427,16 @@ class SpecEngine {
                       Actions& actions);
   void schedule_call_timer_tree_locked(
       const std::shared_ptr<OutgoingCall>& rec);
+  /// Budget accounting (DESIGN.md §11). Acquire is called from spawn_branch
+  /// under the call's tree mutex; it bumps spec_inflight_ and checks the
+  /// caller-priority tier cap. Release is idempotent per branch (the
+  /// token_held flag, guarded by the same tree mutex, makes it
+  /// exactly-once) and is invoked from validation, the branch's terminal
+  /// listener, the dead-on-arrival path, and shutdown orphan cleanup —
+  /// whichever runs first wins.
+  bool try_acquire_spec_token(QosPriority priority, std::uint64_t key);
+  void release_spec_token_tree_locked(Branch& branch, std::uint64_t key);
+
   void gc_outgoing(CallId id);
   void maybe_gc_incoming_locked(Shard& shard, CallId id);
   void flush_incoming(CallId id);
@@ -404,6 +473,14 @@ class SpecEngine {
   SpecNode::Ptr root_;
   std::shared_mutex methods_mu_;  // read-mostly: registration precedes serving
   std::unordered_map<std::string, HandlerFactory> methods_;
+  /// Speculation-budget gauge: live branches whose value_status is still
+  /// kUnknown. Tier caps are compared against it in try_acquire_spec_token.
+  std::atomic<std::int64_t> spec_inflight_{0};
+  /// Per-method QoS classes. qos_any_ short-circuits the common
+  /// nothing-configured case so the call hot path skips the lock entirely.
+  mutable std::shared_mutex qos_mu_;
+  std::unordered_map<std::string, QosClass> qos_;
+  std::atomic<bool> qos_any_{false};
   std::atomic<CallId> next_call_id_{1};
   std::atomic<std::uint64_t> next_debug_id_{1};
   std::shared_ptr<TransitionObserver> observer_;  // std::atomic_load/store

@@ -1,0 +1,46 @@
+// Per-method QoS classes for overload protection (DESIGN.md §11).
+//
+// A QosClass is the admission-control identity of a method: its priority
+// tier decides how early its *speculation* is shed when the engine's
+// speculation budget tightens or the admission controller escalates, and an
+// optional deadline class overrides the engine-wide call_timeout for that
+// method. QoS never affects correctness — a call whose speculation is shed
+// degrades to TradRPC semantics (request, actual response, re-execute),
+// it is not rejected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace srpc::spec {
+
+/// Priority tiers, most-protected first. The numeric value is the shed
+/// order: higher values lose speculation eligibility earlier (kBestEffort
+/// is shed first, kCritical last).
+enum class QosPriority : std::uint8_t {
+  kCritical = 0,    // user-facing / paying traffic
+  kNormal = 1,      // the default for unclassified methods
+  kBestEffort = 2,  // background, prefetch, analytics
+};
+
+inline constexpr std::size_t kNumQosPriorities = 3;
+
+inline constexpr const char* to_string(QosPriority p) {
+  switch (p) {
+    case QosPriority::kCritical: return "critical";
+    case QosPriority::kNormal: return "normal";
+    case QosPriority::kBestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+struct QosClass {
+  QosPriority priority = QosPriority::kNormal;
+  /// Per-method deadline class; overrides SpecConfig::call_timeout when
+  /// non-zero. Zero keeps the engine-wide default.
+  Duration deadline = Duration::zero();
+};
+
+}  // namespace srpc::spec

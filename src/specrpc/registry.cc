@@ -7,8 +7,13 @@
 namespace srpc::spec {
 
 void Registry::publish(const RpcSignature& sig, const Address& address) {
+  publish(sig, address, QosClass{});
+}
+
+void Registry::publish(const RpcSignature& sig, const Address& address,
+                       QosClass qos) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[sig.qualified()] = Entry{address, sig.arity};
+  entries_[sig.qualified()] = Entry{address, sig.arity, qos};
 }
 
 std::optional<Registry::Entry> Registry::lookup(
@@ -37,10 +42,16 @@ SpecStub Registry::bind(SpecEngine& engine, const std::string& host_class,
 void Registry::save(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write registry file " + path);
-  out << "# SpecRPC signature registry: <name> <address> <arity>\n";
+  out << "# SpecRPC signature registry: "
+         "<name> <address> <arity> [priority] [deadline-ms]\n";
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : entries_) {
-    out << name << " " << entry.address << " " << entry.arity << "\n";
+    out << name << " " << entry.address << " " << entry.arity << " "
+        << static_cast<int>(entry.qos.priority) << " "
+        << std::chrono::duration_cast<std::chrono::milliseconds>(
+               entry.qos.deadline)
+               .count()
+        << "\n";
   }
 }
 
@@ -55,8 +66,28 @@ void Registry::load(const std::string& path) {
     std::string name;
     Entry entry;
     if (fields >> name >> entry.address >> entry.arity) {
+      // Optional QoS columns (pre-QoS files simply stop after arity).
+      int priority = static_cast<int>(QosPriority::kNormal);
+      long long deadline_ms = 0;
+      if (fields >> priority) {
+        if (priority < 0 ||
+            priority >= static_cast<int>(kNumQosPriorities)) {
+          priority = static_cast<int>(QosPriority::kNormal);
+        }
+        entry.qos.priority = static_cast<QosPriority>(priority);
+        if (fields >> deadline_ms && deadline_ms > 0) {
+          entry.qos.deadline = std::chrono::milliseconds(deadline_ms);
+        }
+      }
       entries_[name] = entry;
     }
+  }
+}
+
+void Registry::apply_qos(SpecEngine& engine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    engine.set_method_qos(name, entry.qos);
   }
 }
 

@@ -11,6 +11,16 @@
 //
 // so a file really can be shipped between processes; tests and the TCP
 // example exercise that path.
+//
+// QoS (DESIGN.md §11): an entry optionally carries a priority tier and a
+// deadline class as two extra columns
+//
+//     <qualified-name> <address> <arity> [priority] [deadline-ms]
+//
+// (omitted columns default to kNormal / no deadline, so pre-QoS registry
+// files still load). apply_qos() pushes the classes into an engine so
+// speculation-budget admission and per-method deadlines follow whatever
+// the registry file says.
 #pragma once
 
 #include <map>
@@ -27,10 +37,14 @@ class Registry {
   struct Entry {
     Address address;
     int arity = -1;
+    QosClass qos;
   };
 
   /// Publishes a signature hosted at `address`; overwrites existing.
   void publish(const RpcSignature& sig, const Address& address);
+
+  /// Publishes with a QoS class (priority tier + deadline class).
+  void publish(const RpcSignature& sig, const Address& address, QosClass qos);
 
   std::optional<Entry> lookup(const std::string& qualified_name) const;
 
@@ -42,6 +56,11 @@ class Registry {
   /// File round trip (whitespace-separated lines; '#' comments).
   void save(const std::string& path) const;
   void load(const std::string& path);  // merges; throws on unreadable file
+
+  /// Installs every entry's QoS class into `engine` (set_method_qos keyed
+  /// by the qualified name). Call after load()/publish() and before
+  /// traffic; later re-publishes need a fresh apply.
+  void apply_qos(SpecEngine& engine) const;
 
   std::size_t size() const;
 

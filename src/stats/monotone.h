@@ -1,0 +1,32 @@
+// MonotoneDelta — delta-since-last-poll view of a cumulative counter
+// (DESIGN.md §11).
+//
+// Pollers of relaxed monotone counters (TrafficStats::send_shed, executor
+// queue totals) must never interpret a counter that moved *backwards* — a
+// stats reset, a transport restart, a counter re-zeroed by a reconnect — as
+// negative pressure. Same pattern as SimNetwork::fault_stats consumers:
+// when the current reading is below the remembered baseline, re-baseline
+// and report zero for that interval.
+#pragma once
+
+#include <cstdint>
+
+namespace srpc::stats {
+
+class MonotoneDelta {
+ public:
+  /// Returns current - last reading, clamped to >= 0. A reading below the
+  /// previous one (counter reset upstream) re-baselines and returns 0.
+  std::uint64_t advance(std::uint64_t current) {
+    const std::uint64_t delta = current >= last_ ? current - last_ : 0;
+    last_ = current;
+    return delta;
+  }
+
+  std::uint64_t last() const { return last_; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+}  // namespace srpc::stats

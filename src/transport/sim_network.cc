@@ -32,8 +32,12 @@ class SimNetwork::Node final : public Transport {
 
   const Address& address() const override { return addr_; }
 
-  void send(const Address& dst, Bytes payload) override {
+  bool send(const Address& dst, Bytes payload) override {
+    // Injected faults (drops, dups, reorders) model *in-network* loss: the
+    // frame left this endpoint, so the retry layer's timeout — not a local
+    // refusal — is the correct detector. Always accepted.
     net_.do_send(*this, dst, std::move(payload));
+    return true;
   }
 
   void set_receiver(Receiver receiver) override {

@@ -243,12 +243,12 @@ TcpTransport::ConnPtr TcpTransport::lookup_or_connect(const Address& dst) {
   return conn;
 }
 
-void TcpTransport::send(const Address& dst, Bytes payload) {
+bool TcpTransport::send(const Address& dst, Bytes payload) {
   if (payload.size() > config_.max_frame_bytes) {
     send_drops_.fetch_add(1, std::memory_order_relaxed);
     SRPC_LOG(WARN) << addr_ << ": send to " << dst << " exceeds max frame ("
                    << payload.size() << " bytes)";
-    return;
+    return false;
   }
   // Per-thread routing cache: the common case (steady traffic to a handful
   // of peers) skips the global mu_ + hash lookup entirely. Entries are
@@ -283,7 +283,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
       if (conn == nullptr) {
         send_drops_.fetch_add(1, std::memory_order_relaxed);
         SRPC_LOG(WARN) << addr_ << ": connect to " << dst << " failed";
-        return;
+        return false;
       }
       if (slot == nullptr) slot = &s_cache[s_cache_next++ % kCacheSlots];
       slot->transport = this;
@@ -305,7 +305,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
         conn->pending_bytes + conn->draining_bytes + wire_size > hi) {
       if (config_.overflow == TcpConfig::OverflowPolicy::kShed) {
         send_shed_.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return false;
       }
       Executor::before_block();
       const std::size_t lo = config_.outbuf_lo_watermark;
@@ -319,7 +319,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
           conn->pending_bytes + conn->draining_bytes > lo) {
         // Released by shutdown, not by drainage: shed instead of wedging.
         send_shed_.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return false;
       }
     }
     if (conn->closed) {
@@ -327,7 +327,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
       send_drops_.fetch_add(1, std::memory_order_relaxed);
       SRPC_LOG(WARN) << addr_ << ": send to " << dst
                      << " dropped (connection closed)";
-      return;
+      return false;
     }
     OutFrame frame;
     put_frame_header(frame.header,
@@ -345,6 +345,7 @@ void TcpTransport::send(const Address& dst, Bytes payload) {
   msgs_sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(payload_size, std::memory_order_relaxed);
   if (need_schedule) schedule_conn(conn);
+  return true;
 }
 
 void TcpTransport::schedule_conn(const ConnPtr& conn) {

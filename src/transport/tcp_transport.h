@@ -108,7 +108,7 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override;
 
   const Address& address() const override { return addr_; }
-  void send(const Address& dst, Bytes payload) override;
+  bool send(const Address& dst, Bytes payload) override;
   void set_receiver(Receiver receiver) override;
   void quiesce() override;
 

@@ -29,7 +29,17 @@ class Transport {
 
   /// Fire-and-forget datagram-with-TCP-semantics: reliable, FIFO per
   /// (src,dst) pair. `payload` is moved out.
-  virtual void send(const Address& dst, Bytes payload) = 0;
+  ///
+  /// Returns false when the transport refused the frame *locally* — connect
+  /// failure, connection already closed, outbound watermark shed, oversized
+  /// payload — i.e. the bytes never left this process and waiting out an
+  /// attempt timeout for them is pure latency. Callers that own retries
+  /// (rpc::Node, SpecEngine) fail the attempt fast on false. Modeled
+  /// in-network loss (SimNetwork faults) still returns true: those frames
+  /// did leave, and the timeout path is the correct detector. Not
+  /// [[nodiscard]] on purpose: fire-and-forget senders (state propagation,
+  /// responses) legitimately ignore the result.
+  virtual bool send(const Address& dst, Bytes payload) = 0;
 
   /// Must be set before the first message can be delivered.
   virtual void set_receiver(Receiver receiver) = 0;

@@ -72,6 +72,9 @@ void assert_snapshot_invariants(const SpecStats& s) {
   EXPECT_LE(s.predictions_made, s.callbacks_spawned);
   EXPECT_LE(s.reexecutions, s.callbacks_spawned);
   EXPECT_LE(s.rollbacks_run, s.branches_abandoned);
+  // Budget accounting (DESIGN.md §11): tokens release at most once per
+  // acquire, in any concurrent snapshot.
+  EXPECT_LE(s.budget_released, s.budget_acquired);
 }
 
 /// 8 client threads issue predicted calls (half correct, half wrong) while a
@@ -122,6 +125,11 @@ void run_storm(Harness& h, int threads, int calls_per_thread) {
   EXPECT_EQ(s.predictions_incorrect, wrong);
   EXPECT_EQ(s.reexecutions, wrong);
   EXPECT_EQ(s.callbacks_spawned, total + wrong);
+  // Every prediction took one budget token; with every call resolved, every
+  // token came back — exactly once — and the in-flight gauge is empty.
+  EXPECT_EQ(s.budget_acquired, total);
+  EXPECT_EQ(s.budget_released, s.budget_acquired);
+  EXPECT_EQ(h.client->spec_inflight(), 0);
   assert_snapshot_invariants(s);
 }
 
@@ -164,6 +172,65 @@ TEST(EngineShard, BookkeepingDrainsAcrossShards) {
     return c.outgoing == 0 && c.wire_routes == 0 && c.incoming == 0 &&
            s.incoming == 0 && s.early_state == 0;
   })) << "call-tracking tables did not drain after quiesce";
+}
+
+// Budget-vs-quorum accounting: the first quorum response doubles as a
+// prediction (§4.1) and takes one budget token. With every request and
+// reply duplicated, each destination can respond "twice"; the dedup in the
+// quorum path must keep the accounting at exactly one acquire and one
+// release per logical call — a release per dst_responded would overshoot
+// and corrupt the in-flight gauge.
+TEST(EngineShard, QuorumDuplicateRepliesReleaseExactlyOneToken) {
+  constexpr int kCalls = 25;
+  SimConfig config;
+  config.executor_threads = 16;
+  config.default_delay = std::chrono::milliseconds(1);
+  config.default_faults.dup_prob = 1.0;
+  SimNetwork net(config);
+  SpecConfig client_config;
+  client_config.budget.max_inflight = 4;  // bounded: leaks would pin it
+  auto client = std::make_unique<SpecEngine>(net.add_node("client"),
+                                             net.executor(), net.wheel(),
+                                             client_config);
+  auto s1 = std::make_unique<SpecEngine>(net.add_node("s1"), net.executor(),
+                                         net.wheel(), SpecConfig{});
+  auto s2 = std::make_unique<SpecEngine>(net.add_node("s2"), net.executor(),
+                                         net.wheel(), SpecConfig{});
+  // Different replica values: whichever response lands first becomes the
+  // prediction, and is wrong whenever the combiner prefers the other.
+  s1->register_method("read", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args()[0].as_int() + 1));
+  }));
+  s2->register_method("read", Handler([](const ServerCallPtr& c) {
+    c->finish(Value(c->args()[0].as_int() + 2));
+  }));
+  auto combiner = [](const std::vector<Value>& responses) {
+    const Value* best = &responses.front();
+    for (const auto& r : responses) {
+      if (r.as_int() > best->as_int()) best = &r;
+    }
+    return *best;
+  };
+  auto factory = []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+  for (int i = 0; i < kCalls; ++i) {
+    auto f = client->call_quorum({"s1", "s2"}, 2, "read", make_args(i),
+                                 combiner, factory);
+    EXPECT_EQ(f->get(), Value(i + 2));
+  }
+  const SpecStats s = client->stats();
+  EXPECT_EQ(s.quorum_calls_issued, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(s.predictions_made, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(s.budget_acquired, s.predictions_made);
+  EXPECT_EQ(s.budget_released, s.budget_acquired);
+  EXPECT_EQ(client->spec_inflight(), 0);
+  assert_snapshot_invariants(s);
+
+  client->begin_shutdown();
+  s1->begin_shutdown();
+  s2->begin_shutdown();
+  net.executor().shutdown();
 }
 
 TEST(EngineShard, EarlyStateStashEvictedAfterTtl) {

@@ -1,0 +1,353 @@
+// Overload protection (DESIGN.md §11): speculation-budget exhaustion
+// degrading to TradRPC, per-method QoS tier ordering, the admission
+// ladder's hysteresis, accuracy-driven demotion, monotone shed deltas, and
+// a multi-threaded admission storm (run under TSan to be meaningful).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "predict/accuracy.h"
+#include "predict/admission.h"
+#include "specrpc/engine.h"
+#include "stats/monotone.h"
+#include "transport/sim_network.h"
+
+namespace srpc::spec {
+namespace {
+
+using namespace std::chrono_literals;
+using predict::AdmissionConfig;
+using predict::AdmissionController;
+using predict::AdmissionLevel;
+using predict::PressureSample;
+
+CallbackFactory passthrough_factory() {
+  return []() -> CallbackFn {
+    return [](SpecContext&, const Value& v) -> CallbackResult { return v; };
+  };
+}
+
+/// Client/server pair over a SimNetwork; the client takes the test's
+/// SpecConfig (budget, supplier) verbatim.
+struct Harness {
+  explicit Harness(SpecConfig client_config) {
+    SimConfig config;
+    config.executor_threads = 8;
+    config.default_delay = std::chrono::milliseconds(1);
+    net = std::make_unique<SimNetwork>(config);
+    client = std::make_unique<SpecEngine>(net->add_node("client"),
+                                          net->executor(), net->wheel(),
+                                          client_config);
+    server = std::make_unique<SpecEngine>(net->add_node("server"),
+                                          net->executor(), net->wheel(),
+                                          SpecConfig{});
+  }
+
+  ~Harness() {
+    client->begin_shutdown();
+    server->begin_shutdown();
+    net->executor().shutdown();
+  }
+
+  std::unique_ptr<SimNetwork> net;
+  std::unique_ptr<SpecEngine> client;
+  std::unique_ptr<SpecEngine> server;
+};
+
+// ------------------------------------------------------ speculation budget
+
+// With the budget exhausted, calls must still complete with correct results
+// (TradRPC semantics: supplier skipped, no speculative branch), not queue
+// or fail — and the wasted-work counter (callbacks_spawned) stays bounded
+// by calls + admitted predictions instead of 2x calls.
+TEST(SpecBudget, ExhaustionDegradesToTradRpc) {
+  constexpr int kCalls = 48;
+  constexpr std::size_t kBudget = 4;
+
+  std::atomic<std::uint64_t> supplier_calls{0};
+  SpecConfig config;
+  config.budget.max_inflight = kBudget;
+  config.prediction_supplier = [&](const std::string&,
+                                   const ValueList&) -> ValueList {
+    supplier_calls.fetch_add(1);
+    return {Value(std::int64_t{-1})};  // always wrong
+  };
+  Harness h(std::move(config));
+  // kCritical: tier_frac 1.0, so the cap is exactly kBudget.
+  h.client->set_method_qos("slow", {QosPriority::kCritical, Duration::zero()});
+  h.server->register_method("slow", Handler([](const ServerCallPtr& c) {
+    c->finish_after(500ms, Value(c->args()[0].as_int() + 1));
+  }));
+
+  std::vector<SpecFuturePtr> futures;
+  futures.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(h.client->call("server", "slow", make_args(i), {},
+                                     passthrough_factory()));
+  }
+  // The responses all land ~500ms out, so while issuing, at most kBudget
+  // tokens ever free up; almost every later call must be denied.
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_EQ(futures[i]->get(), Value(i + 1));
+  }
+
+  const SpecStats s = h.client->stats();
+  EXPECT_GT(s.budget_denied, 0u);
+  EXPECT_LE(s.predictions_made, 2 * kBudget);  // slack for token turnover
+  EXPECT_EQ(s.predictions_made, supplier_calls.load());
+  // Bounded wasted work: one on-actual run per call plus one speculative
+  // run per admitted prediction — not the 2x of unbounded always-speculate.
+  EXPECT_EQ(s.callbacks_spawned, kCalls + s.predictions_made);
+  // Exactly-once token accounting, after everything drained.
+  EXPECT_EQ(s.budget_acquired, s.predictions_made);
+  EXPECT_EQ(s.budget_released, s.budget_acquired);
+  EXPECT_EQ(h.client->spec_inflight(), 0);
+}
+
+// Tier caps: lower-priority methods run out of budget first. With 7 of 10
+// tokens held, a best-effort method (cap 6) is denied while a critical
+// method (cap 10) still speculates.
+TEST(SpecBudget, QosTiersShedLowPriorityFirst) {
+  SpecConfig config;
+  config.budget.max_inflight = 10;  // caps: crit 10, normal 8, best-effort 6
+  Harness h(std::move(config));
+  h.client->set_method_qos("hold", {QosPriority::kCritical, Duration::zero()});
+  h.client->set_method_qos("be_probe",
+                           {QosPriority::kBestEffort, Duration::zero()});
+  h.client->set_method_qos("crit_probe",
+                           {QosPriority::kCritical, Duration::zero()});
+  h.server->register_method("hold", Handler([](const ServerCallPtr& c) {
+    c->finish_after(std::chrono::seconds(30), Value(0));
+  }));
+  const Handler echo([](const ServerCallPtr& c) {
+    c->finish(Value(c->args()[0].as_int() + 1));
+  });
+  h.server->register_method("be_probe", echo);
+  h.server->register_method("crit_probe", echo);
+
+  // Park 7 tokens on long-lived speculative branches.
+  std::vector<SpecFuturePtr> parked;
+  for (int i = 0; i < 7; ++i) {
+    parked.push_back(h.client->call("server", "hold", make_args(i),
+                                    {Value(std::int64_t{-1})},
+                                    passthrough_factory()));
+  }
+  EXPECT_EQ(h.client->spec_inflight(), 7);
+  EXPECT_FALSE(h.client->spec_budget_headroom("be_probe"));
+  EXPECT_TRUE(h.client->spec_budget_headroom("crit_probe"));
+
+  const std::uint64_t made_before = h.client->stats().predictions_made;
+  auto be = h.client->call("server", "be_probe", make_args(100),
+                           {Value(std::int64_t{-1})}, passthrough_factory());
+  EXPECT_EQ(be->get(), Value(101));  // shed speculation, correct result
+  EXPECT_EQ(h.client->stats().predictions_made, made_before);
+  EXPECT_GT(h.client->stats().budget_denied, 0u);
+
+  auto crit = h.client->call("server", "crit_probe", make_args(200),
+                             {Value(std::int64_t{-1})}, passthrough_factory());
+  EXPECT_EQ(crit->get(), Value(201));
+  EXPECT_EQ(h.client->stats().predictions_made, made_before + 1);
+  EXPECT_EQ(h.client->spec_inflight(), 7);  // probes released their tokens
+}
+
+// --------------------------------------------------------- admission ladder
+
+struct FakeSource {
+  std::atomic<std::size_t> depth{0};
+  std::atomic<std::uint64_t> sheds{0};
+
+  predict::PressureSource source() {
+    return [this] {
+      PressureSample s;
+      s.queue_depth = depth.load();
+      s.sheds = sheds.load();
+      return s;
+    };
+  }
+};
+
+AdmissionConfig tick_driven_config() {
+  AdmissionConfig cfg;
+  cfg.queue_hi = 100;
+  cfg.queue_lo = 10;
+  cfg.calm_polls_to_step_down = 3;
+  // admit() never polls on its own; every poll in the test is an explicit
+  // tick(), so the ladder moves deterministically.
+  cfg.poll_interval = std::chrono::hours(1);
+  return cfg;
+}
+
+TEST(Admission, LadderEscalatesImmediatelyAndReopensWithHysteresis) {
+  FakeSource src;
+  AdmissionController ctl(tick_driven_config());
+  ctl.add_source(src.source());
+  ctl.set_method_priority("crit", QosPriority::kCritical);
+  ctl.set_method_priority("norm", QosPriority::kNormal);
+  ctl.set_method_priority("be", QosPriority::kBestEffort);
+  ctl.tick();  // baseline the poll clock so admit() stays passive
+
+  EXPECT_EQ(ctl.level(), AdmissionLevel::kOpen);
+  EXPECT_TRUE(ctl.admit("be"));
+  EXPECT_TRUE(ctl.admit("norm"));
+  EXPECT_TRUE(ctl.admit("crit"));
+
+  // One hot poll per step up: best-effort goes first, critical last.
+  src.depth.store(500);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedBestEffort);
+  EXPECT_FALSE(ctl.admit("be"));
+  EXPECT_TRUE(ctl.admit("norm"));
+  EXPECT_TRUE(ctl.admit("crit"));
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedNormal);
+  EXPECT_FALSE(ctl.admit("norm"));
+  EXPECT_TRUE(ctl.admit("crit"));
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  EXPECT_FALSE(ctl.admit("crit"));
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);  // capped
+
+  // The hysteresis band (lo < depth < hi) holds the level indefinitely.
+  src.depth.store(50);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+
+  // Calm polls step down only after a sustained run...
+  src.depth.store(5);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedNormal);
+  // ...and a mid-streak excursion both escalates and forfeits calm credit.
+  ctl.tick();
+  ctl.tick();  // two calm polls banked toward the next step-down
+  src.depth.store(500);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  src.depth.store(5);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedAll);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedNormal);
+
+  const auto s = ctl.stats();
+  EXPECT_EQ(s.escalations, 4u);
+  EXPECT_EQ(s.deescalations, 2u);
+}
+
+// Shed counters are cumulative; the controller must read them as monotone
+// deltas so a counter that goes backwards (transport restart, stats reset)
+// reads as zero pressure for one poll — never as perpetual heat or a
+// negative that wraps to astronomically hot.
+TEST(Admission, ShedCounterResetReadsAsZeroPressure) {
+  FakeSource src;
+  AdmissionController ctl(tick_driven_config());
+  ctl.add_source(src.source());
+  ctl.tick();
+  EXPECT_EQ(ctl.level(), AdmissionLevel::kOpen);
+
+  src.sheds.store(10);  // 10 new sheds since baseline: hot
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedBestEffort);
+  EXPECT_EQ(ctl.stats().shed_delta_last, 10u);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedBestEffort);  // no new sheds
+
+  // Transport restart: the counter re-reads as 2 (< 10). Pre-fix an
+  // unsigned subtraction here read as ~2^64 sheds and pinned the ladder at
+  // kShedAll; post-fix it re-baselines to zero and the calm run reopens.
+  src.sheds.store(2);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kShedBestEffort);
+  EXPECT_EQ(ctl.stats().shed_delta_last, 0u);
+  EXPECT_EQ(ctl.tick(), AdmissionLevel::kOpen);
+  EXPECT_EQ(ctl.stats().escalations, 1u);
+}
+
+TEST(Admission, LowAccuracyMethodsDemotedOnlyUnderPressure) {
+  predict::AccuracyTracker tracker;
+  for (int i = 0; i < 20; ++i) {
+    tracker.record("bad", true, false);
+    tracker.record("good", true, true);
+  }
+  FakeSource src;
+  AdmissionController ctl(tick_driven_config(), &tracker);
+  ctl.add_source(src.source());
+  ctl.set_method_priority("bad", QosPriority::kNormal);
+  ctl.set_method_priority("good", QosPriority::kNormal);
+  ctl.tick();
+
+  // No pressure: accuracy is the adaptive gate's business, not admission's.
+  EXPECT_TRUE(ctl.admit("bad"));
+  EXPECT_TRUE(ctl.admit("good"));
+
+  src.depth.store(500);
+  ASSERT_EQ(ctl.tick(), AdmissionLevel::kShedBestEffort);
+  // Under pressure the sub-break-even method drops a tier and sheds with
+  // the best-effort class; the accurate one keeps its nominal tier.
+  EXPECT_FALSE(ctl.admit("bad"));
+  EXPECT_TRUE(ctl.admit("good"));
+  EXPECT_GT(ctl.stats().demotions, 0u);
+}
+
+TEST(Stats, MonotoneDeltaRebaselinesOnBackwardsCounter) {
+  stats::MonotoneDelta d;
+  EXPECT_EQ(d.advance(100), 100u);
+  EXPECT_EQ(d.advance(130), 30u);
+  EXPECT_EQ(d.advance(5), 0u);  // reset upstream: zero, not 2^64 - 125
+  EXPECT_EQ(d.advance(7), 2u);  // and deltas resume from the new baseline
+}
+
+// 8 threads hammer admit() with polling enabled while pressure flaps and
+// the shed counter occasionally resets; a sampler thread reads stats().
+// Run under TSan: the admit fast path, the try_lock poll, and tick() must
+// be data-race free. Accounting must balance exactly at the end.
+TEST(Admission, AdmitStormIsRaceFreeAndBalanced) {
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 20'000;
+
+  FakeSource src;
+  AdmissionConfig cfg;
+  cfg.queue_hi = 100;
+  cfg.queue_lo = 10;
+  cfg.poll_interval = std::chrono::microseconds(50);
+  cfg.calm_polls_to_step_down = 2;
+  AdmissionController ctl(cfg);
+  ctl.add_source(src.source());
+  ctl.set_method_priority("m", QosPriority::kNormal);
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    std::uint64_t sheds = 0;
+    int round = 0;
+    while (!done.load()) {
+      src.depth.store((round % 2 == 0) ? 1000 : 0);
+      sheds = (round % 7 == 6) ? 0 : sheds + 3;  // periodic reset
+      src.sheds.store(sheds);
+      if (round % 3 == 0) ctl.tick();
+      ++round;
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  std::thread sampler([&] {
+    while (!done.load()) {
+      const auto s = ctl.stats();
+      EXPECT_GE(static_cast<int>(s.level), 0);
+      EXPECT_LE(static_cast<int>(s.level),
+                static_cast<int>(AdmissionLevel::kShedAll));
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) ctl.admit("m");
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true);
+  churn.join();
+  sampler.join();
+
+  const auto s = ctl.stats();
+  EXPECT_EQ(s.admitted + s.shed,
+            static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+  EXPECT_GT(s.polls, 0u);
+  EXPECT_GE(s.escalations, s.deescalations);  // quiesced: exact invariant
+}
+
+}  // namespace
+}  // namespace srpc::spec

@@ -221,6 +221,43 @@ TEST(RetryOverTcp, UnreachablePeerDropsAreCountedPerAttempt) {
   executor.shutdown();
 }
 
+// Regression: under OverflowPolicy::kShed a watermarked send() dropped the
+// frame silently while returning void, so the caller sat out the full
+// attempt timeout per attempt before retrying — a shed call took
+// attempts x attempt_timeout to fail. Post-fix send() reports the refusal
+// and the node fails the attempt immediately, so only the retry backoffs
+// separate the attempts.
+TEST(RetryOverTcp, ShedSendFailsAttemptImmediately) {
+  Executor executor(4, "shed-tcp");
+  TimerWheel wheel;
+  {
+    TcpTransport peer(executor);  // live listener: connect succeeds
+    TcpConfig cfg;
+    cfg.outbuf_hi_watermark = 1;  // every frame overflows the outbuf
+    cfg.overflow = TcpConfig::OverflowPolicy::kShed;
+    TcpTransport transport(executor, cfg);
+    NodeConfig config;
+    config.call_timeout = std::chrono::seconds(30);
+    config.retry.max_attempts = 3;
+    // Huge per-attempt timeout: if any attempt waits it out, the elapsed
+    // bound below trips. The call must fail via the send-refused fast path.
+    config.retry.attempt_timeout = std::chrono::seconds(5);
+    config.retry.initial_backoff = std::chrono::milliseconds(10);
+    Node client(transport, executor, wheel, config);
+    const auto t0 = Clock::now();
+    auto future = client.call(peer.address(), "anything", {});
+    const auto outcome = future->get_for(std::chrono::seconds(60));
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_FALSE(outcome->ok);
+    // Pre-fix floor was 3 x 5s; post-fix only the ~30ms of backoff remains.
+    EXPECT_LE(to_ms(Clock::now() - t0), 2500.0);
+    EXPECT_GE(transport.stats().send_shed,
+              static_cast<std::uint64_t>(config.retry.max_attempts));
+  }
+  wheel.shutdown();
+  executor.shutdown();
+}
+
 }  // namespace
 }  // namespace srpc::rpc
 
