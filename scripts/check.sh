@@ -24,7 +24,7 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_executor_stress test_transport test_chaos_soak test_predict \
-  test_engine_shard test_overload rc_cluster_node
+  test_engine_shard test_overload test_batch rc_cluster_node
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
 # The real-TCP reactor suite under TSan: reactor sharding, wake coalescing,
@@ -42,6 +42,11 @@ SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
 # fast path + try_lock poll + tick() under an 8-thread storm, and the
 # budget's exactly-once token accounting under the engine call paths.
 ./build-tsan/tests/test_overload
+# Batch transactions (DESIGN.md §12): the full suite under TSan — the
+# multi-shard batch storm drives 6 concurrent clients' speculative read
+# chains, seed-store puts from engine threads, batch-id lock ownership,
+# and the gauge's cross-thread accounting.
+./build-tsan/tests/test_batch
 
 # Engine-scale smoke (reuses the asan build): sanity-check that the sharded
 # engine beats the single-domain baseline at 8 client threads and that the
@@ -67,3 +72,13 @@ SPECRPC_ENGINE_SCALE_SECS=0.5 SPECRPC_ENGINE_SCALE_THREADS=8 \
 cmake --build --preset asan -j"$(nproc)" --target perf_overload
 (cd build-asan && SPECRPC_OVERLOAD_SECS=0.2 SPECRPC_OVERLOAD_FRACS=0.5,2 \
   SPECRPC_OVERLOAD_THREADS=4 ./bench/perf_overload)
+
+# Batch-transactions smoke under ASan (DESIGN.md §12): tiny windows, one
+# conflict point, process phase skipped (sanitized children would distort
+# nothing useful here) — checks the planner/executor/group-commit paths
+# and the epoch shutdown drain for leaks. The 1.5x acceptance number
+# (EXPERIMENTS.md) is release-build only.
+cmake --build --preset asan -j"$(nproc)" --target perf_batch
+(cd build-asan && SPECRPC_BENCH_WARMUP_S=0.1 SPECRPC_BENCH_MEASURE_S=0.3 \
+  SPECRPC_BATCH_HOTFRACS=0.5 SPECRPC_BATCH_SKIP_PROCESS=1 \
+  SPECRPC_BATCH_NUM_KEYS=2000 ./bench/perf_batch)

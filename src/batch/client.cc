@@ -1,0 +1,344 @@
+#include "batch/client.h"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "common/executor.h"
+
+namespace srpc::batch {
+
+namespace {
+/// Commit versions sit above every preloaded version, mirroring the rc
+/// per-txn convention (commit_version = txn + 1e9); batch and per-txn
+/// transactions therefore share one version space.
+constexpr std::int64_t kVersionBase = 1'000'000'000;
+}  // namespace
+
+BatchClient::BatchClient(rc::RpcKit& kit, rc::Topology topology,
+                         BatchClientConfig config,
+                         std::shared_ptr<SeedStore> seeds,
+                         std::shared_ptr<QueueSeedPredictor> predictor,
+                         std::shared_ptr<BatchQueueGauge> gauge)
+    : kit_(kit),
+      topology_(topology),
+      config_(config),
+      seeds_(std::move(seeds)),
+      predictor_(std::move(predictor)),
+      gauge_(std::move(gauge)),
+      executor_(kit, std::move(topology), config.my_dc, config.read_quorum,
+                seeds_) {}
+
+EpochResult BatchClient::run_epoch(std::vector<BatchTxn> txns) {
+  const BatchPlan plan = planner_.plan(std::move(txns));
+  if (gauge_ != nullptr) gauge_->on_plan(plan);
+  EpochResult result = config_.mode == BatchMode::kPerTxn2pc
+                           ? run_per_txn(plan)
+                           : run_batched(plan);
+  if (gauge_ != nullptr) gauge_->on_complete(plan);
+  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+  stats_.committed.fetch_add(result.committed, std::memory_order_relaxed);
+  stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
+  return result;
+}
+
+void BatchClient::prime_predictions(const BatchPlan& plan) {
+  if (predictor_ == nullptr || seeds_ == nullptr) return;
+  predictor_->begin_epoch();
+  for (int shard = 0; shard < rc::kNumShards; ++shard) {
+    for (const auto& wr : plan.wire_reads[static_cast<std::size_t>(shard)]) {
+      auto seed = seeds_->get(wr.key);
+      if (!seed.has_value()) continue;  // cold key: the call runs unpredicted
+      ValueList args;
+      args.reserve(4);
+      args.emplace_back(wr.key);
+      args.emplace_back(static_cast<std::int64_t>(plan.epoch));
+      args.emplace_back(static_cast<std::int64_t>(wr.shard));
+      args.emplace_back(static_cast<std::int64_t>(wr.pos));
+      predictor_->prime(rc::kBatchRead, args,
+                        vlist(seed->value, seed->version));
+    }
+  }
+}
+
+std::vector<BatchClient::ComputedTxn> BatchClient::compute(
+    const BatchPlan& plan, const ReadSet& reads) {
+  std::vector<ComputedTxn> out(plan.txns.size());
+  std::map<std::string, std::string> view;  // queued writes so far
+  std::uint64_t wire = 0;
+  std::uint64_t overlay = 0;
+  for (std::size_t i = 0; i < plan.txns.size(); ++i) {
+    const PlannedTxn& planned = plan.txns[i];
+    ComputedTxn& txn = out[i];
+    std::map<std::string, std::string> buffer;  // own writes, last wins
+    for (std::size_t j = 0; j < planned.txn.ops.size(); ++j) {
+      const BatchOp& op = planned.txn.ops[j];
+      if (op.kind == OpKind::kWrite) {
+        buffer[op.key] = op.value;
+        continue;
+      }
+      // kRead / kRmw: resolve the current value in queue order — own buffer
+      // first, then the wire read (validated at prepare), then the overlay
+      // of queued writes ahead of us (dependency-closed, not validated).
+      std::string current;
+      auto bit = buffer.find(op.key);
+      if (bit != buffer.end()) {
+        current = bit->second;
+        overlay++;
+      } else if (auto rit = reads.find({i, j}); rit != reads.end()) {
+        current = rit->second.value;
+        txn.validations.push_back(
+            kv::ReadValidation{op.key, rit->second.version});
+        wire++;
+      } else {
+        current = view.at(op.key);  // planner guarantees an earlier writer
+        overlay++;
+      }
+      if (op.kind == OpKind::kRmw) {
+        buffer[op.key] = apply_transform(op.transform, current, op.value);
+      }
+    }
+    txn.writes.reserve(buffer.size());
+    for (auto& [key, value] : buffer) {
+      txn.writes.push_back(kv::WriteOp{key, value});
+      view[key] = value;
+    }
+  }
+  stats_.wire_reads.fetch_add(wire, std::memory_order_relaxed);
+  stats_.overlay_reads.fetch_add(overlay, std::memory_order_relaxed);
+  return out;
+}
+
+EpochResult BatchClient::run_batched(const BatchPlan& plan) {
+  const TimePoint t0 = Clock::now();
+  EpochResult result;
+  result.epoch = plan.epoch;
+  if (plan.txns.empty()) return result;
+
+  if (config_.mode == BatchMode::kSpeculative) prime_predictions(plan);
+  const ReadSet reads = executor_.execute(plan, config_.mode);
+  const auto computed = compute(plan, reads);
+
+  std::vector<kv::BatchEntry> entries;
+  entries.reserve(computed.size());
+  for (std::size_t i = 0; i < computed.size(); ++i) {
+    kv::BatchEntry e;
+    e.txn = plan.txns[i].txn_id;
+    e.index = i;
+    e.reads = computed[i].validations;
+    e.writes = computed[i].writes;
+    entries.push_back(std::move(e));
+  }
+
+  // One batch-wide commit round: the whole batch to every DC coordinator,
+  // per-transaction votes tallied to a majority each.
+  const TimePoint t1 = Clock::now();
+  const auto batch_id = static_cast<kv::TxnId>(rc::next_txn_stamp());
+  const std::size_t n = entries.size();
+  struct VoteState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<int> yes, no;
+  };
+  auto votes = std::make_shared<VoteState>();
+  votes->yes.assign(n, 0);
+  votes->no.assign(n, 0);
+  const int num_dcs = topology_.num_dcs;
+  const int quorum = config_.vote_quorum;
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(static_cast<std::int64_t>(batch_id));
+    args.push_back(rc::encode_batch_entries(entries));
+    auto future =
+        kit_.call(topology_.coord_addr(dc), rc::kBatchCommit, std::move(args));
+    future->then([votes, n](const rc::Outcome& outcome) {
+      std::lock_guard<std::mutex> lock(votes->mu);
+      std::vector<bool> flags;
+      if (outcome.ok) flags = rc::decode_batch_flags(outcome.value);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (outcome.ok && i < flags.size() && flags[i]) {
+          votes->yes[i]++;
+        } else {
+          votes->no[i]++;
+        }
+      }
+      votes->cv.notify_all();
+    });
+  }
+  {
+    Executor::before_block();
+    std::unique_lock<std::mutex> lock(votes->mu);
+    votes->cv.wait(lock, [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (votes->yes[i] < quorum && votes->no[i] <= num_dcs - quorum) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+  std::vector<bool> voted(n, false);
+  {
+    std::lock_guard<std::mutex> lock(votes->mu);
+    for (std::size_t i = 0; i < n; ++i) voted[i] = votes->yes[i] >= quorum;
+  }
+
+  // Dependency closure, in batch order: a transaction whose overlay read
+  // came from an aborted transaction aborts too (transitive, since deps
+  // only point backwards).
+  result.decisions.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool ok = voted[i];
+    for (const std::size_t dep : plan.txns[i].deps) {
+      if (!result.decisions[dep]) ok = false;
+    }
+    result.decisions[i] = ok;
+    if (voted[i] && !ok) {
+      stats_.dep_aborts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  result.commit_phase = Clock::now() - t1;
+
+  // Decide broadcast (asynchronous, off the latency path) — every DC
+  // applies the decided writes and releases the batch locks.
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(static_cast<std::int64_t>(batch_id));
+    args.emplace_back(true);
+    args.push_back(rc::encode_batch_entries(entries));
+    args.push_back(rc::encode_batch_flags(result.decisions));
+    args.emplace_back(kVersionBase);
+    kit_.call(topology_.coord_addr(dc), rc::kBatchDecide, std::move(args));
+  }
+
+  // Committed writes become next epoch's seeds, at their exact commit
+  // versions (the engine validates predictions by deep (value, version)
+  // equality, so approximate versions would never validate).
+  if (seeds_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!result.decisions[i]) continue;
+      const std::int64_t version =
+          kVersionBase + static_cast<std::int64_t>(entries[i].txn);
+      for (const auto& w : entries[i].writes) {
+        seeds_->put(w.key, w.value, version);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.decisions[i]) {
+      result.committed++;
+    } else {
+      result.aborted++;
+    }
+  }
+  result.total = Clock::now() - t0;
+  return result;
+}
+
+EpochResult BatchClient::run_per_txn(const BatchPlan& plan) {
+  const TimePoint t0 = Clock::now();
+  EpochResult result;
+  result.epoch = plan.epoch;
+  result.decisions.assign(plan.txns.size(), false);
+  for (std::size_t i = 0; i < plan.txns.size(); ++i) {
+    const PlannedTxn& planned = plan.txns[i];
+    std::map<std::string, std::string> buffer;
+    std::vector<kv::ReadValidation> validations;
+    std::size_t read_seq = 0;
+    for (const BatchOp& op : planned.txn.ops) {
+      if (op.kind == OpKind::kWrite) {
+        buffer[op.key] = op.value;
+        continue;
+      }
+      std::string current;
+      auto bit = buffer.find(op.key);
+      if (bit != buffer.end()) {
+        current = bit->second;  // read-your-own-write, no validation
+      } else {
+        // Fresh quorum read, sequential — the per-txn baseline pays one
+        // round trip per read and one commit round per transaction.
+        const auto r = executor_.quorum_read(
+            op.key, plan.epoch, rc::shard_of(op.key), read_seq++);
+        current = r.value;
+        validations.push_back(kv::ReadValidation{op.key, r.version});
+        stats_.wire_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (op.kind == OpKind::kRmw) {
+        buffer[op.key] = apply_transform(op.transform, current, op.value);
+      }
+    }
+    std::vector<kv::WriteOp> writes;
+    writes.reserve(buffer.size());
+    for (auto& [key, value] : buffer) writes.push_back(kv::WriteOp{key, value});
+    const bool committed =
+        writes.empty() || commit_single(planned.txn_id, validations, writes);
+    result.decisions[i] = committed;
+    if (committed) {
+      result.committed++;
+      if (seeds_ != nullptr) {
+        const std::int64_t version =
+            kVersionBase + static_cast<std::int64_t>(planned.txn_id);
+        for (const auto& w : writes) seeds_->put(w.key, w.value, version);
+      }
+    } else {
+      result.aborted++;
+    }
+  }
+  result.total = Clock::now() - t0;
+  return result;
+}
+
+bool BatchClient::commit_single(
+    kv::TxnId txn_id, const std::vector<kv::ReadValidation>& validations,
+    const std::vector<kv::WriteOp>& writes) {
+  const auto txn = static_cast<std::int64_t>(txn_id);
+  const std::int64_t commit_version = txn + kVersionBase;
+  struct VoteState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int yes = 0;
+    int no = 0;
+  };
+  auto votes = std::make_shared<VoteState>();
+  const int num_dcs = topology_.num_dcs;
+  const int quorum = config_.vote_quorum;
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(txn);
+    args.push_back(rc::encode_reads(validations));
+    args.push_back(rc::encode_writes(writes));
+    auto future =
+        kit_.call(topology_.coord_addr(dc), rc::kCommit, std::move(args));
+    future->then([votes](const rc::Outcome& outcome) {
+      std::lock_guard<std::mutex> lock(votes->mu);
+      if (outcome.ok && outcome.value.as_bool()) {
+        votes->yes++;
+      } else {
+        votes->no++;
+      }
+      votes->cv.notify_all();
+    });
+  }
+  bool committed;
+  {
+    Executor::before_block();
+    std::unique_lock<std::mutex> lock(votes->mu);
+    votes->cv.wait(lock, [&] {
+      return votes->yes >= quorum || votes->no > num_dcs - quorum;
+    });
+    committed = votes->yes >= quorum;
+  }
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    ValueList args;
+    args.emplace_back(txn);
+    args.emplace_back(committed);
+    args.push_back(rc::encode_writes(writes));
+    args.emplace_back(commit_version);
+    args.push_back(rc::encode_reads(validations));
+    kit_.call(topology_.coord_addr(dc), rc::kDecide, std::move(args));
+  }
+  return committed;
+}
+
+}  // namespace srpc::batch

@@ -1,0 +1,110 @@
+// BatchClient — drives one client machine's batch epochs end to end
+// (DESIGN.md §12): plan -> execute queues -> compute -> one batch-wide
+// commit round -> dependency closure -> decide broadcast.
+//
+// The commit protocol is Replicated Commit lifted to batches: the client
+// sends the whole batch to a coordinator in every datacentre
+// (rc.batch_commit); each coordinator runs a DC-local 2PC across its shards
+// (batch.prepare validates the shard's slice of every transaction in queue
+// order under ONE store lock hold) and returns a per-transaction vote
+// vector; a transaction commits once a majority of DCs voted yes for it.
+// The client then closes dependencies — a transaction whose overlay read
+// came from an aborted transaction aborts too, transitively — and
+// broadcasts rc.batch_decide, which applies all decided writes per shard
+// with one group TxnLog append.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "batch/executor.h"
+#include "batch/planner.h"
+#include "batch/pressure.h"
+#include "batch/seed.h"
+#include "rc/kit.h"
+
+namespace srpc::batch {
+
+struct BatchClientConfig {
+  int my_dc = 0;
+  int read_quorum = 2;
+  int vote_quorum = 2;  // majority of 3 DCs
+  BatchMode mode = BatchMode::kSpeculative;
+};
+
+struct EpochResult {
+  std::uint64_t epoch = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  /// Final per-transaction decision, batch order (vote AND dep closure).
+  std::vector<bool> decisions;
+  Duration total{};         // plan -> decide broadcast
+  Duration commit_phase{};  // commit round only (batched modes)
+};
+
+/// Cumulative per-client counters (atomics: the storm test reads them from
+/// other threads).
+struct BatchClientStats {
+  std::atomic<std::uint64_t> epochs{0};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> dep_aborts{0};      // aborted only by closure
+  std::atomic<std::uint64_t> wire_reads{0};
+  std::atomic<std::uint64_t> overlay_reads{0};   // resolved without an RPC
+};
+
+class BatchClient {
+ public:
+  /// `seeds`/`predictor` enable queue-order prediction seeding (kSpeculative
+  /// with a spec engine); either may be null. `gauge` (optional, shared
+  /// across clients) feeds the admission controller's pressure source.
+  BatchClient(rc::RpcKit& kit, rc::Topology topology, BatchClientConfig config,
+              std::shared_ptr<SeedStore> seeds = nullptr,
+              std::shared_ptr<QueueSeedPredictor> predictor = nullptr,
+              std::shared_ptr<BatchQueueGauge> gauge = nullptr);
+
+  /// Runs one batch epoch over `txns`. Synchronous: returns after the
+  /// decide broadcast is out (kPerTxn2pc: after the last txn's decide).
+  EpochResult run_epoch(std::vector<BatchTxn> txns);
+
+  const BatchClientStats& stats() const { return stats_; }
+  BatchMode mode() const { return config_.mode; }
+  const std::shared_ptr<SeedStore>& seeds() const { return seeds_; }
+  const std::shared_ptr<QueueSeedPredictor>& predictor() const {
+    return predictor_;
+  }
+
+ private:
+  struct ComputedTxn {
+    std::vector<kv::ReadValidation> validations;  // wire reads only
+    std::vector<kv::WriteOp> writes;
+  };
+
+  EpochResult run_batched(const BatchPlan& plan);
+  EpochResult run_per_txn(const BatchPlan& plan);
+
+  /// Resolves reads / applies transforms in queue (= batch) order against
+  /// the rolling overlay of queued writes; wire reads come from `reads`.
+  std::vector<ComputedTxn> compute(const BatchPlan& plan,
+                                   const ReadSet& reads);
+
+  void prime_predictions(const BatchPlan& plan);
+
+  /// Classic RC commit round for one transaction (the per-txn baseline).
+  bool commit_single(kv::TxnId txn_id,
+                     const std::vector<kv::ReadValidation>& validations,
+                     const std::vector<kv::WriteOp>& writes);
+
+  rc::RpcKit& kit_;
+  rc::Topology topology_;
+  BatchClientConfig config_;
+  std::shared_ptr<SeedStore> seeds_;
+  std::shared_ptr<QueueSeedPredictor> predictor_;
+  std::shared_ptr<BatchQueueGauge> gauge_;
+  TxnPlanner planner_;
+  BatchExecutor executor_;
+  BatchClientStats stats_;
+};
+
+}  // namespace srpc::batch

@@ -1,0 +1,165 @@
+#include "batch/executor.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "rc/client.h"  // max_version_combiner
+
+namespace srpc::batch {
+
+namespace {
+
+ValueList read_args(const std::string& key, std::uint64_t epoch, int shard,
+                    std::size_t pos) {
+  // (key, epoch, shard, pos): the extra coordinates make every queue
+  // position a distinct predictor key (predict::key_of hashes the args).
+  ValueList args;
+  args.reserve(4);
+  args.emplace_back(key);
+  args.emplace_back(static_cast<std::int64_t>(epoch));
+  args.emplace_back(static_cast<std::int64_t>(shard));
+  args.emplace_back(static_cast<std::int64_t>(pos));
+  return args;
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(rc::RpcKit& kit, rc::Topology topology, int my_dc,
+                             int read_quorum, std::shared_ptr<SeedStore> seeds)
+    : kit_(kit),
+      topology_(std::move(topology)),
+      my_dc_(my_dc),
+      read_quorum_(read_quorum),
+      seeds_(std::move(seeds)) {}
+
+std::vector<Address> BatchExecutor::replicas_for(int shard) const {
+  std::vector<Address> out;
+  out.reserve(static_cast<std::size_t>(topology_.num_dcs));
+  out.push_back(topology_.shard_addr(my_dc_, shard));  // local DC first
+  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
+    if (dc != my_dc_) out.push_back(topology_.shard_addr(dc, shard));
+  }
+  return out;
+}
+
+rc::ReadResult BatchExecutor::quorum_read(const std::string& key,
+                                          std::uint64_t epoch, int shard,
+                                          std::size_t pos) {
+  std::vector<rc::FuturePtr> futures;
+  for (const auto& addr : replicas_for(shard)) {
+    futures.push_back(
+        kit_.call(addr, rc::kBatchRead, read_args(key, epoch, shard, pos)));
+  }
+  auto outcomes = rc::quorum_wait(futures, read_quorum_);
+  if (static_cast<int>(outcomes.size()) < read_quorum_) {
+    throw rpc::RpcError("batch quorum read failed for " + key);
+  }
+  std::vector<Value> values;
+  values.reserve(outcomes.size());
+  for (auto& o : outcomes) values.push_back(o.value);
+  return rc::decode_read_result(key, rc::max_version_combiner(values));
+}
+
+spec::CallbackFactory BatchExecutor::chain_factory(
+    std::shared_ptr<const std::vector<WireRead>> reads, std::uint64_t epoch,
+    std::size_t idx, std::vector<rc::ReadResult> acc) const {
+  // Fresh callback per speculation branch; the accumulated reads are an
+  // isolated by-value snapshot (the RC chain pattern, paper §3.5.2), so a
+  // re-executed suffix never sees an abandoned branch's state.
+  return [this, reads, epoch, idx, acc]() -> spec::CallbackFn {
+    return [this, reads, epoch, idx,
+            acc](spec::SpecContext& ctx, const Value& v) -> spec::CallbackResult {
+      const WireRead& wr = (*reads)[idx];
+      std::vector<rc::ReadResult> mine = acc;
+      mine.push_back(rc::decode_read_result(wr.key, v));
+      // Refresh the seed cache with the read this branch observed. From a
+      // speculative branch the put registers a rollback, so an abandoned
+      // branch's (predicted) value is undone with the branch.
+      if (seeds_ != nullptr) {
+        const auto& r = mine.back();
+        seeds_->put(r.key, r.value, r.version);
+      }
+      if (idx + 1 < reads->size()) {
+        const WireRead& next = (*reads)[idx + 1];
+        return ctx.call_quorum(
+            replicas_for(next.shard), read_quorum_, rc::kBatchRead,
+            read_args(next.key, epoch, next.shard, next.pos),
+            rc::max_version_combiner,
+            chain_factory(reads, epoch, idx + 1, std::move(mine)));
+      }
+      // Queue tail: block until every speculation in this chain resolved —
+      // nothing speculative may reach the commit round (§4.1 specBlock).
+      ctx.spec_block();
+      ValueList out;
+      out.reserve(mine.size());
+      for (const auto& r : mine) out.push_back(vlist(r.key, r.value, r.version));
+      return Value(std::move(out));
+    };
+  };
+}
+
+ReadSet BatchExecutor::execute(const BatchPlan& plan, BatchMode mode) {
+  ReadSet result;
+  spec::SpecEngine* engine = kit_.spec_engine();
+  if (mode == BatchMode::kSpeculative && engine != nullptr) {
+    // One chain per non-empty shard queue, all in flight concurrently.
+    struct ShardChain {
+      const std::vector<WireRead>* reads;
+      spec::SpecFuturePtr future;
+    };
+    std::vector<ShardChain> chains;
+    for (int shard = 0; shard < rc::kNumShards; ++shard) {
+      const auto& reads = plan.wire_reads[static_cast<std::size_t>(shard)];
+      if (reads.empty()) continue;
+      auto shared = std::make_shared<const std::vector<WireRead>>(reads);
+      const WireRead& first = (*shared)[0];
+      auto future = engine->call_quorum(
+          replicas_for(first.shard), read_quorum_, rc::kBatchRead,
+          read_args(first.key, plan.epoch, first.shard, first.pos),
+          rc::max_version_combiner, chain_factory(shared, plan.epoch, 0, {}));
+      chains.push_back(ShardChain{&reads, std::move(future)});
+    }
+    for (auto& chain : chains) {
+      const Value all = chain.future->get();  // non-speculative results
+      const ValueList& list = all.as_list();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const ValueList& triple = list[i].as_list();
+        const WireRead& wr = (*chain.reads)[i];
+        result[{wr.txn_pos, wr.op_pos}] =
+            rc::ReadResult{triple.at(0).as_string(), triple.at(1).as_string(),
+                           triple.at(2).as_int()};
+      }
+    }
+    return result;
+  }
+
+  // Non-speculative queue machine: each queue processes its reads strictly
+  // in order, but independent queues run concurrently — that is the
+  // parallelism partitioned queues buy even without speculation.
+  std::mutex mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  for (int shard = 0; shard < rc::kNumShards; ++shard) {
+    const auto& reads = plan.wire_reads[static_cast<std::size_t>(shard)];
+    if (reads.empty()) continue;
+    workers.emplace_back([&, shard] {
+      try {
+        for (const auto& wr : plan.wire_reads[static_cast<std::size_t>(shard)]) {
+          auto r = quorum_read(wr.key, plan.epoch, wr.shard, wr.pos);
+          if (seeds_ != nullptr) seeds_->put(r.key, r.value, r.version);
+          std::lock_guard<std::mutex> lock(mu);
+          result[{wr.txn_pos, wr.op_pos}] = std::move(r);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace srpc::batch

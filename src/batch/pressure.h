@@ -1,0 +1,63 @@
+// Batch-queue pressure (DESIGN.md §12.6): per-shard queue occupancy as an
+// AdmissionController PressureSource, so the PR 6 degradation ladder sheds
+// best-effort speculation when batch queues back up.
+//
+// Occupancy is credited when a plan is cut (every queued op of the epoch)
+// and released when the epoch's decide round is out — i.e. the gauge tracks
+// planned-but-undecided operations across all clients sharing the gauge.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "batch/planner.h"
+#include "predict/admission.h"
+#include "rc/common.h"
+
+namespace srpc::batch {
+
+class BatchQueueGauge {
+ public:
+  void on_plan(const BatchPlan& plan) {
+    for (int s = 0; s < rc::kNumShards; ++s) {
+      depth_[static_cast<std::size_t>(s)].fetch_add(
+          plan.queues[static_cast<std::size_t>(s)].size(),
+          std::memory_order_relaxed);
+    }
+  }
+  void on_complete(const BatchPlan& plan) {
+    for (int s = 0; s < rc::kNumShards; ++s) {
+      depth_[static_cast<std::size_t>(s)].fetch_sub(
+          plan.queues[static_cast<std::size_t>(s)].size(),
+          std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t shard_depth(int shard) const {
+    return depth_[static_cast<std::size_t>(shard)].load(
+        std::memory_order_relaxed);
+  }
+  std::size_t total() const {
+    std::size_t n = 0;
+    for (const auto& d : depth_) n += d.load(std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  std::array<std::atomic<std::size_t>, rc::kNumShards> depth_{};
+};
+
+/// The gauge as an admission pressure source; the shared_ptr keeps it alive
+/// for as long as the controller polls.
+inline predict::PressureSource batch_pressure_source(
+    std::shared_ptr<BatchQueueGauge> gauge) {
+  return [gauge] {
+    predict::PressureSample s;
+    s.queue_depth = gauge->total();
+    return s;
+  };
+}
+
+}  // namespace srpc::batch

@@ -1,0 +1,98 @@
+#include "batch/seed.h"
+
+namespace srpc::batch {
+
+void SeedStore::put(const std::string& key, std::string value,
+                    std::int64_t version) {
+  Stripe& stripe = stripe_of(key);
+  std::optional<SeedValue> previous;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.data.find(key);
+    if (it != stripe.data.end()) {
+      if (it->second.version > version) return;  // monotone: keep newer
+      previous = it->second;
+    }
+    stripe.data[key] = SeedValue{std::move(value), version};
+  }
+  if (engine_ != nullptr && engine_->speculative()) {
+    engine_->set_rollback([this, key, previous, version] {
+      Stripe& s = stripe_of(key);
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto it = s.data.find(key);
+      // Only undo if our put is still the latest state for the key; a
+      // newer write (e.g. the commit round's exact-version put) wins.
+      if (it == s.data.end() || it->second.version != version) return;
+      if (previous.has_value()) {
+        it->second = *previous;
+      } else {
+        s.data.erase(it);
+      }
+    });
+  }
+}
+
+std::optional<SeedValue> SeedStore::get(const std::string& key) const {
+  const Stripe& stripe = stripe_of(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.data.find(key);
+  if (it == stripe.data.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t SeedStore::size() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.data.size();
+  }
+  return total;
+}
+
+void QueueSeedPredictor::begin_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  primed_.clear();
+}
+
+void QueueSeedPredictor::prime(const std::string& method,
+                               const ValueList& args, Value predicted) {
+  const std::string key = predict::key_of(method, args);
+  std::lock_guard<std::mutex> lock(mu_);
+  primed_[key] = std::move(predicted);
+  primed_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ValueList QueueSeedPredictor::predict(const std::string& method,
+                                      const ValueList& args) {
+  const std::string key = predict::key_of(method, args);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = primed_.find(key);
+  if (it == primed_.end()) return {};
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return {it->second};
+}
+
+void QueueSeedPredictor::learn(const std::string& method,
+                               const ValueList& args, const Value& actual) {
+  (void)method;
+  // batch.read args: (key, epoch, shard, pos); actual: vlist(value, version).
+  // Tolerate anything else (the manager shadow-evaluates every observed
+  // call) by simply not learning from it.
+  if (args.empty() || args[0].type() != Value::Type::kString ||
+      actual.type() != Value::Type::kList) {
+    return;
+  }
+  const ValueList& pair = actual.as_list();
+  if (pair.size() < 2 || pair[0].type() != Value::Type::kString ||
+      pair[1].type() != Value::Type::kInt) {
+    return;
+  }
+  seeds_->put(args[0].as_string(), pair[0].as_string(), pair[1].as_int());
+}
+
+std::size_t QueueSeedPredictor::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primed_.size();
+}
+
+}  // namespace srpc::batch

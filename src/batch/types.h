@@ -1,0 +1,85 @@
+// Queue-oriented batch transactions — shared types (DESIGN.md §12).
+//
+// The model follows queue-oriented speculative transaction processing
+// (Qadah & Sadoghi, PAPERS.md): a client pre-plans a group of transactions
+// into per-partition operation queues and executes/commits them as one
+// batch epoch. Three execution modes share the planner and the workload so
+// benches can isolate where the win comes from:
+//
+//   kPerTxn2pc   — every transaction runs the classic RC path on its own:
+//                  sequential quorum reads + a full commit round per txn.
+//   kGroupCommit — queue-ordered sequential reads, but ONE batch-wide
+//                  commit round and one group log append for all txns.
+//   kSpeculative — group commit plus speculative queue execution: reads are
+//                  predicted from queue-order seeds and pipeline through
+//                  the SpecRPC engine's callback chains.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace srpc::batch {
+
+enum class OpKind {
+  kRead,   // read `key`
+  kWrite,  // blind write `key` = `value`
+  kRmw,    // read `key`, write transform(current, value) back to `key`
+};
+
+/// Read-modify-write transforms. kIncrement keeps the multi-stream
+/// correctness check honest: concurrent increments are lost-update-free
+/// only if every committed rmw consumed a validated read.
+enum class Transform { kNone, kAppend, kIncrement };
+
+struct BatchOp {
+  OpKind kind = OpKind::kRead;
+  std::string key;
+  std::string value;  // kWrite: the literal; kRmw: the transform operand
+  Transform transform = Transform::kNone;  // kRmw only
+};
+
+/// One client transaction as produced by a workload generator. `id` is a
+/// client-local sequence number for mapping results back to the stream.
+struct BatchTxn {
+  std::uint64_t id = 0;
+  std::vector<BatchOp> ops;
+};
+
+enum class BatchMode { kPerTxn2pc, kGroupCommit, kSpeculative };
+
+inline const char* to_string(BatchMode mode) {
+  switch (mode) {
+    case BatchMode::kPerTxn2pc: return "per-txn-2pc";
+    case BatchMode::kGroupCommit: return "group-commit";
+    case BatchMode::kSpeculative: return "speculative";
+  }
+  return "?";
+}
+
+inline std::string apply_transform(Transform t, const std::string& current,
+                                   const std::string& operand) {
+  switch (t) {
+    case Transform::kAppend:
+      return current + operand;
+    case Transform::kIncrement: {
+      // Non-numeric current (e.g. the preloaded filler value) counts as 0 —
+      // the counter becomes numeric on first increment and stays honest
+      // thereafter. Replay uses the same rule, so state equality holds.
+      long long base = 0;
+      std::from_chars(current.data(), current.data() + current.size(), base);
+      long long delta = 1;
+      if (!operand.empty()) {
+        std::from_chars(operand.data(), operand.data() + operand.size(), delta);
+      }
+      return std::to_string(base + delta);
+    }
+    case Transform::kNone:
+      break;
+  }
+  throw std::invalid_argument("rmw op without a transform");
+}
+
+}  // namespace srpc::batch

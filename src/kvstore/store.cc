@@ -69,6 +69,91 @@ void VersionedStore::commit(TxnId txn, const std::vector<WriteOp>& writes,
   }
 }
 
+std::vector<bool> VersionedStore::prepare_batch(
+    TxnId batch_id, const std::vector<BatchEntry>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<bool> votes(entries.size(), false);
+  // Keys the yes-voting prefix of the batch will write: reads of these are
+  // queue-overlay reads (no store validation), and writes to these never
+  // conflict with each other (single owner: batch_id).
+  std::unordered_map<std::string, bool> batch_written;
+  // Phase A: vote in queue order against store state + overlay. Nothing is
+  // locked yet, so a no vote leaves no residue to unwind.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    bool ok = true;
+    for (const auto& r : e.reads) {
+      if (batch_written.count(r.key) != 0) continue;  // overlay read
+      auto lit = locks_.find(r.key);
+      if (lit != locks_.end() && lit->second != batch_id) {
+        ok = false;
+        break;
+      }
+      auto dit = data_.find(r.key);
+      const std::int64_t current =
+          dit == data_.end() ? 0 : dit->second.version;
+      if (current != r.version) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& w : e.writes) {
+        auto lit = locks_.find(w.key);
+        if (lit != locks_.end() && lit->second != batch_id) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    votes[i] = ok;
+    if (ok) {
+      for (const auto& w : e.writes) batch_written.emplace(w.key, true);
+    }
+  }
+  // Phase B: acquire every yes-entry write lock under the batch owner. All
+  // were checked free (or already batch-owned) above and the mutex was never
+  // released, so acquisition cannot fail.
+  auto& held = txn_locks_[batch_id];
+  for (const auto& [key, _] : batch_written) {
+    auto [it, inserted] = locks_.emplace(key, batch_id);
+    (void)it;
+    if (inserted) held.push_back(key);
+  }
+  if (held.empty()) txn_locks_.erase(batch_id);
+  return votes;
+}
+
+void VersionedStore::commit_batch(TxnId batch_id,
+                                  const std::vector<BatchEntry>& entries,
+                                  const std::vector<bool>& decisions,
+                                  std::int64_t version_base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i >= decisions.size() || !decisions[i]) continue;
+    const auto& e = entries[i];
+    const std::int64_t commit_version =
+        version_base + static_cast<std::int64_t>(e.txn);
+    for (const auto& w : e.writes) {
+      auto& entry = data_[w.key];
+      if (commit_version > entry.version) {
+        entry.value = w.value;
+        entry.version = commit_version;
+      }
+    }
+  }
+  auto it = txn_locks_.find(batch_id);
+  if (it != txn_locks_.end()) {
+    for (const auto& k : it->second) {
+      auto lit = locks_.find(k);
+      if (lit != locks_.end() && lit->second == batch_id) locks_.erase(lit);
+    }
+    txn_locks_.erase(it);
+  }
+}
+
+void VersionedStore::abort_batch(TxnId batch_id) { abort(batch_id); }
+
 void VersionedStore::abort(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = txn_locks_.find(txn);

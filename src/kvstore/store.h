@@ -34,6 +34,18 @@ struct WriteOp {
   std::string value;
 };
 
+/// One transaction's footprint on one shard inside a batch (queue-oriented
+/// group commit, DESIGN.md §12). `index` is the transaction's global
+/// position in the batch (queue order); `txn` is its globally-stamped id,
+/// from which every replica derives the same commit version
+/// (version_base + txn, the rc convention) without coordination.
+struct BatchEntry {
+  TxnId txn = 0;
+  std::size_t index = 0;
+  std::vector<ReadValidation> reads;
+  std::vector<WriteOp> writes;
+};
+
 class VersionedStore {
  public:
   /// Committed read (ignores uncommitted/locked state; RC buffers writes
@@ -59,6 +71,30 @@ class VersionedStore {
 
   /// Releases txn's locks without applying.
   void abort(TxnId txn);
+
+  /// Batch prepare (queue-oriented group commit): validates every entry in
+  /// queue order under ONE lock hold and returns a per-entry vote. All write
+  /// locks of yes-voting entries are acquired with `batch_id` as the owner,
+  /// so intra-batch write-write overlap on a key is not a conflict (queue
+  /// order serialises it) and release is a single abort/commit of the batch.
+  /// A read whose key was written by an earlier yes-voting entry of the same
+  /// batch is satisfied by the queue overlay and skips store validation (the
+  /// client resolves such reads from the queue without an RPC; the entry
+  /// here is defensive). On a no vote nothing of that entry stays locked.
+  std::vector<bool> prepare_batch(TxnId batch_id,
+                                  const std::vector<BatchEntry>& entries);
+
+  /// Applies the writes of entries whose `decisions[i]` is true, each at
+  /// commit_version = version_base + entry.txn (txn stamps are allocated in
+  /// queue order, so versions strictly increase along the batch), then
+  /// releases every lock owned by `batch_id`. Entries with a false decision
+  /// are skipped but their locks (shared under batch_id) are still released.
+  void commit_batch(TxnId batch_id, const std::vector<BatchEntry>& entries,
+                    const std::vector<bool>& decisions,
+                    std::int64_t version_base);
+
+  /// Releases every lock owned by `batch_id` without applying anything.
+  void abort_batch(TxnId batch_id);
 
   /// True if `key` currently carries a write lock (reads wait on these —
   /// an in-flight commit may be about to apply).

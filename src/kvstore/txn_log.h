@@ -42,6 +42,12 @@ class TxnLog {
   /// Enqueues a commit record; returns immediately (asynchronous).
   void append(CommitRecord record);
 
+  /// Group append: enqueues N records with one lock acquisition and one
+  /// wake-up. The writer drains them into a single contiguous buffer and
+  /// issues one fwrite + one fflush for the whole group, so a batch commit
+  /// (or any burst) costs one flush instead of N.
+  void append_batch(std::vector<CommitRecord> records);
+
   /// Blocks until everything appended so far reaches the OS.
   void flush();
 

@@ -13,8 +13,9 @@ struct RcCluster::NodeBundle {
   std::unique_ptr<RpcKit> kit;
 };
 
-RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name,
-                                            bool with_predictor) {
+RcCluster::NodeBundle& RcCluster::make_node(
+    int dc, const std::string& name, bool with_predictor,
+    predict::PredictorPtr predictor_override) {
   auto bundle = std::make_unique<NodeBundle>();
   bundle->transport = &geo_->add_machine(dc, name);
   switch (config_.flavor) {
@@ -42,16 +43,20 @@ RcCluster::NodeBundle& RcCluster::make_node(int dc, const std::string& name,
       spec_config.call_timeout = config_.call_timeout;
       spec_config.retry = config_.retry;
       spec_config.budget.max_inflight = config_.spec_budget;
-      if (with_predictor && config_.read_predictor != predict::Kind::kNone) {
+      if (with_predictor &&
+          (predictor_override != nullptr ||
+           config_.read_predictor != predict::Kind::kNone)) {
         predict::ManagerConfig mgr_config;
         mgr_config.adaptive = config_.adaptive_speculation;
         mgr_config.adaptive_config = config_.adaptive;
         mgr_config.admission = admission_;  // shared; null when disabled
+        auto predictor = predictor_override != nullptr
+                             ? std::move(predictor_override)
+                             : predict::make_predictor(config_.read_predictor,
+                                                       config_.predictor_config);
         predict_managers_.push_back(
-            std::make_unique<predict::SpeculationManager>(
-                predict::make_predictor(config_.read_predictor,
-                                        config_.predictor_config),
-                mgr_config));
+            std::make_unique<predict::SpeculationManager>(std::move(predictor),
+                                                          mgr_config));
         predict_managers_.back()->install(spec_config);
       }
       bundle->spec_engine = std::make_unique<spec::SpecEngine>(
@@ -81,6 +86,9 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
   // the shared work executor's queue depth; every client's manager consults
   // it before speculating. Created before make_node so the managers can
   // capture it.
+  if (config_.batch_clients) {
+    batch_gauge_ = std::make_shared<batch::BatchQueueGauge>();
+  }
   if (config_.flavor == Flavor::kSpec && config_.admission_control) {
     admission_ =
         std::make_shared<predict::AdmissionController>(config_.admission);
@@ -89,6 +97,11 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
       s.queue_depth = exec->queue_depth();
       return s;
     });
+    // Batch-queue occupancy is a second pressure axis (DESIGN.md §12.6):
+    // planned-but-undecided batch operations count against the same ladder.
+    if (batch_gauge_ != nullptr) {
+      admission_->add_source(batch::batch_pressure_source(batch_gauge_));
+    }
   }
 
   // Preload the dataset once, then copy into every replica.
@@ -137,12 +150,31 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
 
   for (int dc = 0; dc < topology_.num_dcs; ++dc) {
     for (int i = 0; i < config_.clients_per_dc; ++i) {
-      auto& bundle =
-          make_node(dc, "client" + std::to_string(i), /*with_predictor=*/true);
+      // Batch clients under kSpec replace the config-selected read predictor
+      // with a QueueSeedPredictor: queue-order seeds flow through the same
+      // PredictionSupplier/observer hooks (and thus the same accuracy,
+      // budget and admission machinery) as ordinary read prediction.
+      std::shared_ptr<batch::SeedStore> seeds;
+      std::shared_ptr<batch::QueueSeedPredictor> qpredictor;
+      if (config_.batch_clients && config_.flavor == Flavor::kSpec) {
+        seeds = std::make_shared<batch::SeedStore>();
+        qpredictor = std::make_shared<batch::QueueSeedPredictor>(seeds);
+      }
+      auto& bundle = make_node(dc, "client" + std::to_string(i),
+                               /*with_predictor=*/true, qpredictor);
       RcClientConfig client_config;
       client_config.my_dc = dc;
       clients_.push_back(std::make_unique<RcClient>(*bundle.kit, topology_,
                                                     client_config));
+      if (config_.batch_clients) {
+        if (seeds != nullptr) seeds->attach_engine(bundle.spec_engine.get());
+        batch::BatchClientConfig batch_config;
+        batch_config.my_dc = dc;
+        batch_config.mode = config_.batch_mode;
+        batch_clients_.push_back(std::make_unique<batch::BatchClient>(
+            *bundle.kit, topology_, batch_config, seeds, qpredictor,
+            batch_gauge_));
+      }
     }
   }
 }
@@ -158,6 +190,7 @@ RcCluster::~RcCluster() {
   // Join the timer thread before destroying servers: pending timers (read
   // retries, service-time completions) capture raw server pointers.
   net_->wheel().shutdown();
+  batch_clients_.clear();
   clients_.clear();
   coordinators_.clear();
   shard_servers_.clear();

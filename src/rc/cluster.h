@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "batch/client.h"
 #include "common/cpu_model.h"
 #include "common/flavor.h"
 #include "common/retry.h"
@@ -61,6 +62,15 @@ struct ClusterConfig {
   /// to TradRPC before the queues grow unbounded.
   bool admission_control = false;
   predict::AdmissionConfig admission;
+  /// Queue-oriented batch transactions (DESIGN.md §12): give every client
+  /// machine a batch::BatchClient next to its RcClient. Under kSpec each
+  /// batch client also gets a SeedStore + QueueSeedPredictor wired through
+  /// the engine's prediction hooks, so queue-order seeding rides the same
+  /// accuracy/budget/admission governance as read prediction; and the
+  /// shared batch-queue gauge feeds the admission controller (if any) as an
+  /// extra pressure source.
+  bool batch_clients = false;
+  batch::BatchMode batch_mode = batch::BatchMode::kSpeculative;
 };
 
 class RcCluster {
@@ -72,6 +82,16 @@ class RcCluster {
     return *clients_.at(static_cast<std::size_t>(dc * config_.clients_per_dc +
                                                  index));
   }
+  /// The batch client of one client machine; only with config.batch_clients.
+  batch::BatchClient& batch_client(int dc, int index) {
+    return *batch_clients_.at(
+        static_cast<std::size_t>(dc * config_.clients_per_dc + index));
+  }
+  /// Shared batch-queue occupancy gauge; nullptr unless batch_clients.
+  const std::shared_ptr<batch::BatchQueueGauge>& batch_gauge() const {
+    return batch_gauge_;
+  }
+
   int clients_per_dc() const { return config_.clients_per_dc; }
   int num_dcs() const { return topology_.num_dcs; }
   const Topology& topology() const { return topology_; }
@@ -99,8 +119,12 @@ class RcCluster {
  private:
   struct NodeBundle;  // one machine: transport + engine + kit (+ roles)
 
+  /// `predictor_override` (kSpec only) replaces the config-selected read
+  /// predictor for this node's SpeculationManager — the batch clients hand
+  /// in their QueueSeedPredictor here.
   NodeBundle& make_node(int dc, const std::string& name,
-                        bool with_predictor = false);
+                        bool with_predictor = false,
+                        predict::PredictorPtr predictor_override = nullptr);
 
   ClusterConfig config_;
   Topology topology_;
@@ -117,6 +141,10 @@ class RcCluster {
   std::vector<std::unique_ptr<ShardServer>> shard_servers_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;
   std::vector<std::unique_ptr<RcClient>> clients_;
+  /// Batch-mode companions (config.batch_clients): one BatchClient per
+  /// client machine, sharing that machine's kit/engine with its RcClient.
+  std::vector<std::unique_ptr<batch::BatchClient>> batch_clients_;
+  std::shared_ptr<batch::BatchQueueGauge> batch_gauge_;
   /// One per client machine when read prediction is on (same order as
   /// clients_); empty otherwise. The installed hooks hold the state by
   /// shared_ptr, so destruction order vs. engines is not delicate.

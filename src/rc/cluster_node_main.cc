@@ -20,12 +20,15 @@
 #include <string>
 #include <vector>
 
+#include "batch/client.h"
+#include "batch/seed.h"
 #include "common/cpu_model.h"
 #include "common/executor.h"
 #include "common/flavor.h"
 #include "common/timer_wheel.h"
 #include "grpcsim/grpcsim.h"
 #include "kvstore/store.h"
+#include "predict/manager.h"
 #include "rc/client.h"
 #include "rc/common.h"
 #include "rc/kit.h"
@@ -33,6 +36,7 @@
 #include "rpc/node.h"
 #include "specrpc/engine.h"
 #include "transport/tcp_transport.h"
+#include "workload/qstream.h"
 #include "workload/retwis.h"
 #include "workload/runner.h"
 #include "workload/ycsbt.h"
@@ -63,6 +67,12 @@ Flavor parse_flavor(const std::string& s) {
   return Flavor::kTrad;
 }
 
+batch::BatchMode parse_batch_mode(const std::string& s) {
+  if (s == "per-txn-2pc") return batch::BatchMode::kPerTxn2pc;
+  if (s == "group-commit") return batch::BatchMode::kGroupCommit;
+  return batch::BatchMode::kSpeculative;
+}
+
 /// One machine of this process: transport + the flavour's engine + kit.
 /// Mirrors RcCluster::NodeBundle, over TCP instead of SimNetwork.
 struct Machine {
@@ -74,7 +84,9 @@ struct Machine {
 
 std::unique_ptr<Machine> make_machine(Flavor flavor, Executor& executor,
                                       TimerWheel& wheel,
-                                      double grpc_overhead_us) {
+                                      double grpc_overhead_us,
+                                      predict::SpeculationManager* manager =
+                                          nullptr) {
   auto m = std::make_unique<Machine>();
   TcpConfig tc;
   // One reactor per machine-transport: a node process hosts several
@@ -98,8 +110,10 @@ std::unique_ptr<Machine> make_machine(Flavor flavor, Executor& executor,
       break;
     }
     case Flavor::kSpec: {
+      spec::SpecConfig sc;
+      if (manager != nullptr) manager->install(sc);  // before construction
       m->spec_engine = std::make_unique<spec::SpecEngine>(
-          *m->transport, executor, wheel, spec::SpecConfig{});
+          *m->transport, executor, wheel, sc);
       m->kit = std::make_unique<SpecKit>(*m->spec_engine);
       break;
     }
@@ -127,9 +141,34 @@ int node_main(const Args& args) {
   Executor executor(std::max(8, machines * 3), "node-work");
   TimerWheel wheel;
 
+  // qstream client machines under kSpec get per-machine queue-seed
+  // prediction, installed before the engine exists (the hooks are read at
+  // construction). The manager objects just need to outlive install();
+  // the installed hooks keep the shared state alive on their own.
+  const bool qstream =
+      role == "client" && args.str("workload", "ycsbt") == "qstream";
+  std::vector<std::shared_ptr<batch::SeedStore>> seed_stores;
+  std::vector<std::shared_ptr<batch::QueueSeedPredictor>> qpredictors;
+  std::vector<std::unique_ptr<predict::SpeculationManager>> managers;
+
   std::vector<std::unique_ptr<Machine>> nodes;
-  for (int i = 0; i < machines; ++i)
-    nodes.push_back(make_machine(flavor, executor, wheel, grpc_overhead_us));
+  for (int i = 0; i < machines; ++i) {
+    predict::SpeculationManager* mgr = nullptr;
+    if (qstream && flavor == Flavor::kSpec) {
+      auto seeds = std::make_shared<batch::SeedStore>();
+      auto qp = std::make_shared<batch::QueueSeedPredictor>(seeds);
+      managers.push_back(std::make_unique<predict::SpeculationManager>(qp));
+      seed_stores.push_back(std::move(seeds));
+      qpredictors.push_back(std::move(qp));
+      mgr = managers.back().get();
+    }
+    nodes.push_back(
+        make_machine(flavor, executor, wheel, grpc_overhead_us, mgr));
+    if (qstream && flavor == Flavor::kSpec) {
+      seed_stores[static_cast<std::size_t>(i)]->attach_engine(
+          nodes.back()->spec_engine.get());
+    }
+  }
 
   // Announce listening endpoints (servers) or just check in (clients).
   if (role == "server") {
@@ -172,6 +211,7 @@ int node_main(const Args& args) {
   std::vector<std::unique_ptr<ShardServer>> shard_servers;
   std::vector<std::unique_ptr<Coordinator>> coordinators;
   std::vector<std::unique_ptr<RcClient>> clients;
+  std::vector<std::unique_ptr<batch::BatchClient>> batch_clients;
 
   if (role == "server") {
     for (int shard = 0; shard < kNumShards; ++shard) {
@@ -198,6 +238,19 @@ int node_main(const Args& args) {
     }
     coordinators.push_back(std::make_unique<Coordinator>(
         *nodes[kNumShards]->kit, topo, my_dc, coord_cpu, costs));
+  } else if (qstream) {
+    batch::BatchClientConfig batch_config;
+    batch_config.my_dc = my_dc;
+    batch_config.read_quorum = static_cast<int>(args.num("read_quorum", 2));
+    batch_config.vote_quorum = static_cast<int>(args.num("vote_quorum", 2));
+    batch_config.mode = parse_batch_mode(args.str("batch_mode", "speculative"));
+    for (int i = 0; i < clients_per_dc; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      batch_clients.push_back(std::make_unique<batch::BatchClient>(
+          *nodes[idx]->kit, topo, batch_config,
+          idx < seed_stores.size() ? seed_stores[idx] : nullptr,
+          idx < qpredictors.size() ? qpredictors[idx] : nullptr, nullptr));
+    }
   } else {
     RcClientConfig client_config;
     client_config.my_dc = my_dc;
@@ -213,7 +266,44 @@ int node_main(const Args& args) {
   std::fflush(stdout);
   if (!std::getline(std::cin, line) || line != "RUN") return 2;
 
-  if (role == "client") {
+  if (role == "client" && qstream) {
+    // Ordered-stream batch workload: every client machine drives batch
+    // epochs back-to-back. The RESULT line keeps the standard field names
+    // (committed/aborted count transactions; latency fields are per-epoch)
+    // so the parent's aggregation works unchanged.
+    const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    wl::QStreamConfig wc;
+    wc.txns_per_epoch =
+        static_cast<std::size_t>(args.num("txns_per_epoch", 32));
+    wc.ops_per_txn = static_cast<int>(args.num("ops_per_txn", 4));
+    wc.num_keys = num_keys;
+    wc.value_size = value_size;
+    wc.hot_keys = static_cast<std::size_t>(args.num("hot_keys", 16));
+    wc.hot_fraction = args.real("hot_fraction", 0.5);
+    wc.cross_partition_fraction = args.real("cross_fraction", 0.3);
+    wl::BatchWorkloadFactory factory = [wc, seed](int client_index) {
+      auto w = std::make_shared<wl::QStreamWorkload>(
+          wc, seed + static_cast<std::uint64_t>(client_index));
+      return [w] { return w->next_epoch(); };
+    };
+    std::vector<batch::BatchClient*> raw;
+    for (auto& c : batch_clients) raw.push_back(c.get());
+    const auto run = wl::run_batch_closed_loop(
+        raw, my_dc * clients_per_dc, factory,
+        std::chrono::milliseconds(args.num("warmup_ms", 200)),
+        std::chrono::milliseconds(args.num("measure_ms", 2000)));
+    std::printf(
+        "RESULT committed=%llu aborted=%llu read_only=0 elapsed_s=%.3f "
+        "mean_us=%.1f p50_us=%.1f p99_us=%.1f commit_count=%llu "
+        "commit_mean_us=%.1f\n",
+        static_cast<unsigned long long>(run.committed),
+        static_cast<unsigned long long>(run.aborted), run.elapsed_s,
+        run.epoch_latency.mean_us(), run.epoch_latency.percentile_us(50),
+        run.epoch_latency.percentile_us(99),
+        static_cast<unsigned long long>(run.commit_latency.count()),
+        run.commit_latency.mean_us());
+    std::fflush(stdout);
+  } else if (role == "client") {
     const std::string workload = args.str("workload", "ycsbt");
     const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
     wl::WorkloadFactory factory;
@@ -271,6 +361,7 @@ int node_main(const Args& args) {
   }
   executor.shutdown();
   wheel.shutdown();
+  batch_clients.clear();
   clients.clear();
   coordinators.clear();
   shard_servers.clear();

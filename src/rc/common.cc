@@ -82,6 +82,44 @@ std::vector<kv::WriteOp> decode_writes(const Value& v) {
   return out;
 }
 
+Value encode_batch_entries(const std::vector<kv::BatchEntry>& entries) {
+  ValueList out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    out.push_back(vlist(static_cast<std::int64_t>(e.txn),
+                        static_cast<std::int64_t>(e.index),
+                        encode_reads(e.reads), encode_writes(e.writes)));
+  }
+  return Value(std::move(out));
+}
+
+std::vector<kv::BatchEntry> decode_batch_entries(const Value& v) {
+  std::vector<kv::BatchEntry> out;
+  for (const auto& item : v.as_list()) {
+    const ValueList& quad = item.as_list();
+    kv::BatchEntry e;
+    e.txn = static_cast<kv::TxnId>(quad.at(0).as_int());
+    e.index = static_cast<std::size_t>(quad.at(1).as_int());
+    e.reads = decode_reads(quad.at(2));
+    e.writes = decode_writes(quad.at(3));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Value encode_batch_flags(const std::vector<bool>& flags) {
+  ValueList out;
+  out.reserve(flags.size());
+  for (const bool f : flags) out.push_back(Value(f));
+  return Value(std::move(out));
+}
+
+std::vector<bool> decode_batch_flags(const Value& v) {
+  std::vector<bool> out;
+  for (const auto& e : v.as_list()) out.push_back(e.as_bool());
+  return out;
+}
+
 std::int64_t next_txn_stamp() {
   static std::atomic<std::int64_t> counter{1};
   return counter.fetch_add(1);

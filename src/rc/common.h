@@ -35,6 +35,16 @@ inline constexpr const char* kDecide = "rc.decide";
 inline constexpr const char* kApply = "rc.apply";
 inline constexpr const char* kAbort = "rc.abort";
 
+/// Batch-mode method names (queue-oriented group commit, DESIGN.md §12).
+/// batch.read args carry (key, epoch, shard, pos) so every queue position
+/// gets a distinct predictor key — queue-order seeds never collide across
+/// positions or epochs.
+inline constexpr const char* kBatchRead = "batch.read";
+inline constexpr const char* kBatchPrepare = "batch.prepare";
+inline constexpr const char* kBatchApply = "batch.apply";
+inline constexpr const char* kBatchCommit = "rc.batch_commit";
+inline constexpr const char* kBatchDecide = "rc.batch_decide";
+
 /// One workload operation inside a transaction.
 struct Op {
   bool is_read = true;
@@ -88,6 +98,17 @@ std::vector<kv::ReadValidation> decode_reads(const Value& v);
 
 Value encode_writes(const std::vector<kv::WriteOp>& writes);
 std::vector<kv::WriteOp> decode_writes(const Value& v);
+
+/// Batch wire format: a batch is a list of per-transaction entries, each
+/// vlist(txn, global_index, reads, writes) with reads/writes encoded as
+/// above. Shared by batch.prepare (shard payload) and rc.batch_commit
+/// (coordinator fan-out).
+Value encode_batch_entries(const std::vector<kv::BatchEntry>& entries);
+std::vector<kv::BatchEntry> decode_batch_entries(const Value& v);
+
+/// Per-entry booleans (prepare votes / decide decisions) as a Value list.
+Value encode_batch_flags(const std::vector<bool>& flags);
+std::vector<bool> decode_batch_flags(const Value& v);
 
 /// Monotonic unique ids for transactions/commit versions within a process.
 std::int64_t next_txn_stamp();

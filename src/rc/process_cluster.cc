@@ -220,6 +220,11 @@ ProcessClusterResult ProcessCluster::run() {
         "workload=" + config_.workload,
         "ops_per_txn=" + std::to_string(config_.ops_per_txn),
         "read_fraction=" + std::to_string(config_.read_fraction),
+        "batch_mode=" + config_.batch_mode,
+        "txns_per_epoch=" + std::to_string(config_.txns_per_epoch),
+        "hot_keys=" + std::to_string(config_.hot_keys),
+        "hot_fraction=" + std::to_string(config_.hot_fraction),
+        "cross_fraction=" + std::to_string(config_.cross_fraction),
         "seed=" + std::to_string(config_.seed),
         "warmup_ms=" +
             std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -52,9 +52,17 @@ struct ProcessClusterConfig {
   double remote_cost_mult = 1.0;
   /// gRPC flavour only: GrpcSim per-message overhead.
   double grpc_overhead_us = 75.0;
-  std::string workload = "ycsbt";  // "ycsbt" | "retwis"
+  std::string workload = "ycsbt";  // "ycsbt" | "retwis" | "qstream"
   int ops_per_txn = 5;
   double read_fraction = 0.5;
+  /// qstream (batch-epoch) knobs, used when workload == "qstream". The
+  /// client processes then host batch::BatchClients instead of RcClients;
+  /// RESULT latency fields are per-epoch rather than per-txn.
+  std::string batch_mode = "speculative";  // | "group-commit" | "per-txn-2pc"
+  int txns_per_epoch = 32;
+  int hot_keys = 16;
+  double hot_fraction = 0.5;
+  double cross_fraction = 0.3;
   std::uint64_t seed = 1;
   Duration warmup = std::chrono::milliseconds(200);
   Duration measure = std::chrono::seconds(2);

@@ -56,6 +56,70 @@ ShardServer::ShardServer(RpcKit& kit, kv::VersionedStore& store, CpuModel* cpu,
           respond(Outcome::success(Value(true)));
         });
       });
+
+  // Batch mode (DESIGN.md §12). batch.read serves exactly like rc.read; the
+  // extra args (epoch, shard, pos) exist only to give every queue position a
+  // distinct predictor key on the client.
+  kit_.register_handler(
+      kBatchRead, [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.read, [this, args = std::move(args),
+                               respond = std::move(respond)] {
+          serve_read(args.at(0).as_string(), std::move(respond),
+                     /*attempt=*/0);
+        });
+      });
+  kit_.register_handler(
+      kBatchPrepare,
+      [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.prepare, [this, args = std::move(args),
+                                  respond = std::move(respond)] {
+          handle_batch_prepare(std::move(args), std::move(respond));
+        });
+      });
+  kit_.register_handler(
+      kBatchApply,
+      [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.apply, [this, args = std::move(args),
+                                respond = std::move(respond)] {
+          handle_batch_apply(std::move(args), std::move(respond));
+        });
+      });
+}
+
+void ShardServer::handle_batch_prepare(ValueList args,
+                                       std::function<void(Outcome)> respond) {
+  const auto batch_id = static_cast<kv::TxnId>(args.at(0).as_int());
+  const auto entries = decode_batch_entries(args.at(1));
+  const auto votes = store_.prepare_batch(batch_id, entries);
+  respond(Outcome::success(encode_batch_flags(votes)));
+}
+
+void ShardServer::handle_batch_apply(ValueList args,
+                                     std::function<void(Outcome)> respond) {
+  const auto batch_id = static_cast<kv::TxnId>(args.at(0).as_int());
+  const bool commit = args.at(1).as_bool();
+  if (!commit) {
+    store_.abort_batch(batch_id);
+    respond(Outcome::success(Value(true)));
+    return;
+  }
+  const auto entries = decode_batch_entries(args.at(2));
+  const auto decisions = decode_batch_flags(args.at(3));
+  const std::int64_t version_base = args.at(4).as_int();
+  store_.commit_batch(batch_id, entries, decisions, version_base);
+  if (log_ != nullptr) {
+    // One group append for the whole batch: N records, one lock, one flush
+    // (TxnLog::append_batch) — the log-side half of group commit.
+    std::vector<kv::CommitRecord> records;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i >= decisions.size() || !decisions[i]) continue;
+      const auto& e = entries[i];
+      records.push_back(kv::CommitRecord{
+          e.txn, version_base + static_cast<std::int64_t>(e.txn), e.writes});
+    }
+    log_->append_batch(std::move(records));
+  }
+  respond(Outcome::success(Value(true)));
 }
 
 void ShardServer::serve_read(const std::string& key,
@@ -118,6 +182,22 @@ Coordinator::Coordinator(RpcKit& kit, Topology topology, int dc, CpuModel* cpu,
           handle_decide(args, respond);
         });
       });
+  kit_.register_handler(
+      kBatchCommit,
+      [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.commit, [this, args = std::move(args),
+                                 respond = std::move(respond)] {
+          handle_batch_commit(std::move(args), std::move(respond));
+        });
+      });
+  kit_.register_handler(
+      kBatchDecide,
+      [this](ValueList args, std::function<void(Outcome)> respond) {
+        with_cpu(costs_.commit, [this, args = std::move(args),
+                                 respond = std::move(respond)] {
+          handle_batch_decide(std::move(args), std::move(respond));
+        });
+      });
 }
 
 void Coordinator::with_cpu(Duration cost, std::function<void()> work) {
@@ -150,7 +230,120 @@ std::map<int, ShardSets> split_by_shard(
   return out;
 }
 
+/// Per-shard slice of a batch: the sub-entries owning keys on that shard,
+/// in batch order, plus each sub-entry's position in the full batch so
+/// per-shard votes can be folded back into the batch-wide vote vector.
+struct ShardBatch {
+  std::vector<kv::BatchEntry> entries;
+  std::vector<std::size_t> positions;
+};
+
+std::map<int, ShardBatch> split_batch_by_shard(
+    const std::vector<kv::BatchEntry>& entries) {
+  std::map<int, ShardBatch> out;
+  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+    const auto& e = entries[pos];
+    std::map<int, kv::BatchEntry> per_shard;
+    for (const auto& r : e.reads) {
+      auto& sub = per_shard[shard_of(r.key)];
+      sub.reads.push_back(r);
+    }
+    for (const auto& w : e.writes) {
+      auto& sub = per_shard[shard_of(w.key)];
+      sub.writes.push_back(w);
+    }
+    for (auto& [shard, sub] : per_shard) {
+      sub.txn = e.txn;
+      sub.index = e.index;
+      auto& sb = out[shard];
+      sb.entries.push_back(std::move(sub));
+      sb.positions.push_back(pos);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+void Coordinator::handle_batch_commit(ValueList args,
+                                      std::function<void(Outcome)> respond) {
+  const std::int64_t batch_id = args.at(0).as_int();
+  const auto entries = decode_batch_entries(args.at(1));
+  auto by_shard = split_batch_by_shard(entries);
+  if (by_shard.empty()) {
+    respond(Outcome::success(
+        encode_batch_flags(std::vector<bool>(entries.size(), true))));
+    return;
+  }
+  // DC-local 2PC prepare, one batch.prepare per participating shard. Votes
+  // come back per sub-entry and are ANDed into the batch-wide vector; a
+  // failed shard RPC conservatively votes no for every entry it owned.
+  struct Agg {
+    std::mutex mu;
+    int remaining = 0;
+    std::vector<bool> votes;
+    std::function<void(Outcome)> respond;
+  };
+  auto agg = std::make_shared<Agg>();
+  agg->remaining = static_cast<int>(by_shard.size());
+  agg->votes.assign(entries.size(), true);
+  agg->respond = std::move(respond);
+  for (auto& [shard, sb] : by_shard) {
+    ValueList prepare_args;
+    prepare_args.emplace_back(batch_id);
+    prepare_args.push_back(encode_batch_entries(sb.entries));
+    auto future = kit_.call(topology_.shard_addr(dc_, shard), kBatchPrepare,
+                            std::move(prepare_args));
+    future->then([agg, positions = sb.positions](const Outcome& outcome) {
+      bool done = false;
+      std::vector<bool> result;
+      {
+        std::lock_guard<std::mutex> lock(agg->mu);
+        if (outcome.ok) {
+          const auto votes = decode_batch_flags(outcome.value);
+          for (std::size_t i = 0; i < positions.size(); ++i) {
+            if (i >= votes.size() || !votes[i]) agg->votes[positions[i]] = false;
+          }
+        } else {
+          for (const std::size_t pos : positions) agg->votes[pos] = false;
+        }
+        if (--agg->remaining == 0) {
+          done = true;
+          result = agg->votes;
+        }
+      }
+      if (done) agg->respond(Outcome::success(encode_batch_flags(result)));
+    });
+  }
+}
+
+void Coordinator::handle_batch_decide(ValueList args,
+                                      std::function<void(Outcome)> respond) {
+  const std::int64_t batch_id = args.at(0).as_int();
+  const bool commit = args.at(1).as_bool();
+  const auto entries = decode_batch_entries(args.at(2));
+  const auto decisions = decode_batch_flags(args.at(3));
+  const std::int64_t version_base = args.at(4).as_int();
+  auto by_shard = split_batch_by_shard(entries);
+  for (auto& [shard, sb] : by_shard) {
+    ValueList apply_args;
+    apply_args.emplace_back(batch_id);
+    apply_args.emplace_back(commit);
+    if (commit) {
+      std::vector<bool> sub_decisions;
+      sub_decisions.reserve(sb.positions.size());
+      for (const std::size_t pos : sb.positions) {
+        sub_decisions.push_back(pos < decisions.size() && decisions[pos]);
+      }
+      apply_args.push_back(encode_batch_entries(sb.entries));
+      apply_args.push_back(encode_batch_flags(sub_decisions));
+      apply_args.emplace_back(version_base);
+    }
+    kit_.call(topology_.shard_addr(dc_, shard), kBatchApply,
+              std::move(apply_args));
+  }
+  respond(Outcome::success(Value(true)));
+}
 
 void Coordinator::handle_commit(ValueList args,
                                 std::function<void(Outcome)> respond) {

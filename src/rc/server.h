@@ -40,6 +40,10 @@ class ShardServer {
   void with_cpu(Duration cost, std::function<void()> work);
   void serve_read(const std::string& key,
                   std::function<void(Outcome)> respond, int attempt);
+  void handle_batch_prepare(ValueList args,
+                            std::function<void(Outcome)> respond);
+  void handle_batch_apply(ValueList args,
+                          std::function<void(Outcome)> respond);
 
   RpcKit& kit_;
   kv::VersionedStore& store_;
@@ -57,6 +61,10 @@ class Coordinator {
   void with_cpu(Duration cost, std::function<void()> work);
   void handle_commit(ValueList args, std::function<void(Outcome)> respond);
   void handle_decide(ValueList args, std::function<void(Outcome)> respond);
+  void handle_batch_commit(ValueList args,
+                           std::function<void(Outcome)> respond);
+  void handle_batch_decide(ValueList args,
+                           std::function<void(Outcome)> respond);
 
   RpcKit& kit_;
   Topology topology_;

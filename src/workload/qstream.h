@@ -1,0 +1,158 @@
+// QStream — the ordered-stream workload family for queue-oriented batch
+// transactions (DESIGN.md §12.7).
+//
+// Each client produces an ordered stream of small transactions cut into
+// batch epochs. The stream has the structure queue-order prediction
+// exploits:
+//
+//   * Hot-key runs — consecutive transactions revisit the same hot counter
+//     (run lengths geometric around `run_length_mean`), so within a batch
+//     later transactions read what earlier ones wrote (overlay reads), and
+//     across epochs last epoch's committed values seed this epoch's reads.
+//   * Skewed partition fan-out — each transaction's cold ops land on a
+//     "home" shard drawn from a Zipfian over shards, so queue depths are
+//     deliberately unbalanced.
+//   * Cross-partition fraction — with probability
+//     `cross_partition_fraction` a transaction is forced to straddle at
+//     least two shard queues (the straddle commits atomically or not at
+//     all; the suffix-rollback tests ride this knob).
+//
+// The hot set is shared by every client (same key names), so `hot_keys`
+// and `hot_fraction` double as the conflict-rate dial: fewer hot keys +
+// higher fraction = more cross-client write-write conflicts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batch/types.h"
+#include "common/rng.h"
+#include "rc/common.h"
+
+namespace srpc::wl {
+
+struct QStreamConfig {
+  std::size_t txns_per_epoch = 32;
+  int ops_per_txn = 4;
+  double read_fraction = 0.4;  // plain reads among cold ops
+  double rmw_fraction = 0.3;   // rmw among cold ops; the rest blind-write
+  std::uint64_t num_keys = 100'000;
+  std::size_t value_size = 16;
+  /// Hot set: the first `hot_keys` dataset keys, shared across clients.
+  std::size_t hot_keys = 16;
+  /// Probability that a transaction (outside a run) starts a hot run.
+  double hot_fraction = 0.5;
+  double run_length_mean = 4.0;
+  /// Zipf alpha over shards for the cold ops' home shard.
+  double shard_alpha = 0.9;
+  double cross_partition_fraction = 0.3;
+};
+
+class QStreamWorkload {
+ public:
+  QStreamWorkload(QStreamConfig config, std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        shard_zipf_(static_cast<std::uint64_t>(rc::kNumShards),
+                    config.shard_alpha) {
+    // Bucket the dataset by shard once so cold ops can target a shard
+    // directly (shard_of is hash-based, so we cannot invert it).
+    shard_keys_.resize(static_cast<std::size_t>(rc::kNumShards));
+    for (std::uint64_t i = 0; i < config_.num_keys; ++i) {
+      std::string key = key_at(i);
+      shard_keys_[static_cast<std::size_t>(rc::shard_of(key))].push_back(
+          std::move(key));
+    }
+  }
+
+  /// The next `txns_per_epoch` transactions of the stream, in order.
+  std::vector<batch::BatchTxn> next_epoch() {
+    std::vector<batch::BatchTxn> txns;
+    txns.reserve(config_.txns_per_epoch);
+    for (std::size_t i = 0; i < config_.txns_per_epoch; ++i) {
+      txns.push_back(next_txn());
+    }
+    return txns;
+  }
+
+  const QStreamConfig& config() const { return config_; }
+
+ private:
+  batch::BatchTxn next_txn() {
+    batch::BatchTxn txn;
+    txn.id = next_id_++;
+    txn.ops.reserve(static_cast<std::size_t>(config_.ops_per_txn));
+
+    // Hot-key run machinery: while a run is live, the transaction's first
+    // op increments the run's counter key.
+    if (run_remaining_ == 0 && config_.hot_keys > 0 &&
+        rng_.flip(config_.hot_fraction)) {
+      run_key_ = key_at(rng_.uniform(config_.hot_keys));
+      run_remaining_ = 1;
+      const auto cap = static_cast<std::size_t>(4 * config_.run_length_mean);
+      while (run_remaining_ < cap &&
+             rng_.flip(1.0 - 1.0 / config_.run_length_mean)) {
+        run_remaining_++;
+      }
+    }
+    if (run_remaining_ > 0) {
+      run_remaining_--;
+      batch::BatchOp op;
+      op.kind = batch::OpKind::kRmw;
+      op.key = run_key_;
+      op.value = "1";
+      op.transform = batch::Transform::kIncrement;
+      txn.ops.push_back(std::move(op));
+    }
+
+    // Cold ops on the home shard; a cross-partition transaction forces its
+    // second cold op onto a different shard.
+    const int home = static_cast<int>(shard_zipf_.sample(rng_));
+    const bool straddle = rng_.flip(config_.cross_partition_fraction);
+    int cold_index = 0;
+    while (txn.ops.size() < static_cast<std::size_t>(config_.ops_per_txn)) {
+      int shard = home;
+      if (straddle && cold_index == 1) {
+        shard = (home + 1 + static_cast<int>(rng_.uniform(
+                                 static_cast<std::uint64_t>(rc::kNumShards) -
+                                 1))) %
+                rc::kNumShards;
+      }
+      const auto& keys = shard_keys_[static_cast<std::size_t>(shard)];
+      batch::BatchOp op;
+      op.key = keys[rng_.uniform(keys.size())];
+      const double roll = rng_.uniform01();
+      if (roll < config_.read_fraction) {
+        op.kind = batch::OpKind::kRead;
+      } else if (roll < config_.read_fraction + config_.rmw_fraction) {
+        op.kind = batch::OpKind::kRmw;
+        op.value = "a";
+        op.transform = batch::Transform::kAppend;
+      } else {
+        op.kind = batch::OpKind::kWrite;
+        op.value = std::string(config_.value_size, 'w');
+      }
+      txn.ops.push_back(std::move(op));
+      cold_index++;
+    }
+    return txn;
+  }
+
+  std::string key_at(std::uint64_t i) const {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08llu",
+                  static_cast<unsigned long long>(i));
+    return key;
+  }
+
+  QStreamConfig config_;
+  Rng rng_;
+  Zipf shard_zipf_;
+  std::vector<std::vector<std::string>> shard_keys_;
+  std::uint64_t next_id_ = 0;
+  std::string run_key_;
+  std::size_t run_remaining_ = 0;
+};
+
+}  // namespace srpc::wl

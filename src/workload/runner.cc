@@ -63,4 +63,56 @@ RcRunResult run_rc_closed_loop(const std::vector<rc::RcClient*>& clients,
   return result;
 }
 
+BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
+                                     const BatchWorkloadFactory& factory,
+                                     Duration warmup, Duration measure) {
+  std::vector<batch::BatchClient*> clients;
+  const int per_dc = cluster.clients_per_dc();
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc)
+    for (int i = 0; i < per_dc; ++i)
+      clients.push_back(&cluster.batch_client(dc, i));
+  return run_batch_closed_loop(clients, 0, factory, warmup, measure);
+}
+
+BatchRunResult run_batch_closed_loop(
+    const std::vector<batch::BatchClient*>& clients, int index_base,
+    const BatchWorkloadFactory& factory, Duration warmup, Duration measure) {
+  BatchRunResult result;
+  std::mutex result_mu;
+  const TimePoint start = Clock::now();
+  const TimePoint measure_from = start + warmup;
+  const TimePoint measure_until = measure_from + measure;
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const int global_index = index_base + static_cast<int>(c);
+    threads.emplace_back([&, c, global_index] {
+      auto next_epoch = factory(global_index);
+      batch::BatchClient& client = *clients[c];
+      while (Clock::now() < measure_until) {
+        const TimePoint t0 = Clock::now();
+        batch::EpochResult epoch;
+        try {
+          epoch = client.run_epoch(next_epoch());
+        } catch (const std::exception& e) {
+          SRPC_LOG(WARN) << "batch epoch failed: " << e.what();
+          continue;
+        }
+        if (t0 < measure_from || t0 >= measure_until) continue;
+        std::lock_guard<std::mutex> lock(result_mu);
+        result.epochs++;
+        result.committed += epoch.committed;
+        result.aborted += epoch.aborted;
+        result.epoch_latency.record(epoch.total);
+        if (client.mode() != batch::BatchMode::kPerTxn2pc) {
+          result.commit_latency.record(epoch.commit_phase);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.elapsed_s = std::chrono::duration<double>(measure).count();
+  return result;
+}
+
 }  // namespace srpc::wl

@@ -51,4 +51,42 @@ RcRunResult run_rc_closed_loop(const std::vector<rc::RcClient*>& clients,
                                const WorkloadFactory& workload_factory,
                                Duration warmup, Duration measure);
 
+// ------------------------------------------------------- batch closed loop
+
+struct BatchRunResult {
+  stats::Histogram epoch_latency;   // full epoch (plan -> decide)
+  stats::Histogram commit_latency;  // batch commit round (batched modes)
+  std::uint64_t committed = 0;      // transactions, not epochs
+  std::uint64_t aborted = 0;
+  std::uint64_t epochs = 0;
+  double elapsed_s = 0;
+
+  double committed_per_s() const {
+    return elapsed_s > 0 ? static_cast<double>(committed) / elapsed_s : 0;
+  }
+  double abort_rate() const {
+    const auto total = committed + aborted;
+    return total > 0 ? static_cast<double>(aborted) /
+                           static_cast<double>(total)
+                     : 0;
+  }
+};
+
+/// Per-client epoch source (one ordered stream per client); the int is the
+/// global client index.
+using BatchWorkloadFactory = std::function<
+    std::function<std::vector<batch::BatchTxn>()>(int client_index)>;
+
+/// Closed loop over every batch client of `cluster` (requires
+/// config.batch_clients): each client runs epochs back-to-back; only epochs
+/// that *start* inside the measurement window are recorded.
+BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
+                                     const BatchWorkloadFactory& factory,
+                                     Duration warmup, Duration measure);
+
+/// Same loop over bare batch clients (cross-process cluster nodes).
+BatchRunResult run_batch_closed_loop(
+    const std::vector<batch::BatchClient*>& clients, int index_base,
+    const BatchWorkloadFactory& factory, Duration warmup, Duration measure);
+
 }  // namespace srpc::wl
