@@ -118,8 +118,9 @@ class SerialReplay {
 bool converged(rc::RcCluster& cluster,
                const std::map<std::string, std::string>& expected) {
   const auto deadline = Clock::now() + std::chrono::seconds(10);
+  const auto view = cluster.view();
   for (const auto& [key, value] : expected) {
-    const int shard = rc::shard_of(key);
+    const int shard = view->shard_of(key);
     for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
       for (;;) {
         auto got = cluster.store(dc, shard).get(key);

@@ -1,0 +1,274 @@
+// perf_reconfig — goodput through a live shard migration (DESIGN.md §13).
+// Writes BENCH_reconfig.json (cwd).
+//
+// Closed-loop clients increment a spread of counter keys while the view
+// coordinator migrates half of shard 0's slots to the next shard over.
+// Committed transactions are bucketed into 100 ms windows, giving a goodput
+// timeline across three phases:
+//
+//   steady      pre-migration closed-loop throughput (the baseline)
+//   migration   epoch N+1 installs, stale clients are NACKed and refresh,
+//               the gaining shard warms the moved slots (state transfer)
+//   recovered   post-migration throughput under the new view
+//
+// Acceptance (ISSUE 9): the migration completes while traffic flows, no
+// committed increment is lost across the epoch boundary (final counter
+// values equal the per-key committed counts), and recovered throughput is
+// >= 90% of steady state. The dip is reported as the worst 100 ms window
+// inside the migration phase.
+//
+// Env knobs (on top of bench_util's SPECRPC_BENCH_{WARMUP,MEASURE}_S):
+//   SPECRPC_RECONFIG_CLIENTS_PER_DC  closed-loop clients per DC (default 2)
+//   SPECRPC_RECONFIG_RTT_MS          uniform inter-DC RTT       (default 4)
+//   SPECRPC_RECONFIG_STEADY_S        steady phase seconds       (default 1.5)
+//   SPECRPC_RECONFIG_POST_S          post-migration seconds     (default 1.5)
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "rc/cluster.h"
+
+namespace {
+
+using namespace srpc;
+using namespace srpc::bench;
+
+constexpr int kCounters = 48;        // counter keys, spread over the slots
+constexpr auto kWindow = std::chrono::milliseconds(100);
+
+std::vector<std::string> counter_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kCounters);
+  for (int i = 0; i < kCounters; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    keys.emplace_back(key);
+  }
+  return keys;
+}
+
+struct FlavorResult {
+  bool migrate_ok = false;
+  double migration_ms = 0;
+  std::int64_t final_epoch = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t view_refreshes = 0;
+  std::uint64_t lost_writes = 0;  // |store counter - committed increments|
+  double steady_per_s = 0;
+  double dip_min_window_per_s = 0;  // worst 100 ms window while migrating
+  double recovered_per_s = 0;
+  double recovered_ratio = 0;       // recovered / steady
+};
+
+FlavorResult run_flavor(Flavor flavor, int clients_per_dc, double rtt_ms,
+                        Duration steady, Duration post) {
+  rc::ClusterConfig config;
+  config.flavor = flavor;
+  config.geo = uniform_geo(rtt_ms);
+  config.geo.lan_rtt_ms = 0.2;
+  config.clients_per_dc = clients_per_dc;
+  config.num_keys = 1000;
+  rc::RcCluster cluster(config);
+
+  const auto keys = counter_keys();
+  const std::string initial(16, 'v');
+  auto increment = [initial](const std::string& current) {
+    const int n = current == initial ? 0 : std::stoi(current);
+    return std::to_string(n + 1);
+  };
+
+  // 100 ms goodput buckets over the whole run (generously oversized).
+  const std::size_t max_buckets =
+      static_cast<std::size_t>(to_ms(warmup() + steady + post) / 100) + 600;
+  std::vector<std::atomic<std::uint64_t>> buckets(max_buckets);
+  std::vector<std::atomic<std::uint64_t>> per_key(keys.size());
+  std::atomic<std::uint64_t> committed{0}, aborted{0}, refreshes{0};
+  std::atomic<bool> stop{false};
+  const TimePoint start = Clock::now();
+
+  std::vector<std::thread> workers;
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    for (int i = 0; i < clients_per_dc; ++i) {
+      workers.emplace_back([&, dc, i] {
+        auto& client = cluster.client(dc, i);
+        Rng rng(static_cast<std::uint64_t>(dc * 64 + i + 1));
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::size_t k = rng.uniform(keys.size());
+          rc::TxnResult r = client.run_transform(keys[k], increment);
+          refreshes.fetch_add(static_cast<std::uint64_t>(r.view_refreshes));
+          if (!r.committed) {
+            aborted.fetch_add(1);
+            continue;
+          }
+          committed.fetch_add(1);
+          per_key[k].fetch_add(1);
+          const auto since = Clock::now() - start;
+          const std::size_t bucket = static_cast<std::size_t>(since / kWindow);
+          if (bucket < buckets.size()) buckets[bucket].fetch_add(1);
+        }
+      });
+    }
+  }
+
+  std::this_thread::sleep_for(warmup());
+  const TimePoint steady_start = Clock::now();
+  std::this_thread::sleep_for(steady);
+
+  // The migration: half of shard 0's slots move to the next shard while the
+  // closed loop keeps running. migrate_slots returns only after every
+  // replica adopted the epoch and finished warming (state transfer landed).
+  const TimePoint mig_start = Clock::now();
+  const auto slots = cluster.view()->slots_of(0);
+  const std::vector<int> moved(slots.begin(),
+                               slots.begin() + static_cast<long>(slots.size()) / 2);
+  FlavorResult out;
+  out.migrate_ok = cluster.view_coordinator().migrate_slots(
+      moved, 1 % cluster.num_shards(), std::chrono::seconds(30));
+  const TimePoint mig_end = Clock::now();
+
+  std::this_thread::sleep_for(post);
+  const TimePoint end = Clock::now();
+  stop.store(true);
+  for (auto& t : workers) t.join();
+
+  // Counter audit: every committed increment must be visible exactly once,
+  // across the epoch boundary. (Quiesce first: decides are asynchronous.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    std::vector<rc::Op> read;
+    read.push_back(rc::Op{true, keys[k], {}});
+    rc::TxnResult r = cluster.client(0, 0).run(read);
+    const std::string& value = r.reads.empty() ? initial : r.reads[0].value;
+    const std::uint64_t stored =
+        r.committed && value != initial
+            ? static_cast<std::uint64_t>(std::stoll(value))
+            : 0;
+    const std::uint64_t expected = per_key[k].load();
+    out.lost_writes += stored > expected ? stored - expected : expected - stored;
+  }
+
+  auto window_rate = [&](TimePoint from, TimePoint to) {
+    const auto b0 = static_cast<std::size_t>((from - start) / kWindow);
+    const auto b1 = static_cast<std::size_t>((to - start) / kWindow);
+    std::uint64_t n = 0;
+    for (std::size_t b = b0; b < b1 && b < buckets.size(); ++b)
+      n += buckets[b].load();
+    const double seconds = to_ms(to - from) / 1000.0;
+    return seconds > 0 ? static_cast<double>(n) / seconds : 0.0;
+  };
+
+  out.migration_ms = to_ms(mig_end - mig_start);
+  out.final_epoch = cluster.view()->epoch;
+  out.committed = committed.load();
+  out.aborted = aborted.load();
+  out.view_refreshes = refreshes.load();
+  out.steady_per_s = window_rate(steady_start, mig_start);
+  out.recovered_per_s = window_rate(mig_end, end);
+  out.recovered_ratio =
+      out.steady_per_s > 0 ? out.recovered_per_s / out.steady_per_s : 0;
+
+  // Worst 100 ms window from migration start until 1 s after it finished
+  // (whole windows only — a window the migration ended inside is partial).
+  const auto d0 = static_cast<std::size_t>((mig_start - start) / kWindow) + 1;
+  const auto d1 = static_cast<std::size_t>(
+      (mig_end + std::chrono::seconds(1) - start) / kWindow);
+  std::uint64_t dip_min = UINT64_MAX;
+  for (std::size_t b = d0; b < d1 && b < buckets.size(); ++b) {
+    dip_min = std::min(dip_min, buckets[b].load());
+  }
+  out.dip_min_window_per_s =
+      dip_min == UINT64_MAX ? 0 : static_cast<double>(dip_min) * 10.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("perf_reconfig",
+         "goodput through a live shard migration (view-change protocol)");
+
+  const int clients_per_dc =
+      static_cast<int>(env_long("SPECRPC_RECONFIG_CLIENTS_PER_DC", 2));
+  const double rtt_ms = env_double("SPECRPC_RECONFIG_RTT_MS", 4.0);
+  const auto seconds = [](double s) {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(s));
+  };
+  const Duration steady =
+      seconds(env_double("SPECRPC_RECONFIG_STEADY_S", 1.5));
+  const Duration post = seconds(env_double("SPECRPC_RECONFIG_POST_S", 1.5));
+
+  const Flavor flavors[] = {Flavor::kTrad, Flavor::kSpec};
+  FlavorResult results[2];
+  std::printf("%8s %10s %9s %11s %11s %11s %9s %6s %5s\n", "flavor",
+              "steady/s", "dip/s", "recovered/s", "ratio", "migrate_ms",
+              "refreshes", "lost", "epoch");
+  for (int i = 0; i < 2; ++i) {
+    results[i] = run_flavor(flavors[i], clients_per_dc, rtt_ms, steady, post);
+    const FlavorResult& r = results[i];
+    std::printf("%8s %10.0f %9.0f %11.0f %10.2f%% %11.1f %9llu %6llu %5lld\n",
+                to_string(flavors[i]), r.steady_per_s, r.dip_min_window_per_s,
+                r.recovered_per_s, r.recovered_ratio * 100.0, r.migration_ms,
+                static_cast<unsigned long long>(r.view_refreshes),
+                static_cast<unsigned long long>(r.lost_writes),
+                static_cast<long long>(r.final_epoch));
+  }
+
+  // Acceptance on the SpecRPC row: migration completed under traffic, zero
+  // lost committed writes, recovered throughput >= 90% of steady state.
+  const FlavorResult& spec = results[1];
+  const bool accept = spec.migrate_ok && spec.lost_writes == 0 &&
+                      spec.recovered_ratio >= 0.9;
+  std::printf("\nmigration %s under traffic; lost_writes=%llu; "
+              "recovered %.1f%% of steady (accept>=90%%: %s)\n",
+              spec.migrate_ok ? "completed" : "DID NOT COMPLETE",
+              static_cast<unsigned long long>(spec.lost_writes),
+              spec.recovered_ratio * 100.0, accept ? "yes" : "NO");
+
+  FILE* f = std::fopen("BENCH_reconfig.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_reconfig.json");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"clients_per_dc\": %d,\n  \"rtt_ms\": %.1f,\n"
+               "  \"steady_s\": %.2f,\n  \"post_s\": %.2f,\n"
+               "  \"counter_keys\": %d,\n  \"flavors\": {\n",
+               clients_per_dc, rtt_ms, to_ms(steady) / 1000.0,
+               to_ms(post) / 1000.0, kCounters);
+  for (int i = 0; i < 2; ++i) {
+    const FlavorResult& r = results[i];
+    std::fprintf(
+        f,
+        "    \"%s\": {\"migrate_ok\": %s, \"migration_ms\": %.1f, "
+        "\"final_epoch\": %lld,\n"
+        "      \"committed\": %llu, \"aborted\": %llu, "
+        "\"view_refreshes\": %llu, \"lost_writes\": %llu,\n"
+        "      \"steady_per_s\": %.0f, \"dip_min_window_per_s\": %.0f, "
+        "\"recovered_per_s\": %.0f, \"recovered_ratio\": %.4f}%s\n",
+        to_string(flavors[i]), r.migrate_ok ? "true" : "false",
+        r.migration_ms, static_cast<long long>(r.final_epoch),
+        static_cast<unsigned long long>(r.committed),
+        static_cast<unsigned long long>(r.aborted),
+        static_cast<unsigned long long>(r.view_refreshes),
+        static_cast<unsigned long long>(r.lost_writes), r.steady_per_s,
+        r.dip_min_window_per_s, r.recovered_per_s, r.recovered_ratio,
+        i == 0 ? "," : "");
+  }
+  std::fprintf(f,
+               "  },\n  \"accept_recovered_0p9\": %s,\n"
+               "  \"accept_zero_lost_writes\": %s\n}\n",
+               accept ? "true" : "false",
+               spec.lost_writes == 0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_reconfig.json\n");
+  // Exit 0 regardless: sanitizer smokes run this binary with tiny windows
+  // where the ratios are noise; the JSON records the acceptance verdicts.
+  return 0;
+}

@@ -24,7 +24,7 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_executor_stress test_transport test_chaos_soak test_predict \
-  test_engine_shard test_overload test_batch rc_cluster_node
+  test_engine_shard test_overload test_batch test_reconfig rc_cluster_node
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
 # The real-TCP reactor suite under TSan: reactor sharding, wake coalescing,
@@ -47,6 +47,12 @@ SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
 # chains, seed-store puts from engine threads, batch-id lock ownership,
 # and the gauge's cross-thread accounting.
 ./build-tsan/tests/test_batch
+# Live reconfiguration (DESIGN.md §13): the full suite under TSan — view
+# installs racing closed-loop traffic, wrong-epoch NACK refresh from client
+# threads, warming/pull state transfer, and the provider's epoch-monotone
+# install under concurrent readers. The chaos epoch-flip variant (migrations
+# mid-2PC under drop/dup/flap) already runs in the bounded chaos pass above.
+./build-tsan/tests/test_reconfig
 
 # Engine-scale smoke (reuses the asan build): sanity-check that the sharded
 # engine beats the single-domain baseline at 8 client threads and that the
@@ -82,3 +88,13 @@ cmake --build --preset asan -j"$(nproc)" --target perf_batch
 (cd build-asan && SPECRPC_BENCH_WARMUP_S=0.1 SPECRPC_BENCH_MEASURE_S=0.3 \
   SPECRPC_BATCH_HOTFRACS=0.5 SPECRPC_BATCH_SKIP_PROCESS=1 \
   SPECRPC_BATCH_NUM_KEYS=2000 ./bench/perf_batch)
+
+# Reconfiguration smoke under ASan (DESIGN.md §13): tiny windows — drives a
+# live slot migration (view install broadcast, wrong-epoch NACK refresh,
+# warming/pull state transfer) under closed-loop traffic and checks the
+# counter audit (zero lost committed writes) for leaks and lifetime bugs.
+# The ≥90% recovered-throughput acceptance (EXPERIMENTS.md) is
+# release-build only; the sanitized ratios are noise.
+cmake --build --preset asan -j"$(nproc)" --target perf_reconfig
+(cd build-asan && SPECRPC_BENCH_WARMUP_S=0.1 SPECRPC_RECONFIG_STEADY_S=0.3 \
+  SPECRPC_RECONFIG_POST_S=0.3 ./bench/perf_reconfig)

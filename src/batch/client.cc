@@ -13,48 +13,84 @@ namespace {
 /// per-txn convention (commit_version = txn + 1e9); batch and per-txn
 /// transactions therefore share one version space.
 constexpr std::int64_t kVersionBase = 1'000'000'000;
+/// Re-plans after a wrong-epoch NACK before giving up on the epoch. One
+/// refresh normally suffices (the NACK carries the new view); the bound
+/// protects against a reconfiguration storm.
+constexpr int kMaxViewRetries = 3;
 }  // namespace
 
-BatchClient::BatchClient(rc::RpcKit& kit, rc::Topology topology,
+BatchClient::BatchClient(rc::RpcKit& kit,
+                         std::shared_ptr<rc::ViewProvider> views,
                          BatchClientConfig config,
                          std::shared_ptr<SeedStore> seeds,
                          std::shared_ptr<QueueSeedPredictor> predictor,
                          std::shared_ptr<BatchQueueGauge> gauge)
     : kit_(kit),
-      topology_(topology),
+      views_(views),
       config_(config),
       seeds_(std::move(seeds)),
       predictor_(std::move(predictor)),
       gauge_(std::move(gauge)),
-      executor_(kit, std::move(topology), config.my_dc, config.read_quorum,
+      executor_(kit, std::move(views), config.my_dc, config.read_quorum,
                 seeds_) {}
 
+void BatchClient::refresh_view(const rc::WrongEpochError& err) {
+  stats_.view_refreshes.fetch_add(1, std::memory_order_relaxed);
+  if (err.view().has_value()) views_->install(*err.view());
+  if (seeds_ != nullptr) seeds_->clear();
+}
+
 EpochResult BatchClient::run_epoch(std::vector<BatchTxn> txns) {
-  const BatchPlan plan = planner_.plan(std::move(txns));
-  if (gauge_ != nullptr) gauge_->on_plan(plan);
-  EpochResult result = config_.mode == BatchMode::kPerTxn2pc
-                           ? run_per_txn(plan)
-                           : run_batched(plan);
-  if (gauge_ != nullptr) gauge_->on_complete(plan);
-  stats_.epochs.fetch_add(1, std::memory_order_relaxed);
-  stats_.committed.fetch_add(result.committed, std::memory_order_relaxed);
-  stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
-  return result;
+  for (int attempt = 0;; ++attempt) {
+    // Plan under the freshest view; the plan carries that view's epoch and
+    // every RPC of the epoch is stamped with it.
+    const View view = views_->get();
+    const BatchPlan plan = planner_.plan(*view, txns);
+    if (gauge_ != nullptr) gauge_->on_plan(plan);
+    try {
+      EpochResult result = config_.mode == BatchMode::kPerTxn2pc
+                               ? run_per_txn(plan, view)
+                               : run_batched(plan, view);
+      if (gauge_ != nullptr) gauge_->on_complete(plan);
+      stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+      stats_.committed.fetch_add(result.committed, std::memory_order_relaxed);
+      stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
+      return result;
+    } catch (const rc::WrongEpochError& err) {
+      // Thrown only before anything of this epoch committed (reads, or a
+      // commit round that aborted every transaction), so a full re-plan
+      // cannot double-apply.
+      if (gauge_ != nullptr) gauge_->on_complete(plan);
+      refresh_view(err);
+      if (attempt >= kMaxViewRetries) {
+        EpochResult result;
+        result.epoch = plan.epoch;
+        result.aborted = plan.txns.size();
+        result.decisions.assign(plan.txns.size(), false);
+        stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+        stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
+        return result;
+      }
+    }
+  }
 }
 
 void BatchClient::prime_predictions(const BatchPlan& plan) {
   if (predictor_ == nullptr || seeds_ == nullptr) return;
   predictor_->begin_epoch();
-  for (int shard = 0; shard < rc::kNumShards; ++shard) {
+  for (int shard = 0; shard < plan.num_shards; ++shard) {
     for (const auto& wr : plan.wire_reads[static_cast<std::size_t>(shard)]) {
       auto seed = seeds_->get(wr.key);
       if (!seed.has_value()) continue;  // cold key: the call runs unpredicted
+      // Must mirror the executor's read_args exactly — the predictor key
+      // hashes (method, args), vepoch included.
       ValueList args;
-      args.reserve(4);
+      args.reserve(5);
       args.emplace_back(wr.key);
       args.emplace_back(static_cast<std::int64_t>(plan.epoch));
       args.emplace_back(static_cast<std::int64_t>(wr.shard));
       args.emplace_back(static_cast<std::int64_t>(wr.pos));
+      args.emplace_back(plan.view_epoch);
       predictor_->prime(rc::kBatchRead, args,
                         vlist(seed->value, seed->version));
     }
@@ -109,14 +145,14 @@ std::vector<BatchClient::ComputedTxn> BatchClient::compute(
   return out;
 }
 
-EpochResult BatchClient::run_batched(const BatchPlan& plan) {
+EpochResult BatchClient::run_batched(const BatchPlan& plan, const View& view) {
   const TimePoint t0 = Clock::now();
   EpochResult result;
   result.epoch = plan.epoch;
   if (plan.txns.empty()) return result;
 
   if (config_.mode == BatchMode::kSpeculative) prime_predictions(plan);
-  const ReadSet reads = executor_.execute(plan, config_.mode);
+  const ReadSet reads = executor_.execute(plan, config_.mode, view);
   const auto computed = compute(plan, reads);
 
   std::vector<kv::BatchEntry> entries;
@@ -139,22 +175,28 @@ EpochResult BatchClient::run_batched(const BatchPlan& plan) {
     std::mutex mu;
     std::condition_variable cv;
     std::vector<int> yes, no;
+    std::string epoch_error;  // first wrong-epoch NACK, if any
   };
   auto votes = std::make_shared<VoteState>();
   votes->yes.assign(n, 0);
   votes->no.assign(n, 0);
-  const int num_dcs = topology_.num_dcs;
+  const int num_dcs = view->num_dcs;
   const int quorum = config_.vote_quorum;
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
     args.emplace_back(static_cast<std::int64_t>(batch_id));
     args.push_back(rc::encode_batch_entries(entries));
+    args.emplace_back(view->epoch);
     auto future =
-        kit_.call(topology_.coord_addr(dc), rc::kBatchCommit, std::move(args));
+        kit_.call(view->coord_addr(dc), rc::kBatchCommit, std::move(args));
     future->then([votes, n](const rc::Outcome& outcome) {
       std::lock_guard<std::mutex> lock(votes->mu);
       std::vector<bool> flags;
       if (outcome.ok) flags = rc::decode_batch_flags(outcome.value);
+      if (!outcome.ok && rc::is_wrong_epoch(outcome.error) &&
+          votes->epoch_error.empty()) {
+        votes->epoch_error = outcome.error;
+      }
       for (std::size_t i = 0; i < n; ++i) {
         if (outcome.ok && i < flags.size() && flags[i]) {
           votes->yes[i]++;
@@ -178,21 +220,25 @@ EpochResult BatchClient::run_batched(const BatchPlan& plan) {
     });
   }
   std::vector<bool> voted(n, false);
+  std::string epoch_error;
   {
     std::lock_guard<std::mutex> lock(votes->mu);
     for (std::size_t i = 0; i < n; ++i) voted[i] = votes->yes[i] >= quorum;
+    epoch_error = votes->epoch_error;
   }
 
   // Dependency closure, in batch order: a transaction whose overlay read
   // came from an aborted transaction aborts too (transitive, since deps
   // only point backwards).
   result.decisions.assign(n, false);
+  bool any_committed = false;
   for (std::size_t i = 0; i < n; ++i) {
     bool ok = voted[i];
     for (const std::size_t dep : plan.txns[i].deps) {
       if (!result.decisions[dep]) ok = false;
     }
     result.decisions[i] = ok;
+    any_committed = any_committed || ok;
     if (voted[i] && !ok) {
       stats_.dep_aborts.fetch_add(1, std::memory_order_relaxed);
     }
@@ -200,7 +246,10 @@ EpochResult BatchClient::run_batched(const BatchPlan& plan) {
   result.commit_phase = Clock::now() - t1;
 
   // Decide broadcast (asynchronous, off the latency path) — every DC
-  // applies the decided writes and releases the batch locks.
+  // applies the decided writes and releases the batch locks. Stamped with
+  // the planning epoch for union routing on the far side (the batch
+  // resolves in the epoch that prepared it; migrated writes also land at
+  // their current owners).
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
     args.emplace_back(static_cast<std::int64_t>(batch_id));
@@ -208,7 +257,20 @@ EpochResult BatchClient::run_batched(const BatchPlan& plan) {
     args.push_back(rc::encode_batch_entries(entries));
     args.push_back(rc::encode_batch_flags(result.decisions));
     args.emplace_back(kVersionBase);
-    kit_.call(topology_.coord_addr(dc), rc::kBatchDecide, std::move(args));
+    args.emplace_back(view->epoch);
+    kit_.call(view->coord_addr(dc), rc::kBatchDecide, std::move(args));
+  }
+
+  // A wrong-epoch NACK that aborted the whole batch is retryable — locks
+  // are released by the decide(all-false) broadcast above, nothing was
+  // applied, so run_epoch can safely re-plan under the refreshed view. If
+  // anything committed, install the newer view quietly and move on.
+  if (!epoch_error.empty()) {
+    if (!any_committed) {
+      throw rc::WrongEpochError(rc::parse_wrong_epoch(epoch_error));
+    }
+    auto next = rc::parse_wrong_epoch(epoch_error);
+    if (next.has_value()) views_->install(*next);
   }
 
   // Committed writes become next epoch's seeds, at their exact commit
@@ -236,51 +298,68 @@ EpochResult BatchClient::run_batched(const BatchPlan& plan) {
   return result;
 }
 
-EpochResult BatchClient::run_per_txn(const BatchPlan& plan) {
+EpochResult BatchClient::run_per_txn(const BatchPlan& plan, const View& view) {
   const TimePoint t0 = Clock::now();
   EpochResult result;
   result.epoch = plan.epoch;
   result.decisions.assign(plan.txns.size(), false);
+  // The per-txn baseline refreshes the view per transaction: earlier
+  // transactions of the epoch may already have committed, so a wrong-epoch
+  // NACK must never replay the whole epoch — it retries just the
+  // transaction that hit it, under the refreshed view.
+  View cur = view;
   for (std::size_t i = 0; i < plan.txns.size(); ++i) {
     const PlannedTxn& planned = plan.txns[i];
-    std::map<std::string, std::string> buffer;
-    std::vector<kv::ReadValidation> validations;
-    std::size_t read_seq = 0;
-    for (const BatchOp& op : planned.txn.ops) {
-      if (op.kind == OpKind::kWrite) {
-        buffer[op.key] = op.value;
-        continue;
-      }
-      std::string current;
-      auto bit = buffer.find(op.key);
-      if (bit != buffer.end()) {
-        current = bit->second;  // read-your-own-write, no validation
-      } else {
-        // Fresh quorum read, sequential — the per-txn baseline pays one
-        // round trip per read and one commit round per transaction.
-        const auto r = executor_.quorum_read(
-            op.key, plan.epoch, rc::shard_of(op.key), read_seq++);
-        current = r.value;
-        validations.push_back(kv::ReadValidation{op.key, r.version});
-        stats_.wire_reads.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (op.kind == OpKind::kRmw) {
-        buffer[op.key] = apply_transform(op.transform, current, op.value);
+    bool committed = false;
+    for (int attempt = 0; attempt <= kMaxViewRetries; ++attempt) {
+      try {
+        std::map<std::string, std::string> buffer;
+        std::vector<kv::ReadValidation> validations;
+        std::size_t read_seq = 0;
+        for (const BatchOp& op : planned.txn.ops) {
+          if (op.kind == OpKind::kWrite) {
+            buffer[op.key] = op.value;
+            continue;
+          }
+          std::string current;
+          auto bit = buffer.find(op.key);
+          if (bit != buffer.end()) {
+            current = bit->second;  // read-your-own-write, no validation
+          } else {
+            // Fresh quorum read, sequential — the per-txn baseline pays one
+            // round trip per read and one commit round per transaction.
+            const auto r = executor_.quorum_read(
+                *cur, op.key, plan.epoch, cur->shard_of(op.key), read_seq++);
+            current = r.value;
+            validations.push_back(kv::ReadValidation{op.key, r.version});
+            stats_.wire_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (op.kind == OpKind::kRmw) {
+            buffer[op.key] = apply_transform(op.transform, current, op.value);
+          }
+        }
+        std::vector<kv::WriteOp> writes;
+        writes.reserve(buffer.size());
+        for (auto& [key, value] : buffer) {
+          writes.push_back(kv::WriteOp{key, value});
+        }
+        committed = writes.empty() ||
+                    commit_single(*cur, planned.txn_id, validations, writes);
+        if (committed && seeds_ != nullptr && !writes.empty()) {
+          const std::int64_t version =
+              kVersionBase + static_cast<std::int64_t>(planned.txn_id);
+          for (const auto& w : writes) seeds_->put(w.key, w.value, version);
+        }
+        break;
+      } catch (const rc::WrongEpochError& err) {
+        refresh_view(err);
+        cur = views_->get();
+        if (attempt >= kMaxViewRetries) break;  // counts as an abort
       }
     }
-    std::vector<kv::WriteOp> writes;
-    writes.reserve(buffer.size());
-    for (auto& [key, value] : buffer) writes.push_back(kv::WriteOp{key, value});
-    const bool committed =
-        writes.empty() || commit_single(planned.txn_id, validations, writes);
     result.decisions[i] = committed;
     if (committed) {
       result.committed++;
-      if (seeds_ != nullptr) {
-        const std::int64_t version =
-            kVersionBase + static_cast<std::int64_t>(planned.txn_id);
-        for (const auto& w : writes) seeds_->put(w.key, w.value, version);
-      }
     } else {
       result.aborted++;
     }
@@ -290,7 +369,8 @@ EpochResult BatchClient::run_per_txn(const BatchPlan& plan) {
 }
 
 bool BatchClient::commit_single(
-    kv::TxnId txn_id, const std::vector<kv::ReadValidation>& validations,
+    const rc::ClusterView& view, kv::TxnId txn_id,
+    const std::vector<kv::ReadValidation>& validations,
     const std::vector<kv::WriteOp>& writes) {
   const auto txn = static_cast<std::int64_t>(txn_id);
   const std::int64_t commit_version = txn + kVersionBase;
@@ -299,28 +379,35 @@ bool BatchClient::commit_single(
     std::condition_variable cv;
     int yes = 0;
     int no = 0;
+    std::string epoch_error;
   };
   auto votes = std::make_shared<VoteState>();
-  const int num_dcs = topology_.num_dcs;
+  const int num_dcs = view.num_dcs;
   const int quorum = config_.vote_quorum;
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
     args.emplace_back(txn);
     args.push_back(rc::encode_reads(validations));
     args.push_back(rc::encode_writes(writes));
+    args.emplace_back(view.epoch);
     auto future =
-        kit_.call(topology_.coord_addr(dc), rc::kCommit, std::move(args));
+        kit_.call(view.coord_addr(dc), rc::kCommit, std::move(args));
     future->then([votes](const rc::Outcome& outcome) {
       std::lock_guard<std::mutex> lock(votes->mu);
       if (outcome.ok && outcome.value.as_bool()) {
         votes->yes++;
       } else {
+        if (!outcome.ok && rc::is_wrong_epoch(outcome.error) &&
+            votes->epoch_error.empty()) {
+          votes->epoch_error = outcome.error;
+        }
         votes->no++;
       }
       votes->cv.notify_all();
     });
   }
   bool committed;
+  std::string epoch_error;
   {
     Executor::before_block();
     std::unique_lock<std::mutex> lock(votes->mu);
@@ -328,6 +415,7 @@ bool BatchClient::commit_single(
       return votes->yes >= quorum || votes->no > num_dcs - quorum;
     });
     committed = votes->yes >= quorum;
+    epoch_error = votes->epoch_error;
   }
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
@@ -336,7 +424,13 @@ bool BatchClient::commit_single(
     args.push_back(rc::encode_writes(writes));
     args.emplace_back(commit_version);
     args.push_back(rc::encode_reads(validations));
-    kit_.call(topology_.coord_addr(dc), rc::kDecide, std::move(args));
+    args.emplace_back(view.epoch);
+    kit_.call(view.coord_addr(dc), rc::kDecide, std::move(args));
+  }
+  // The decide(abort) broadcast above released any prepared locks, so the
+  // caller may retry this transaction under the refreshed view.
+  if (!committed && !epoch_error.empty()) {
+    throw rc::WrongEpochError(rc::parse_wrong_epoch(epoch_error));
   }
   return committed;
 }

@@ -52,6 +52,7 @@ struct BatchClientStats {
   std::atomic<std::uint64_t> dep_aborts{0};      // aborted only by closure
   std::atomic<std::uint64_t> wire_reads{0};
   std::atomic<std::uint64_t> overlay_reads{0};   // resolved without an RPC
+  std::atomic<std::uint64_t> view_refreshes{0};  // wrong-epoch NACKs absorbed
 };
 
 class BatchClient {
@@ -59,14 +60,21 @@ class BatchClient {
   /// `seeds`/`predictor` enable queue-order prediction seeding (kSpeculative
   /// with a spec engine); either may be null. `gauge` (optional, shared
   /// across clients) feeds the admission controller's pressure source.
-  BatchClient(rc::RpcKit& kit, rc::Topology topology, BatchClientConfig config,
+  BatchClient(rc::RpcKit& kit, std::shared_ptr<rc::ViewProvider> views,
+              BatchClientConfig config,
               std::shared_ptr<SeedStore> seeds = nullptr,
               std::shared_ptr<QueueSeedPredictor> predictor = nullptr,
               std::shared_ptr<BatchQueueGauge> gauge = nullptr);
 
   /// Runs one batch epoch over `txns`. Synchronous: returns after the
   /// decide broadcast is out (kPerTxn2pc: after the last txn's decide).
+  /// A wrong-epoch NACK before anything committed re-plans the whole epoch
+  /// under the refreshed view (bounded retries); once any transaction of
+  /// the batch has committed the epoch is never replayed — remaining
+  /// transactions just abort and the stream moves on.
   EpochResult run_epoch(std::vector<BatchTxn> txns);
+
+  const std::shared_ptr<rc::ViewProvider>& views() const { return views_; }
 
   const BatchClientStats& stats() const { return stats_; }
   BatchMode mode() const { return config_.mode; }
@@ -76,13 +84,15 @@ class BatchClient {
   }
 
  private:
+  using View = std::shared_ptr<const rc::ClusterView>;
+
   struct ComputedTxn {
     std::vector<kv::ReadValidation> validations;  // wire reads only
     std::vector<kv::WriteOp> writes;
   };
 
-  EpochResult run_batched(const BatchPlan& plan);
-  EpochResult run_per_txn(const BatchPlan& plan);
+  EpochResult run_batched(const BatchPlan& plan, const View& view);
+  EpochResult run_per_txn(const BatchPlan& plan, const View& view);
 
   /// Resolves reads / applies transforms in queue (= batch) order against
   /// the rolling overlay of queued writes; wire reads come from `reads`.
@@ -91,13 +101,18 @@ class BatchClient {
 
   void prime_predictions(const BatchPlan& plan);
 
+  /// Installs the view carried by a wrong-epoch NACK and invalidates the
+  /// seed cache (post-migration seeds would be guaranteed mispredictions).
+  void refresh_view(const rc::WrongEpochError& err);
+
   /// Classic RC commit round for one transaction (the per-txn baseline).
-  bool commit_single(kv::TxnId txn_id,
+  /// Throws rc::WrongEpochError when the round failed on a stale view.
+  bool commit_single(const rc::ClusterView& view, kv::TxnId txn_id,
                      const std::vector<kv::ReadValidation>& validations,
                      const std::vector<kv::WriteOp>& writes);
 
   rc::RpcKit& kit_;
-  rc::Topology topology_;
+  std::shared_ptr<rc::ViewProvider> views_;
   BatchClientConfig config_;
   std::shared_ptr<SeedStore> seeds_;
   std::shared_ptr<QueueSeedPredictor> predictor_;

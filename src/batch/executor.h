@@ -29,6 +29,7 @@
 #include "batch/planner.h"
 #include "batch/seed.h"
 #include "rc/kit.h"
+#include "rc/view.h"
 
 namespace srpc::batch {
 
@@ -37,28 +38,38 @@ using ReadSet = std::map<std::pair<std::size_t, std::size_t>, rc::ReadResult>;
 
 class BatchExecutor {
  public:
-  BatchExecutor(rc::RpcKit& kit, rc::Topology topology, int my_dc,
-                int read_quorum, std::shared_ptr<SeedStore> seeds);
+  BatchExecutor(rc::RpcKit& kit, std::shared_ptr<rc::ViewProvider> views,
+                int my_dc, int read_quorum, std::shared_ptr<SeedStore> seeds);
 
-  /// Resolves every wire read of `plan`. kSpeculative requires the kit to
-  /// wrap a SpecRPC engine and falls back to the sequential path otherwise.
+  /// Resolves every wire read of `plan` under `view` (the view the plan was
+  /// routed with — every batch.read is stamped with its epoch, so a server
+  /// on a newer view NACKs and the whole call surfaces WrongEpochError for
+  /// the client to re-plan). kSpeculative requires the kit to wrap a
+  /// SpecRPC engine and falls back to the sequential path otherwise.
   /// Speculative chains spec_block before returning results, so everything
   /// in the ReadSet is non-speculative.
-  ReadSet execute(const BatchPlan& plan, BatchMode mode);
+  ReadSet execute(const BatchPlan& plan, BatchMode mode,
+                  std::shared_ptr<const rc::ClusterView> view);
 
   /// One blocking quorum read through the batch.read method (also used by
   /// the per-txn baseline so all modes share server-side read semantics).
-  rc::ReadResult quorum_read(const std::string& key, std::uint64_t epoch,
+  /// Throws rc::WrongEpochError on a stale-epoch NACK.
+  rc::ReadResult quorum_read(const rc::ClusterView& view,
+                             const std::string& key, std::uint64_t epoch,
                              int shard, std::size_t pos);
 
  private:
-  std::vector<Address> replicas_for(int shard) const;
+  using View = std::shared_ptr<const rc::ClusterView>;
+
+  std::vector<Address> replicas_for(const rc::ClusterView& view,
+                                    int shard) const;
   spec::CallbackFactory chain_factory(
-      std::shared_ptr<const std::vector<WireRead>> reads, std::uint64_t epoch,
-      std::size_t idx, std::vector<rc::ReadResult> acc) const;
+      View view, std::shared_ptr<const std::vector<WireRead>> reads,
+      std::uint64_t epoch, std::size_t idx,
+      std::vector<rc::ReadResult> acc) const;
 
   rc::RpcKit& kit_;
-  rc::Topology topology_;
+  std::shared_ptr<rc::ViewProvider> views_;
   int my_dc_;
   int read_quorum_;
   std::shared_ptr<SeedStore> seeds_;

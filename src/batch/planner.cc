@@ -5,9 +5,14 @@
 
 namespace srpc::batch {
 
-BatchPlan TxnPlanner::plan(std::vector<BatchTxn> txns) {
+BatchPlan TxnPlanner::plan(const rc::ClusterView& view,
+                           std::vector<BatchTxn> txns) {
   BatchPlan plan;
   plan.epoch = ++epoch_;
+  plan.view_epoch = view.epoch;
+  plan.num_shards = view.num_shards;
+  plan.queues.resize(static_cast<std::size_t>(view.num_shards));
+  plan.wire_reads.resize(static_cast<std::size_t>(view.num_shards));
   plan.txns.reserve(txns.size());
 
   // key -> batch position of the latest queued writer so far.
@@ -22,7 +27,7 @@ BatchPlan TxnPlanner::plan(std::vector<BatchTxn> txns) {
 
     for (std::size_t j = 0; j < planned.txn.ops.size(); ++j) {
       const BatchOp& op = planned.txn.ops[j];
-      const int shard = rc::shard_of(op.key);
+      const int shard = view.shard_of(op.key);
       shards.insert(shard);
 
       QueueEntry entry;

@@ -2,7 +2,10 @@
 // operation queues and assigns them one batch epoch (DESIGN.md §12.1).
 //
 // Planning is deterministic and purely client-local: operations are routed
-// to queues by the rc shard map; reads are classified as *wire* reads
+// to queues by the shard map of the ClusterView the epoch is planned
+// under (the plan records that view's epoch and shard count, so the commit
+// round can stamp its RPCs and servers can NACK a stale plan); reads are
+// classified as *wire* reads
 // (no earlier writer in the batch — they need a store RPC) or *overlay*
 // reads (some earlier transaction in the batch writes the key — resolved
 // client-side from the queued write, no RPC and no store validation, with
@@ -10,12 +13,12 @@
 // abort dependents of aborted transactions transitively).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "batch/types.h"
 #include "rc/common.h"
+#include "rc/view.h"
 
 namespace srpc::batch {
 
@@ -49,9 +52,13 @@ struct PlannedTxn {
 
 struct BatchPlan {
   std::uint64_t epoch = 0;
+  /// Epoch of the ClusterView the plan was routed under — stamped on every
+  /// batch RPC so servers on a newer view NACK instead of misrouting.
+  std::int64_t view_epoch = 0;
+  int num_shards = 0;
   std::vector<PlannedTxn> txns;  // batch order
-  std::array<std::vector<QueueEntry>, rc::kNumShards> queues;
-  std::array<std::vector<WireRead>, rc::kNumShards> wire_reads;
+  std::vector<std::vector<QueueEntry>> queues;    // one per shard
+  std::vector<std::vector<WireRead>> wire_reads;  // one per shard
 
   std::size_t queue_ops() const {
     std::size_t n = 0;
@@ -67,10 +74,10 @@ struct BatchPlan {
 
 class TxnPlanner {
  public:
-  /// Plans one epoch. Stamps every transaction with a global txn id (in
-  /// batch order, so commit versions increase along the batch) and
-  /// increments the epoch counter.
-  BatchPlan plan(std::vector<BatchTxn> txns);
+  /// Plans one epoch under `view`'s shard map. Stamps every transaction
+  /// with a global txn id (in batch order, so commit versions increase
+  /// along the batch) and increments the epoch counter.
+  BatchPlan plan(const rc::ClusterView& view, std::vector<BatchTxn> txns);
 
   std::uint64_t epochs() const { return epoch_; }
 

@@ -7,10 +7,11 @@
 // planned-but-undecided operations across all clients sharing the gauge.
 #pragma once
 
-#include <array>
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "batch/planner.h"
 #include "predict/admission.h"
@@ -20,24 +21,27 @@ namespace srpc::batch {
 
 class BatchQueueGauge {
  public:
+  /// Sized for every addressable shard (spares included), so plans cut
+  /// under post-migration views still credit in range.
+  explicit BatchQueueGauge(int num_shards)
+      : depth_(static_cast<std::size_t>(num_shards)) {}
+
   void on_plan(const BatchPlan& plan) {
-    for (int s = 0; s < rc::kNumShards; ++s) {
-      depth_[static_cast<std::size_t>(s)].fetch_add(
-          plan.queues[static_cast<std::size_t>(s)].size(),
-          std::memory_order_relaxed);
+    const std::size_t n = std::min(depth_.size(), plan.queues.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      depth_[s].fetch_add(plan.queues[s].size(), std::memory_order_relaxed);
     }
   }
   void on_complete(const BatchPlan& plan) {
-    for (int s = 0; s < rc::kNumShards; ++s) {
-      depth_[static_cast<std::size_t>(s)].fetch_sub(
-          plan.queues[static_cast<std::size_t>(s)].size(),
-          std::memory_order_relaxed);
+    const std::size_t n = std::min(depth_.size(), plan.queues.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      depth_[s].fetch_sub(plan.queues[s].size(), std::memory_order_relaxed);
     }
   }
 
   std::size_t shard_depth(int shard) const {
-    return depth_[static_cast<std::size_t>(shard)].load(
-        std::memory_order_relaxed);
+    return depth_.at(static_cast<std::size_t>(shard))
+        .load(std::memory_order_relaxed);
   }
   std::size_t total() const {
     std::size_t n = 0;
@@ -46,7 +50,7 @@ class BatchQueueGauge {
   }
 
  private:
-  std::array<std::atomic<std::size_t>, rc::kNumShards> depth_{};
+  std::vector<std::atomic<std::size_t>> depth_;
 };
 
 /// The gauge as an admission pressure source; the shared_ptr keeps it alive

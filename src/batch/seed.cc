@@ -40,6 +40,13 @@ std::optional<SeedValue> SeedStore::get(const std::string& key) const {
   return it->second;
 }
 
+void SeedStore::clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.data.clear();
+  }
+}
+
 std::size_t SeedStore::size() const {
   std::size_t total = 0;
   for (const Stripe& stripe : stripes_) {
@@ -75,7 +82,8 @@ ValueList QueueSeedPredictor::predict(const std::string& method,
 void QueueSeedPredictor::learn(const std::string& method,
                                const ValueList& args, const Value& actual) {
   (void)method;
-  // batch.read args: (key, epoch, shard, pos); actual: vlist(value, version).
+  // batch.read args: (key, epoch, shard, pos, vepoch); actual:
+  // vlist(value, version).
   // Tolerate anything else (the manager shadow-evaluates every observed
   // call) by simply not learning from it.
   if (args.empty() || args[0].type() != Value::Type::kString ||

@@ -62,6 +62,12 @@ class SeedStore {
   std::optional<SeedValue> get(const std::string& key) const;
   std::size_t size() const;
 
+  /// Drops every seed. Called on a view change: seeds for migrated keys
+  /// may reflect the old owner's tail, and a stale seed after a migration
+  /// is a guaranteed misprediction — cheaper to re-warm than to mispredict
+  /// a whole queue. Advisory store, so racing in-flight puts are harmless.
+  void clear();
+
  private:
   static constexpr std::size_t kStripes = 16;
   struct Stripe {

@@ -16,6 +16,36 @@ void VersionedStore::load(const std::string& key, std::string value,
   data_[key] = VersionedValue{std::move(value), version};
 }
 
+void VersionedStore::load_if_newer(const std::string& key, std::string value,
+                                   std::int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = data_[key];
+  if (version > entry.version) {
+    entry.value = std::move(value);
+    entry.version = version;
+  }
+}
+
+std::vector<std::tuple<std::string, std::string, std::int64_t>>
+VersionedStore::export_if(
+    const std::function<bool(const std::string&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::tuple<std::string, std::string, std::int64_t>> out;
+  for (const auto& [key, vv] : data_) {
+    if (pred(key)) out.emplace_back(key, vv.value, vv.version);
+  }
+  return out;
+}
+
+bool VersionedStore::any_locked_if(
+    const std::function<bool(const std::string&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, _] : locks_) {
+    if (pred(key)) return true;
+  }
+  return false;
+}
+
 std::size_t VersionedStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_.size();

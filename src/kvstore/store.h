@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,22 @@ class VersionedStore {
 
   /// Direct load used to populate the dataset before a run.
   void load(const std::string& key, std::string value, std::int64_t version);
+
+  /// Version-monotone load: applies only if `version` is newer than the
+  /// stored one. State-transfer entries (view.pull) and forwarded applies
+  /// land through this, so a racing newer commit is never clobbered.
+  void load_if_newer(const std::string& key, std::string value,
+                     std::int64_t version);
+
+  /// Snapshot of every (key, value, version) whose key satisfies `pred`,
+  /// taken under one lock hold — the export side of shard state transfer.
+  std::vector<std::tuple<std::string, std::string, std::int64_t>> export_if(
+      const std::function<bool(const std::string&)>& pred) const;
+
+  /// True if any currently write-locked key satisfies `pred`. The transfer
+  /// source refuses to export migrating slots until this drains (in-flight
+  /// 2PC resolves in the epoch that prepared it).
+  bool any_locked_if(const std::function<bool(const std::string&)>& pred) const;
 
   std::size_t size() const;
 

@@ -5,12 +5,21 @@
 #include <mutex>
 
 #include "common/executor.h"
-#include "common/logging.h"
 
 namespace srpc::rc {
 
-RcClient::RcClient(RpcKit& kit, Topology topology, RcClientConfig config)
-    : kit_(kit), topology_(std::move(topology)), config_(config) {}
+namespace {
+
+/// A wrong-epoch NACK kills at most this many whole-transaction re-runs
+/// before the transaction is surfaced as aborted (a view change is one
+/// epoch hop in practice; repeated hops mean the caller should back off).
+constexpr int kMaxViewRetries = 3;
+
+}  // namespace
+
+RcClient::RcClient(RpcKit& kit, std::shared_ptr<ViewProvider> views,
+                   RcClientConfig config)
+    : kit_(kit), views_(std::move(views)), config_(config) {}
 
 Value max_version_combiner(const std::vector<Value>& responses) {
   const Value* best = &responses.front();
@@ -48,66 +57,105 @@ RcClient::Plan RcClient::plan_ops(const std::vector<Op>& ops) const {
   return plan;
 }
 
-std::vector<Address> RcClient::replicas_for(const std::string& key) const {
-  const int shard = shard_of(key);
+std::vector<Address> RcClient::replicas_for(const ClusterView& view,
+                                            const std::string& key) const {
+  const int shard = view.shard_of(key);
   std::vector<Address> out;
-  out.reserve(topology_.num_dcs);
-  out.push_back(topology_.shard_addr(config_.my_dc, shard));  // local first
-  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
-    if (dc != config_.my_dc) out.push_back(topology_.shard_addr(dc, shard));
+  out.reserve(static_cast<std::size_t>(view.num_dcs));
+  out.push_back(view.shard_addr(config_.my_dc, shard));  // local first
+  for (int dc = 0; dc < view.num_dcs; ++dc) {
+    if (dc != config_.my_dc) out.push_back(view.shard_addr(dc, shard));
   }
   return out;
 }
 
-ReadResult RcClient::quorum_read(const std::string& key) {
+ReadResult RcClient::quorum_read(const ClusterView& view,
+                                 const std::string& key) {
   std::vector<FuturePtr> futures;
-  for (const auto& addr : replicas_for(key)) {
+  for (const auto& addr : replicas_for(view, key)) {
     ValueList args;
     args.emplace_back(key);
+    args.emplace_back(view.epoch);
     futures.push_back(kit_.call(addr, kRead, std::move(args)));
   }
-  auto outcomes = quorum_wait(futures, config_.read_quorum);
-  if (static_cast<int>(outcomes.size()) < config_.read_quorum)
+  auto result = quorum_wait_detailed(futures, config_.read_quorum);
+  if (static_cast<int>(result.successes.size()) < config_.read_quorum) {
+    for (const auto& error : result.errors) {
+      if (is_wrong_epoch(error)) {
+        throw WrongEpochError(parse_wrong_epoch(error));
+      }
+    }
     throw rpc::RpcError("quorum read failed for " + key);
+  }
   std::vector<Value> values;
-  values.reserve(outcomes.size());
-  for (auto& o : outcomes) values.push_back(o.value);
+  values.reserve(result.successes.size());
+  for (auto& o : result.successes) values.push_back(o.value);
   return decode_read_result(key, max_version_combiner(values));
 }
 
-TxnResult RcClient::run_sequential(const std::vector<Op>& ops) {
+TxnResult RcClient::run_with_view(
+    const std::function<void(const View&, TxnResult&)>& attempt) {
   const TimePoint t0 = Clock::now();
-  Plan plan = plan_ops(ops);
+  int refreshes = 0;
   TxnResult result;
-  // Dependent reads execute strictly one after another — this is the
-  // latency the paper attributes to the non-speculative builds (Figure 9).
-  for (const auto& key : plan.quorum_reads) {
-    result.reads.push_back(quorum_read(key));
+  for (;;) {
+    result = TxnResult{};
+    auto view = views_->get();
+    try {
+      attempt(view, result);
+    } catch (const WrongEpochError& err) {
+      ++refreshes;
+      if (err.view()) views_->install(*err.view());
+      if (refreshes <= kMaxViewRetries) continue;
+      result = TxnResult{};  // out of retries: surface as aborted
+    }
+    break;
   }
-  commit_txn(result.reads, plan.writes, result);
-  result.reads.insert(result.reads.end(), plan.local_reads.begin(),
-                      plan.local_reads.end());
+  result.view_refreshes = refreshes;
   result.total = Clock::now() - t0;
   return result;
 }
 
+void RcClient::run_sequential_once(const View& view,
+                                   const std::vector<Op>& ops,
+                                   TxnResult& result) {
+  Plan plan = plan_ops(ops);
+  // Dependent reads execute strictly one after another — this is the
+  // latency the paper attributes to the non-speculative builds (Figure 9).
+  for (const auto& key : plan.quorum_reads) {
+    result.reads.push_back(quorum_read(*view, key));
+  }
+  commit_txn(*view, result.reads, plan.writes, result);
+  result.reads.insert(result.reads.end(), plan.local_reads.begin(),
+                      plan.local_reads.end());
+}
+
+TxnResult RcClient::run_sequential(const std::vector<Op>& ops) {
+  return run_with_view([this, &ops](const View& view, TxnResult& result) {
+    run_sequential_once(view, ops, result);
+  });
+}
+
 spec::CallbackFactory RcClient::chain_factory(
-    std::shared_ptr<const std::vector<std::string>> keys, std::size_t idx,
-    std::vector<ReadResult> acc) const {
+    View view, std::shared_ptr<const std::vector<std::string>> keys,
+    std::size_t idx, std::vector<ReadResult> acc) const {
   // Each speculation branch gets a fresh callback whose accumulated reads
   // are an isolated by-value snapshot (the paper's factory pattern, §3.5.2).
-  return [this, keys, idx, acc]() -> spec::CallbackFn {
-    return [this, keys, idx, acc](spec::SpecContext& ctx,
-                                  const Value& v) -> spec::CallbackResult {
+  return [this, view, keys, idx, acc]() -> spec::CallbackFn {
+    return [this, view, keys, idx, acc](spec::SpecContext& ctx,
+                                        const Value& v)
+               -> spec::CallbackResult {
       std::vector<ReadResult> mine = acc;
       mine.push_back(decode_read_result((*keys)[idx], v));
       if (idx + 1 < keys->size()) {
         const std::string& next = (*keys)[idx + 1];
         ValueList args;
         args.emplace_back(next);
-        return ctx.call_quorum(replicas_for(next), config_.read_quorum, kRead,
-                               std::move(args), max_version_combiner,
-                               chain_factory(keys, idx + 1, std::move(mine)));
+        args.emplace_back(view->epoch);
+        return ctx.call_quorum(replicas_for(*view, next), config_.read_quorum,
+                               kRead, std::move(args), max_version_combiner,
+                               chain_factory(view, keys, idx + 1,
+                                             std::move(mine)));
       }
       // Last read: wait until every speculation in this chain is resolved
       // before results become visible to the commit (§4.1 specBlock).
@@ -121,22 +169,33 @@ spec::CallbackFactory RcClient::chain_factory(
   };
 }
 
-TxnResult RcClient::run_speculative(const std::vector<Op>& ops) {
+void RcClient::run_speculative_once(const View& view,
+                                    const std::vector<Op>& ops,
+                                    TxnResult& result) {
   spec::SpecEngine* engine = kit_.spec_engine();
-  if (engine == nullptr) return run_sequential(ops);
-  const TimePoint t0 = Clock::now();
   Plan plan = plan_ops(ops);
-  TxnResult result;
   if (!plan.quorum_reads.empty()) {
     auto keys = std::make_shared<const std::vector<std::string>>(
         plan.quorum_reads);
     ValueList args;
     args.emplace_back((*keys)[0]);
-    auto future = engine->call_quorum(replicas_for((*keys)[0]),
+    args.emplace_back(view->epoch);
+    auto future = engine->call_quorum(replicas_for(*view, (*keys)[0]),
                                       config_.read_quorum, kRead,
                                       std::move(args), max_version_combiner,
-                                      chain_factory(keys, 0, {}));
-    const Value all = future->get();  // non-speculative read results
+                                      chain_factory(view, keys, 0, {}));
+    Value all;
+    try {
+      all = future->get();  // non-speculative read results
+    } catch (const rpc::RpcError& err) {
+      // A wrong-epoch NACK anywhere in the chain fails the whole logical
+      // call; every branch opened under the old epoch has already rolled
+      // back by the time the future resolves. Re-run under the new view.
+      if (is_wrong_epoch(err.what())) {
+        throw WrongEpochError(parse_wrong_epoch(err.what()));
+      }
+      throw;
+    }
     for (const auto& e : all.as_list()) {
       const ValueList& triple = e.as_list();
       result.reads.push_back(ReadResult{triple.at(0).as_string(),
@@ -144,24 +203,28 @@ TxnResult RcClient::run_speculative(const std::vector<Op>& ops) {
                                         triple.at(2).as_int()});
     }
   }
-  commit_txn(result.reads, plan.writes, result);
+  commit_txn(*view, result.reads, plan.writes, result);
   result.reads.insert(result.reads.end(), plan.local_reads.begin(),
                       plan.local_reads.end());
-  result.total = Clock::now() - t0;
-  return result;
+}
+
+TxnResult RcClient::run_speculative(const std::vector<Op>& ops) {
+  if (kit_.spec_engine() == nullptr) return run_sequential(ops);
+  return run_with_view([this, &ops](const View& view, TxnResult& result) {
+    run_speculative_once(view, ops, result);
+  });
 }
 
 TxnResult RcClient::run_transform(
     const std::string& key,
     const std::function<std::string(const std::string&)>& transform) {
-  const TimePoint t0 = Clock::now();
-  TxnResult result;
-  result.reads.push_back(quorum_read(key));
-  std::vector<kv::WriteOp> writes;
-  writes.push_back(kv::WriteOp{key, transform(result.reads[0].value)});
-  commit_txn(result.reads, writes, result);
-  result.total = Clock::now() - t0;
-  return result;
+  return run_with_view(
+      [this, &key, &transform](const View& view, TxnResult& result) {
+        result.reads.push_back(quorum_read(*view, key));
+        std::vector<kv::WriteOp> writes;
+        writes.push_back(kv::WriteOp{key, transform(result.reads[0].value)});
+        commit_txn(*view, result.reads, writes, result);
+      });
 }
 
 TxnResult RcClient::run(const std::vector<Op>& ops) {
@@ -169,7 +232,8 @@ TxnResult RcClient::run(const std::vector<Op>& ops) {
                                        : run_sequential(ops);
 }
 
-void RcClient::commit_txn(const std::vector<ReadResult>& reads,
+void RcClient::commit_txn(const ClusterView& view,
+                          const std::vector<ReadResult>& reads,
                           const std::vector<kv::WriteOp>& writes,
                           TxnResult& result) {
   if (writes.empty()) {
@@ -195,28 +259,34 @@ void RcClient::commit_txn(const std::vector<ReadResult>& reads,
     std::condition_variable cv;
     int yes = 0;
     int no = 0;
+    std::string epoch_error;  // first coordinator wrong-epoch NACK, if any
   };
   auto votes = std::make_shared<VoteState>();
-  const int num_dcs = topology_.num_dcs;
+  const int num_dcs = view.num_dcs;
   const int quorum = config_.vote_quorum;
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
     args.emplace_back(txn);
     args.push_back(encode_reads(validations));
     args.push_back(encode_writes(writes));
-    auto future = kit_.call(topology_.coord_addr(dc), kCommit,
-                            std::move(args));
+    args.emplace_back(view.epoch);
+    auto future = kit_.call(view.coord_addr(dc), kCommit, std::move(args));
     future->then([votes](const Outcome& outcome) {
       std::lock_guard<std::mutex> lock(votes->mu);
       if (outcome.ok && outcome.value.as_bool()) {
         votes->yes++;
       } else {
         votes->no++;
+        if (!outcome.ok && votes->epoch_error.empty() &&
+            is_wrong_epoch(outcome.error)) {
+          votes->epoch_error = outcome.error;
+        }
       }
       votes->cv.notify_all();
     });
   }
   bool committed;
+  std::string epoch_error;
   {
     Executor::before_block();
     std::unique_lock<std::mutex> lock(votes->mu);
@@ -224,16 +294,24 @@ void RcClient::commit_txn(const std::vector<ReadResult>& reads,
       return votes->yes >= quorum || votes->no > num_dcs - quorum;
     });
     committed = votes->yes >= quorum;
+    epoch_error = votes->epoch_error;
   }
-  // Broadcast the decision (asynchronous, off the latency path).
+  // Broadcast the decision (asynchronous, off the latency path). A txn that
+  // lost its quorum to a wrong-epoch NACK aborts here too: DCs that DID
+  // prepare under the old epoch release their locks before we re-run.
+  const bool decision = committed;
   for (int dc = 0; dc < num_dcs; ++dc) {
     ValueList args;
     args.emplace_back(txn);
-    args.emplace_back(committed);
+    args.emplace_back(decision);
     args.push_back(encode_writes(writes));
     args.emplace_back(commit_version);
     args.push_back(encode_reads(validations));
-    kit_.call(topology_.coord_addr(dc), kDecide, std::move(args));
+    args.emplace_back(view.epoch);
+    kit_.call(view.coord_addr(dc), kDecide, std::move(args));
+  }
+  if (!committed && !epoch_error.empty()) {
+    throw WrongEpochError(parse_wrong_epoch(epoch_error));
   }
   result.committed = committed;
   result.commit_phase = Clock::now() - t1;

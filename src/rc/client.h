@@ -14,9 +14,17 @@
 //     non-speculative before the commit is issued (§4.1: "Before calling
 //     commit ... an RC client will issue a specBlock to wait until all
 //     quorum reads become non-speculative").
+//
+// Routing comes from a ViewProvider: every transaction snapshots the current
+// ClusterView, stamps its RPCs with the view's epoch, and on a wrong-epoch
+// NACK installs the server's newer view and re-runs the whole transaction
+// under it (speculative branches opened under the old epoch roll back
+// through the ordinary branch machinery — they are never validated across
+// epochs). TxnResult::view_refreshes counts those re-runs.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "rc/common.h"
@@ -32,7 +40,8 @@ struct RcClientConfig {
 
 class RcClient {
  public:
-  RcClient(RpcKit& kit, Topology topology, RcClientConfig config);
+  RcClient(RpcKit& kit, std::shared_ptr<ViewProvider> views,
+           RcClientConfig config);
 
   /// Executes ops with sequential quorum reads, then commits.
   TxnResult run_sequential(const std::vector<Op>& ops);
@@ -51,29 +60,50 @@ class RcClient {
       const std::string& key,
       const std::function<std::string(const std::string&)>& transform);
 
+  const std::shared_ptr<ViewProvider>& views() const { return views_; }
+
  private:
   struct Plan {
     std::vector<std::string> quorum_reads;    // keys needing quorum reads
     std::vector<ReadResult> local_reads;      // satisfied from write buffer
     std::vector<kv::WriteOp> writes;          // buffered writes (last wins)
   };
+  using View = std::shared_ptr<const ClusterView>;
+
   Plan plan_ops(const std::vector<Op>& ops) const;
+
+  /// Runs `attempt` under the current view, re-running under the refreshed
+  /// view (bounded times) whenever it throws WrongEpochError; fills
+  /// total/view_refreshes.
+  TxnResult run_with_view(
+      const std::function<void(const View&, TxnResult&)>& attempt);
+
+  void run_sequential_once(const View& view, const std::vector<Op>& ops,
+                           TxnResult& result);
+  void run_speculative_once(const View& view, const std::vector<Op>& ops,
+                            TxnResult& result);
 
   /// Replica fan-out for a key, local datacentre first (its response is the
   /// speculation-friendly first responder, §4.1).
-  std::vector<Address> replicas_for(const std::string& key) const;
+  std::vector<Address> replicas_for(const ClusterView& view,
+                                    const std::string& key) const;
 
-  ReadResult quorum_read(const std::string& key);
+  /// Throws WrongEpochError when the quorum failed on wrong-epoch NACKs,
+  /// plain RpcError on any other quorum failure.
+  ReadResult quorum_read(const ClusterView& view, const std::string& key);
   spec::CallbackFactory chain_factory(
-      std::shared_ptr<const std::vector<std::string>> keys, std::size_t idx,
-      std::vector<ReadResult> acc) const;
+      View view, std::shared_ptr<const std::vector<std::string>> keys,
+      std::size_t idx, std::vector<ReadResult> acc) const;
 
   /// Commit phase shared by both strategies; fills committed/commit_phase.
-  void commit_txn(const std::vector<ReadResult>& reads,
+  /// A wrong-epoch NACK from a coordinator that cost us the vote quorum
+  /// aborts the transaction everywhere, then throws WrongEpochError.
+  void commit_txn(const ClusterView& view,
+                  const std::vector<ReadResult>& reads,
                   const std::vector<kv::WriteOp>& writes, TxnResult& result);
 
   RpcKit& kit_;
-  Topology topology_;
+  std::shared_ptr<ViewProvider> views_;
   RcClientConfig config_;
 };
 

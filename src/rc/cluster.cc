@@ -70,14 +70,20 @@ RcCluster::NodeBundle& RcCluster::make_node(
 }
 
 RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
-  topology_.num_dcs = static_cast<int>(config_.geo.dc_names.size());
-  topology_.dc_names = config_.geo.dc_names;
+  num_dcs_ = static_cast<int>(config_.geo.dc_names.size());
+  total_shards_ = config_.num_shards + config_.spare_shards;
+  // Epoch-1 view: the active shards share the slots round-robin; spares are
+  // addressable but own nothing until a migration. The geo topology's DC
+  // names drive both machine addressing and the view's logical addresses.
+  base_view_ = ClusterView::make_static(num_dcs_, total_shards_,
+                                        config_.num_shards);
+  base_view_.dc_names = config_.geo.dc_names;
 
   SimConfig sim_config;
   sim_config.executor_threads = config_.executor_threads;
   sim_config.seed = config_.seed;
   net_ = std::make_unique<SimNetwork>(sim_config);
-  const int total_clients = topology_.num_dcs * config_.clients_per_dc;
+  const int total_clients = num_dcs_ * config_.clients_per_dc;
   work_executor_ = std::make_unique<Executor>(
       std::max(32, total_clients * 3 + 16), "rc-work");
   geo_ = std::make_unique<GeoTopology>(*net_, config_.geo);
@@ -87,7 +93,7 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
   // it before speculating. Created before make_node so the managers can
   // capture it.
   if (config_.batch_clients) {
-    batch_gauge_ = std::make_shared<batch::BatchQueueGauge>();
+    batch_gauge_ = std::make_shared<batch::BatchQueueGauge>(total_shards_);
   }
   if (config_.flavor == Flavor::kSpec && config_.admission_control) {
     admission_ =
@@ -113,12 +119,12 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
     dataset.emplace_back(key, std::string(config_.value_size, 'v'));
   }
 
-  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
-    for (int shard = 0; shard < kNumShards; ++shard) {
+  for (int dc = 0; dc < num_dcs_; ++dc) {
+    for (int shard = 0; shard < total_shards_; ++shard) {
       auto& bundle = make_node(dc, "shard" + std::to_string(shard));
       auto store = std::make_unique<kv::VersionedStore>();
       for (const auto& [key, value] : dataset) {
-        if (shard_of(key) == shard) store->load(key, value, 1);
+        if (base_view_.shard_of(key) == shard) store->load(key, value, 1);
       }
       CpuModel* cpu = nullptr;
       if (config_.server_cores > 0) {
@@ -134,7 +140,8 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
         log = logs_.back().get();
       }
       shard_servers_.push_back(std::make_unique<ShardServer>(
-          *bundle.kit, *store, cpu, config_.costs, log));
+          *bundle.kit, *store, std::make_shared<ViewProvider>(base_view_), dc,
+          shard, cpu, config_.costs, log));
       stores_.push_back(std::move(store));
     }
     auto& coord_bundle = make_node(dc, "coord");
@@ -145,10 +152,17 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
       coord_cpu = cpus_.back().get();
     }
     coordinators_.push_back(std::make_unique<Coordinator>(
-        *coord_bundle.kit, topology_, dc, coord_cpu, config_.costs));
+        *coord_bundle.kit, std::make_shared<ViewProvider>(base_view_), dc,
+        coord_cpu, config_.costs));
   }
 
-  for (int dc = 0; dc < topology_.num_dcs; ++dc) {
+  // The viewctl node: hosts the ViewCoordinator driving reconfiguration.
+  auto& viewctl_bundle = make_node(0, "viewctl");
+  views_ = std::make_shared<ViewProvider>(base_view_);
+  view_coordinator_ =
+      std::make_unique<ViewCoordinator>(*viewctl_bundle.kit, views_);
+
+  for (int dc = 0; dc < num_dcs_; ++dc) {
     for (int i = 0; i < config_.clients_per_dc; ++i) {
       // Batch clients under kSpec replace the config-selected read predictor
       // with a QueueSeedPredictor: queue-order seeds flow through the same
@@ -162,9 +176,13 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
       }
       auto& bundle = make_node(dc, "client" + std::to_string(i),
                                /*with_predictor=*/true, qpredictor);
+      // One provider per client machine, shared by its RcClient and
+      // BatchClient: a wrong-epoch refresh learned by either immediately
+      // reroutes the other.
+      auto client_views = std::make_shared<ViewProvider>(base_view_);
       RcClientConfig client_config;
       client_config.my_dc = dc;
-      clients_.push_back(std::make_unique<RcClient>(*bundle.kit, topology_,
+      clients_.push_back(std::make_unique<RcClient>(*bundle.kit, client_views,
                                                     client_config));
       if (config_.batch_clients) {
         if (seeds != nullptr) seeds->attach_engine(bundle.spec_engine.get());
@@ -172,7 +190,7 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
         batch_config.my_dc = dc;
         batch_config.mode = config_.batch_mode;
         batch_clients_.push_back(std::make_unique<batch::BatchClient>(
-            *bundle.kit, topology_, batch_config, seeds, qpredictor,
+            *bundle.kit, client_views, batch_config, seeds, qpredictor,
             batch_gauge_));
       }
     }
@@ -188,8 +206,10 @@ RcCluster::~RcCluster() {
   }
   work_executor_->shutdown();
   // Join the timer thread before destroying servers: pending timers (read
-  // retries, service-time completions) capture raw server pointers.
+  // retries, service-time completions, view pulls) capture raw server
+  // pointers.
   net_->wheel().shutdown();
+  view_coordinator_.reset();
   batch_clients_.clear();
   clients_.clear();
   coordinators_.clear();

@@ -4,6 +4,11 @@
 //
 // Topology per §5.2: 3 datacentres x 3 shard servers (full replication,
 // one server per replica) + 1 coordinator per DC + N client machines per DC.
+// PR 9 generalises both axes: num_shards is a knob, spare_shards adds
+// slot-less servers (migration targets), and routing flows through an
+// epoch-versioned ClusterView instead of a fixed hash (DESIGN.md §13). A
+// dedicated "viewctl" node hosts the ViewCoordinator that drives live
+// reconfiguration.
 #pragma once
 
 #include <memory>
@@ -17,6 +22,7 @@
 #include "predict/predictor.h"
 #include "rc/client.h"
 #include "rc/server.h"
+#include "rc/view_coordinator.h"
 #include "transport/geo.h"
 #include "transport/sim_network.h"
 
@@ -28,6 +34,11 @@ struct ClusterConfig {
   Flavor flavor = Flavor::kTrad;
   GeoConfig geo;                    // latency matrix (Table 1 by default)
   int clients_per_dc = 16;
+  /// Shards owning slots in the initial view.
+  int num_shards = 3;
+  /// Extra slot-less shard servers per DC: addressable from epoch 1 but
+  /// owning nothing until a view change migrates slots onto them.
+  int spare_shards = 0;
   std::size_t num_keys = 100'000;
   std::size_t value_size = 16;
   /// 0 = unconstrained servers (latency experiments); >0 enables the
@@ -93,8 +104,16 @@ class RcCluster {
   }
 
   int clients_per_dc() const { return config_.clients_per_dc; }
-  int num_dcs() const { return topology_.num_dcs; }
-  const Topology& topology() const { return topology_; }
+  int num_dcs() const { return num_dcs_; }
+  /// Slot-owning shards in the initial view (spares excluded).
+  int num_shards() const { return config_.num_shards; }
+  /// All addressable shard servers per DC, spares included.
+  int total_shards() const { return total_shards_; }
+  /// The viewctl node's current view — the newest view in the cluster once
+  /// a proposal has been acked.
+  std::shared_ptr<const ClusterView> view() const { return views_->get(); }
+  /// Drives live reconfiguration (propose / migrate_slots / wait_ready).
+  ViewCoordinator& view_coordinator() { return *view_coordinator_; }
   SimNetwork& net() { return *net_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -111,9 +130,14 @@ class RcCluster {
   /// Sum of the per-client prediction-manager counters.
   predict::ManagerStats predict_stats() const;
 
-  /// Direct store access for invariants checks in tests.
+  /// Direct store access for invariants checks in tests (spares included).
   kv::VersionedStore& store(int dc, int shard) {
-    return *stores_.at(static_cast<std::size_t>(dc * kNumShards + shard));
+    return *stores_.at(static_cast<std::size_t>(dc * total_shards_ + shard));
+  }
+  /// Direct shard-server access (warming introspection in tests).
+  ShardServer& shard_server(int dc, int shard) {
+    return *shard_servers_.at(
+        static_cast<std::size_t>(dc * total_shards_ + shard));
   }
 
  private:
@@ -127,7 +151,9 @@ class RcCluster {
                         predict::PredictorPtr predictor_override = nullptr);
 
   ClusterConfig config_;
-  Topology topology_;
+  int num_dcs_ = 0;
+  int total_shards_ = 0;
+  ClusterView base_view_;
   std::unique_ptr<SimNetwork> net_;
   /// Engines run callbacks/handlers here, isolated from the network's
   /// delivery executor: a callback parked in spec_block (§4.1) must never
@@ -142,9 +168,13 @@ class RcCluster {
   std::vector<std::unique_ptr<Coordinator>> coordinators_;
   std::vector<std::unique_ptr<RcClient>> clients_;
   /// Batch-mode companions (config.batch_clients): one BatchClient per
-  /// client machine, sharing that machine's kit/engine with its RcClient.
+  /// client machine, sharing that machine's kit/engine — and its
+  /// ViewProvider — with its RcClient.
   std::vector<std::unique_ptr<batch::BatchClient>> batch_clients_;
   std::shared_ptr<batch::BatchQueueGauge> batch_gauge_;
+  /// The viewctl node's provider (also what view() reads).
+  std::shared_ptr<ViewProvider> views_;
+  std::unique_ptr<ViewCoordinator> view_coordinator_;
   /// One per client machine when read prediction is on (same order as
   /// clients_); empty otherwise. The installed hooks hold the state by
   /// shared_ptr, so destruction order vs. engines is not delicate.

@@ -126,6 +126,7 @@ int node_main(const Args& args) {
   const int my_dc = static_cast<int>(args.num("dc"));
   const Flavor flavor = parse_flavor(args.str("flavor", "trad"));
   const int num_dcs = static_cast<int>(args.num("num_dcs", 3));
+  const int num_shards = static_cast<int>(args.num("num_shards", 3));
   const int clients_per_dc = static_cast<int>(args.num("clients_per_dc", 4));
   const auto num_keys = static_cast<std::size_t>(args.num("num_keys", 20'000));
   const auto value_size = static_cast<std::size_t>(args.num("value_size", 16));
@@ -137,7 +138,7 @@ int node_main(const Args& args) {
   costs.apply = std::chrono::microseconds(args.num("apply_us"));
   costs.commit = std::chrono::microseconds(args.num("commit_us"));
 
-  const int machines = role == "server" ? kNumShards + 1 : clients_per_dc;
+  const int machines = role == "server" ? num_shards + 1 : clients_per_dc;
   Executor executor(std::max(8, machines * 3), "node-work");
   TimerWheel wheel;
 
@@ -188,23 +189,27 @@ int node_main(const Args& args) {
                  my_dc);
     return 2;
   }
-  Topology topo;
-  topo.num_dcs = num_dcs;
-  topo.dc_names.resize(static_cast<std::size_t>(num_dcs), "dc");
+  // Static epoch-1 view over the learned TCP endpoints. Cross-process runs
+  // do not reconfigure (the in-process cluster covers that), so every
+  // machine gets its own provider pinned at this view.
+  ClusterView base = ClusterView::make_static(num_dcs, num_shards);
   {
     std::istringstream in(line.substr(8));
-    topo.shard_addrs_override.resize(static_cast<std::size_t>(num_dcs));
-    topo.coord_addrs_override.resize(static_cast<std::size_t>(num_dcs));
+    base.shard_addrs_override.resize(static_cast<std::size_t>(num_dcs));
+    base.coord_addrs_override.resize(static_cast<std::size_t>(num_dcs));
     for (int dc = 0; dc < num_dcs; ++dc) {
-      auto& shards = topo.shard_addrs_override[static_cast<std::size_t>(dc)];
-      shards.resize(kNumShards);
-      for (int s = 0; s < kNumShards; ++s) {
+      auto& shards = base.shard_addrs_override[static_cast<std::size_t>(dc)];
+      shards.resize(static_cast<std::size_t>(num_shards));
+      for (int s = 0; s < num_shards; ++s) {
         if (!(in >> shards[static_cast<std::size_t>(s)])) return 2;
       }
-      if (!(in >> topo.coord_addrs_override[static_cast<std::size_t>(dc)]))
+      if (!(in >> base.coord_addrs_override[static_cast<std::size_t>(dc)]))
         return 2;
     }
   }
+  const auto make_views = [&base] {
+    return std::make_shared<ViewProvider>(base);
+  };
 
   std::vector<std::unique_ptr<kv::VersionedStore>> stores;
   std::vector<std::unique_ptr<CpuModel>> cpus;
@@ -214,12 +219,12 @@ int node_main(const Args& args) {
   std::vector<std::unique_ptr<batch::BatchClient>> batch_clients;
 
   if (role == "server") {
-    for (int shard = 0; shard < kNumShards; ++shard) {
+    for (int shard = 0; shard < num_shards; ++shard) {
       auto store = std::make_unique<kv::VersionedStore>();
       for (std::size_t i = 0; i < num_keys; ++i) {
         char key[32];
         std::snprintf(key, sizeof(key), "k%08zu", i);
-        if (shard_of(key) == shard)
+        if (base.shard_of(key) == shard)
           store->load(key, std::string(value_size, 'v'), 1);
       }
       CpuModel* cpu = nullptr;
@@ -228,7 +233,8 @@ int node_main(const Args& args) {
         cpu = cpus.back().get();
       }
       shard_servers.push_back(std::make_unique<ShardServer>(
-          *nodes[static_cast<std::size_t>(shard)]->kit, *store, cpu, costs));
+          *nodes[static_cast<std::size_t>(shard)]->kit, *store, make_views(),
+          my_dc, shard, cpu, costs));
       stores.push_back(std::move(store));
     }
     CpuModel* coord_cpu = nullptr;
@@ -237,7 +243,8 @@ int node_main(const Args& args) {
       coord_cpu = cpus.back().get();
     }
     coordinators.push_back(std::make_unique<Coordinator>(
-        *nodes[kNumShards]->kit, topo, my_dc, coord_cpu, costs));
+        *nodes[static_cast<std::size_t>(num_shards)]->kit, make_views(), my_dc,
+        coord_cpu, costs));
   } else if (qstream) {
     batch::BatchClientConfig batch_config;
     batch_config.my_dc = my_dc;
@@ -247,7 +254,7 @@ int node_main(const Args& args) {
     for (int i = 0; i < clients_per_dc; ++i) {
       const auto idx = static_cast<std::size_t>(i);
       batch_clients.push_back(std::make_unique<batch::BatchClient>(
-          *nodes[idx]->kit, topo, batch_config,
+          *nodes[idx]->kit, make_views(), batch_config,
           idx < seed_stores.size() ? seed_stores[idx] : nullptr,
           idx < qpredictors.size() ? qpredictors[idx] : nullptr, nullptr));
     }
@@ -258,7 +265,8 @@ int node_main(const Args& args) {
     client_config.vote_quorum = static_cast<int>(args.num("vote_quorum", 2));
     for (int i = 0; i < clients_per_dc; ++i) {
       clients.push_back(std::make_unique<RcClient>(
-          *nodes[static_cast<std::size_t>(i)]->kit, topo, client_config));
+          *nodes[static_cast<std::size_t>(i)]->kit, make_views(),
+          client_config));
     }
   }
 
@@ -281,9 +289,9 @@ int node_main(const Args& args) {
     wc.hot_keys = static_cast<std::size_t>(args.num("hot_keys", 16));
     wc.hot_fraction = args.real("hot_fraction", 0.5);
     wc.cross_partition_fraction = args.real("cross_fraction", 0.3);
-    wl::BatchWorkloadFactory factory = [wc, seed](int client_index) {
+    wl::BatchWorkloadFactory factory = [wc, seed, base](int client_index) {
       auto w = std::make_shared<wl::QStreamWorkload>(
-          wc, seed + static_cast<std::uint64_t>(client_index));
+          wc, seed + static_cast<std::uint64_t>(client_index), base);
       return [w] { return w->next_epoch(); };
     };
     std::vector<batch::BatchClient*> raw;

@@ -1,40 +1,8 @@
 #include "rc/common.h"
 
 #include <atomic>
-#include <functional>
 
 namespace srpc::rc {
-
-int shard_of(const std::string& key) {
-  return static_cast<int>(std::hash<std::string>{}(key) % kNumShards);
-}
-
-Address Topology::shard_addr(int dc, int shard) const {
-  if (!shard_addrs_override.empty())
-    return shard_addrs_override.at(static_cast<std::size_t>(dc))
-        .at(static_cast<std::size_t>(shard));
-  return dc_names.at(dc) + ".shard" + std::to_string(shard);
-}
-
-Address Topology::coord_addr(int dc) const {
-  if (!coord_addrs_override.empty())
-    return coord_addrs_override.at(static_cast<std::size_t>(dc));
-  return dc_names.at(dc) + ".coord";
-}
-
-std::vector<Address> Topology::all_replicas(int shard) const {
-  std::vector<Address> out;
-  out.reserve(num_dcs);
-  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(shard_addr(dc, shard));
-  return out;
-}
-
-std::vector<Address> Topology::all_coords() const {
-  std::vector<Address> out;
-  out.reserve(num_dcs);
-  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(coord_addr(dc));
-  return out;
-}
 
 Value encode_read_result(const ReadResult& r) {
   return vlist(r.value, r.version);
@@ -117,6 +85,28 @@ Value encode_batch_flags(const std::vector<bool>& flags) {
 std::vector<bool> decode_batch_flags(const Value& v) {
   std::vector<bool> out;
   for (const auto& e : v.as_list()) out.push_back(e.as_bool());
+  return out;
+}
+
+Value encode_store_entries(
+    const std::vector<std::tuple<std::string, std::string, std::int64_t>>&
+        entries) {
+  ValueList out;
+  out.reserve(entries.size());
+  for (const auto& [key, value, version] : entries) {
+    out.push_back(vlist(key, value, version));
+  }
+  return Value(std::move(out));
+}
+
+std::vector<std::tuple<std::string, std::string, std::int64_t>>
+decode_store_entries(const Value& v) {
+  std::vector<std::tuple<std::string, std::string, std::int64_t>> out;
+  for (const auto& e : v.as_list()) {
+    const ValueList& triple = e.as_list();
+    out.emplace_back(triple.at(0).as_string(), triple.at(1).as_string(),
+                     triple.at(2).as_int());
+  }
   return out;
 }
 

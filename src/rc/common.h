@@ -1,4 +1,4 @@
-// Replicated Commit protocol: shared types, wire encodings, topology map.
+// Replicated Commit protocol: shared types, wire encodings.
 //
 // Replicated Commit (Mahmoud et al., VLDB'13 [26]) commits a transaction in
 // one wide-area round trip by replicating the commit operation itself: the
@@ -13,6 +13,10 @@
 // exchanging Paxos accepts. The client-observed commit latency is identical
 // (one WAN round trip to the majority-closest DCs); only the apply path at
 // non-majority DCs differs, off the measured path.
+//
+// Routing lives in rc::ClusterView (rc/view.h): every key hashes to a slot,
+// every view assigns slots to shards, and views are epoch-versioned so the
+// map can change while traffic flows (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
@@ -20,14 +24,17 @@
 #include <vector>
 
 #include "kvstore/store.h"
+#include "rc/view.h"
 #include "serde/value.h"
 #include "transport/transport.h"
 
 namespace srpc::rc {
 
-inline constexpr int kNumShards = 3;
-
-/// Method names.
+/// Method names. Epoch-checked methods carry the caller's view epoch as
+/// their LAST argument and are NACKed with kWrongEpoch on mismatch:
+/// rc.read, rc.prepare, rc.commit and their batch forms. Decision-side
+/// methods (rc.decide/apply/abort, batch.apply, rc.batch_decide) are not
+/// epoch-checked — an in-flight 2PC resolves in the epoch that prepared it.
 inline constexpr const char* kRead = "rc.read";
 inline constexpr const char* kCommit = "rc.commit";
 inline constexpr const char* kPrepare = "rc.prepare";
@@ -36,14 +43,25 @@ inline constexpr const char* kApply = "rc.apply";
 inline constexpr const char* kAbort = "rc.abort";
 
 /// Batch-mode method names (queue-oriented group commit, DESIGN.md §12).
-/// batch.read args carry (key, epoch, shard, pos) so every queue position
-/// gets a distinct predictor key — queue-order seeds never collide across
-/// positions or epochs.
+/// batch.read args carry (key, batch-epoch, shard, pos, view-epoch) so every
+/// queue position gets a distinct predictor key — queue-order seeds never
+/// collide across positions, batch epochs, or view epochs (migrated keys
+/// must not serve predictions seeded under the old placement).
 inline constexpr const char* kBatchRead = "batch.read";
 inline constexpr const char* kBatchPrepare = "batch.prepare";
 inline constexpr const char* kBatchApply = "batch.apply";
 inline constexpr const char* kBatchCommit = "rc.batch_commit";
 inline constexpr const char* kBatchDecide = "rc.batch_decide";
+
+/// View-change protocol (DESIGN.md §13).
+///   view.install (view_wire)        -> (epoch)       servers/coords adopt
+///   view.pull    (epoch, slots_csv) -> (entries)     state transfer source
+///   view.status  ()                 -> (epoch, warming_slots)
+///   view.get     ()                 -> (view_wire)   client refresh
+inline constexpr const char* kViewInstall = "view.install";
+inline constexpr const char* kViewPull = "view.pull";
+inline constexpr const char* kViewStatus = "view.status";
+inline constexpr const char* kViewGet = "view.get";
 
 /// One workload operation inside a transaction.
 struct Op {
@@ -65,26 +83,9 @@ struct TxnResult {
   Duration total{};        // begin -> decision
   Duration commit_phase{}; // commit issue -> decision (paper's "commit latency")
   std::vector<ReadResult> reads;
-};
-
-int shard_of(const std::string& key);
-
-/// Cluster address map: 3 DCs x (3 shard servers + 1 coordinator).
-struct Topology {
-  int num_dcs = 3;
-  /// replica(dc, shard) -> address
-  Address shard_addr(int dc, int shard) const;
-  Address coord_addr(int dc) const;
-  std::vector<Address> all_replicas(int shard) const;
-  std::vector<Address> all_coords() const;
-  std::vector<std::string> dc_names = {"oregon", "ireland", "seoul"};
-
-  /// Optional explicit address maps. In-process clusters use the logical
-  /// name-derived addresses above; a cross-process cluster fills these with
-  /// real TCP "host:port" endpoints learned during the port exchange, and
-  /// they take precedence when non-empty.
-  std::vector<std::vector<Address>> shard_addrs_override;  // [dc][shard]
-  std::vector<Address> coord_addrs_override;               // [dc]
+  /// Number of wrong-epoch NACKs that forced a view refresh + re-issue of
+  /// this transaction (0 in steady state).
+  int view_refreshes = 0;
 };
 
 // ------------------------------------------------------------ wire helpers
@@ -109,6 +110,13 @@ std::vector<kv::BatchEntry> decode_batch_entries(const Value& v);
 /// Per-entry booleans (prepare votes / decide decisions) as a Value list.
 Value encode_batch_flags(const std::vector<bool>& flags);
 std::vector<bool> decode_batch_flags(const Value& v);
+
+/// view.pull payload: vlist of vlist(key, value, version).
+Value encode_store_entries(
+    const std::vector<std::tuple<std::string, std::string, std::int64_t>>&
+        entries);
+std::vector<std::tuple<std::string, std::string, std::int64_t>>
+decode_store_entries(const Value& v);
 
 /// Monotonic unique ids for transactions/commit versions within a process.
 std::int64_t next_txn_stamp();

@@ -35,13 +35,13 @@ void SpecKit::register_handler(const std::string& name, AsyncHandler handler) {
       }));
 }
 
-std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
-                                 int quorum) {
+QuorumResult quorum_wait_detailed(const std::vector<FuturePtr>& futures,
+                                  int quorum) {
   struct State {
     std::mutex mu;
     std::condition_variable cv;
     std::vector<Outcome> successes;
-    int failures = 0;
+    std::vector<std::string> errors;
   };
   auto state = std::make_shared<State>();
   const int total = static_cast<int>(futures.size());
@@ -52,10 +52,10 @@ std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
         if (static_cast<int>(state->successes.size()) < quorum)
           state->successes.push_back(outcome);
       } else {
-        state->failures++;
+        state->errors.push_back(outcome.error);
       }
       if (static_cast<int>(state->successes.size()) >= quorum ||
-          state->failures > total - quorum) {
+          static_cast<int>(state->errors.size()) > total - quorum) {
         state->cv.notify_all();
       }
     });
@@ -64,9 +64,14 @@ std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {
     return static_cast<int>(state->successes.size()) >= quorum ||
-           state->failures > total - quorum;
+           static_cast<int>(state->errors.size()) > total - quorum;
   });
-  return state->successes;
+  return QuorumResult{state->successes, state->errors};
+}
+
+std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
+                                 int quorum) {
+  return quorum_wait_detailed(futures, quorum).successes;
 }
 
 }  // namespace srpc::rc

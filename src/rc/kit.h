@@ -85,4 +85,14 @@ class SpecKit final : public RpcKit {
 std::vector<Outcome> quorum_wait(const std::vector<FuturePtr>& futures,
                                  int quorum);
 
+/// quorum_wait plus the error strings of failed futures — callers that need
+/// to distinguish wrong-epoch NACKs (rc/view.h) from transport faults use
+/// this form.
+struct QuorumResult {
+  std::vector<Outcome> successes;
+  std::vector<std::string> errors;
+};
+QuorumResult quorum_wait_detailed(const std::vector<FuturePtr>& futures,
+                                  int quorum);
+
 }  // namespace srpc::rc

@@ -83,6 +83,12 @@ bool ProcessCluster::spawn(const std::vector<std::string>& kv, bool is_client,
     error = "pipe() failed";
     return false;
   }
+  // Parent-side ends must not leak into later-forked siblings: a sibling
+  // holding an earlier child's stdout write-end keeps that pipe open after
+  // the child dies, so the parent never sees EOF and stalls out the full
+  // phase deadline instead of failing fast.
+  fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+  fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
   const pid_t pid = fork();
   if (pid < 0) {
     error = "fork() failed";
@@ -117,7 +123,7 @@ bool ProcessCluster::spawn(const std::vector<std::string>& kv, bool is_client,
 }
 
 bool ProcessCluster::read_line(Child& c, std::string& line,
-                               TimePoint deadline) {
+                               TimePoint deadline, std::string* why) {
   for (;;) {
     const auto nl = c.buf.find('\n');
     if (nl != std::string::npos) {
@@ -127,16 +133,53 @@ bool ProcessCluster::read_line(Child& c, std::string& line,
     }
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
         deadline - Clock::now());
-    if (left.count() <= 0) return false;
+    if (left.count() <= 0) {
+      if (why != nullptr) *why = "deadline expired";
+      return false;
+    }
     pollfd pfd{c.from_child, POLLIN, 0};
     const int pr = poll(&pfd, 1, static_cast<int>(left.count()));
     if (pr < 0 && errno == EINTR) continue;
-    if (pr <= 0) return false;
+    if (pr == 0) {
+      if (why != nullptr) *why = "deadline expired";
+      return false;
+    }
+    if (pr < 0) {
+      if (why != nullptr) *why = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
     char chunk[4096];
     const ssize_t n = read(c.from_child, chunk, sizeof(chunk));
-    if (n <= 0) return false;  // child died or closed stdout
+    if (n <= 0) {
+      // Child died or closed stdout: fail fast with its fate instead of
+      // waiting out the phase deadline.
+      if (why != nullptr) *why = "child pipe EOF (" + child_status(c) + ")";
+      return false;
+    }
     c.buf.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+std::string ProcessCluster::child_status(Child& c) {
+  if (c.pid <= 0) return "already reaped";
+  // Give a just-died child a moment to become reapable.
+  for (int i = 0; i < 20; ++i) {
+    int status = 0;
+    const pid_t r = waitpid(c.pid, &status, WNOHANG);
+    if (r == c.pid) {
+      c.pid = -1;
+      if (WIFEXITED(status)) {
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+      }
+      if (WIFSIGNALED(status)) {
+        return "killed by signal " + std::to_string(WTERMSIG(status));
+      }
+      return "exited";
+    }
+    if (r < 0) return std::string("waitpid: ") + std::strerror(errno);
+    usleep(10'000);
+  }
+  return "still running with stdout closed";
 }
 
 bool ProcessCluster::write_line(Child& c, const std::string& line) {
@@ -206,6 +249,7 @@ ProcessClusterResult ProcessCluster::run() {
         std::string("dc=") + std::to_string(dc),
         std::string("flavor=") + flavor_arg(config_.flavor),
         "num_dcs=" + std::to_string(config_.num_dcs),
+        "num_shards=" + std::to_string(config_.num_shards),
         "clients_per_dc=" + std::to_string(config_.clients_per_dc),
         "read_quorum=" + std::to_string(config_.read_quorum),
         "vote_quorum=" + std::to_string(config_.vote_quorum),
@@ -269,18 +313,19 @@ ProcessClusterResult ProcessCluster::run() {
   // listening endpoints; clients answer "ADDRS -" to keep the barrier
   // uniform), then broadcast the full TCP topology.
   TimePoint deadline = Clock::now() + config_.phase_timeout;
-  std::vector<std::string> topo_addrs;  // dc-major: s0 s1 s2 coord per DC
+  std::vector<std::string> topo_addrs;  // dc-major: s0..sN-1 coord per DC
   for (auto& c : children_) {
-    std::string line;
-    if (!read_line(c, line, deadline)) return fail("timeout waiting ADDRS");
+    std::string line, why;
+    if (!read_line(c, line, deadline, &why))
+      return fail("waiting ADDRS: " + why);
     if (line.rfind("ADDRS", 0) != 0) return fail("bad ADDRS line: " + line);
     if (c.is_client) continue;
     std::istringstream in(line.substr(5));
     std::string addr;
     while (in >> addr) topo_addrs.push_back(addr);
   }
-  if (topo_addrs.size() !=
-      static_cast<std::size_t>(config_.num_dcs) * (kNumShards + 1)) {
+  if (topo_addrs.size() != static_cast<std::size_t>(config_.num_dcs) *
+                               static_cast<std::size_t>(config_.num_shards + 1)) {
     return fail("wrong topology size from servers");
   }
   std::string topo_line = "TOPOLOGY";
@@ -292,8 +337,9 @@ ProcessClusterResult ProcessCluster::run() {
   // Phase 2: readiness barrier, then start the measured run everywhere.
   deadline = Clock::now() + config_.phase_timeout;
   for (auto& c : children_) {
-    std::string line;
-    if (!read_line(c, line, deadline)) return fail("timeout waiting READY");
+    std::string line, why;
+    if (!read_line(c, line, deadline, &why))
+      return fail("waiting READY: " + why);
     if (line != "READY") return fail("bad READY line: " + line);
   }
   for (auto& c : children_) {
@@ -307,8 +353,9 @@ ProcessClusterResult ProcessCluster::run() {
   double mean_weight = 0, commit_weight = 0;
   for (auto& c : children_) {
     if (!c.is_client) continue;
-    std::string line;
-    if (!read_line(c, line, deadline)) return fail("timeout waiting RESULT");
+    std::string line, why;
+    if (!read_line(c, line, deadline, &why))
+      return fail("waiting RESULT: " + why);
     if (line.rfind("RESULT", 0) != 0) return fail("bad RESULT line: " + line);
     const double committed = field(line, "committed");
     result.committed += static_cast<std::uint64_t>(committed);

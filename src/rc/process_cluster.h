@@ -10,16 +10,18 @@
 //
 // Pipe line protocol (one line per step, parent-driven):
 //
-//   child  -> parent : ADDRS <shard0> <shard1> <shard2> <coord>   (servers)
+//   child  -> parent : ADDRS <shard0> ... <shardN-1> <coord>      (servers)
 //   child  -> parent : ADDRS -                                    (clients)
-//   parent -> child  : TOPOLOGY <a(0,0)> <a(0,1)> <a(0,2)> <c(0)> <a(1,0)>...
+//   parent -> child  : TOPOLOGY <a(0,0)> ... <a(0,N-1)> <c(0)> <a(1,0)>...
 //   child  -> parent : READY
 //   parent -> child  : RUN
 //   client -> parent : RESULT committed=... aborted=... mean_us=...
 //   parent -> child  : QUIT
 //
-// Children that miss a phase deadline are SIGKILLed; teardown is otherwise
-// cooperative (QUIT, then waitpid).
+// Children that miss a phase deadline are SIGKILLed; a child that dies
+// mid-protocol (its pipe EOFs) fails the run immediately with the child's
+// exit status in the error, rather than stalling out the phase deadline.
+// Teardown is otherwise cooperative (QUIT, then waitpid).
 #pragma once
 
 #include <string>
@@ -34,6 +36,7 @@ namespace srpc::rc {
 struct ProcessClusterConfig {
   Flavor flavor = Flavor::kTrad;
   int num_dcs = 3;
+  int num_shards = 3;
   int clients_per_dc = 4;
   /// Quorum sizes forwarded to every RcClient (shrink to 1 for the
   /// single-DC smoke configuration).
@@ -115,8 +118,13 @@ class ProcessCluster {
 
   bool spawn(const std::vector<std::string>& kv, bool is_client,
              std::string& error);
-  bool read_line(Child& c, std::string& line, TimePoint deadline);
+  /// On failure `why` (when non-null) says whether the deadline expired or
+  /// the child's pipe EOFed — including the dead child's exit status.
+  bool read_line(Child& c, std::string& line, TimePoint deadline,
+                 std::string* why = nullptr);
   bool write_line(Child& c, const std::string& line);
+  /// Reaps a child that closed its pipe and formats how it went down.
+  std::string child_status(Child& c);
   void kill_all();
   void reap_all(Duration grace);
 

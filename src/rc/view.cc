@@ -1,0 +1,226 @@
+#include "rc/view.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace srpc::rc {
+
+int slot_of_key(const std::string& key) {
+  return static_cast<int>(std::hash<std::string>{}(key) %
+                          static_cast<std::size_t>(kViewSlots));
+}
+
+std::vector<std::string> ClusterView::default_dc_names(int num_dcs) {
+  static const char* kCanonical[] = {"oregon", "ireland", "seoul"};
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_dcs));
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    if (dc < 3) {
+      names.emplace_back(kCanonical[dc]);
+    } else {
+      names.push_back("dc" + std::to_string(dc));
+    }
+  }
+  return names;
+}
+
+ClusterView ClusterView::make_static(int num_dcs, int num_shards,
+                                     int active_shards) {
+  ClusterView view;
+  view.epoch = 1;
+  view.num_dcs = num_dcs;
+  view.num_shards = num_shards;
+  if (active_shards <= 0 || active_shards > num_shards) {
+    active_shards = num_shards;
+  }
+  view.slot_owner.resize(kViewSlots);
+  for (int s = 0; s < kViewSlots; ++s) view.slot_owner[s] = s % active_shards;
+  view.dc_names = default_dc_names(num_dcs);
+  return view;
+}
+
+Address ClusterView::shard_addr(int dc, int shard) const {
+  if (!shard_addrs_override.empty()) {
+    return shard_addrs_override.at(static_cast<std::size_t>(dc))
+        .at(static_cast<std::size_t>(shard));
+  }
+  return dc_names.at(static_cast<std::size_t>(dc)) + ".shard" +
+         std::to_string(shard);
+}
+
+Address ClusterView::coord_addr(int dc) const {
+  if (!coord_addrs_override.empty()) {
+    return coord_addrs_override.at(static_cast<std::size_t>(dc));
+  }
+  return dc_names.at(static_cast<std::size_t>(dc)) + ".coord";
+}
+
+std::vector<Address> ClusterView::all_replicas(int shard) const {
+  std::vector<Address> out;
+  out.reserve(static_cast<std::size_t>(num_dcs));
+  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(shard_addr(dc, shard));
+  return out;
+}
+
+std::vector<Address> ClusterView::all_coords() const {
+  std::vector<Address> out;
+  out.reserve(static_cast<std::size_t>(num_dcs));
+  for (int dc = 0; dc < num_dcs; ++dc) out.push_back(coord_addr(dc));
+  return out;
+}
+
+std::vector<int> ClusterView::slots_of(int shard) const {
+  std::vector<int> out;
+  for (int s = 0; s < kViewSlots; ++s) {
+    if (slot_owner[static_cast<std::size_t>(s)] == shard) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<int> ClusterView::active_shards() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_shards), false);
+  for (const int owner : slot_owner) {
+    if (owner >= 0 && owner < num_shards)
+      seen[static_cast<std::size_t>(owner)] = true;
+  }
+  std::vector<int> out;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    if (seen[static_cast<std::size_t>(shard)]) out.push_back(shard);
+  }
+  return out;
+}
+
+ClusterView ClusterView::with_slots_moved(const std::vector<int>& slots,
+                                          int to_shard) const {
+  ClusterView next = *this;
+  next.epoch = epoch + 1;
+  for (const int slot : slots) {
+    next.slot_owner.at(static_cast<std::size_t>(slot)) = to_shard;
+  }
+  return next;
+}
+
+std::string ClusterView::to_wire() const {
+  std::ostringstream out;
+  out << "CV1 " << epoch << ' ' << num_dcs << ' ' << num_shards << ' ';
+  for (std::size_t s = 0; s < slot_owner.size(); ++s) {
+    if (s != 0) out << ',';
+    out << slot_owner[s];
+  }
+  for (const auto& name : dc_names) out << ' ' << name;
+  if (!shard_addrs_override.empty() || !coord_addrs_override.empty()) {
+    out << " A";
+    for (int dc = 0; dc < num_dcs; ++dc) {
+      for (int shard = 0; shard < num_shards; ++shard) {
+        out << ' ' << shard_addr(dc, shard);
+      }
+      out << ' ' << coord_addr(dc);
+    }
+  }
+  return out.str();
+}
+
+std::optional<ClusterView> ClusterView::from_wire(const std::string& s) {
+  std::istringstream in(s);
+  std::string tag;
+  ClusterView view;
+  if (!(in >> tag) || tag != "CV1") return std::nullopt;
+  std::string slots_csv;
+  if (!(in >> view.epoch >> view.num_dcs >> view.num_shards >> slots_csv)) {
+    return std::nullopt;
+  }
+  if (view.num_dcs <= 0 || view.num_shards <= 0) return std::nullopt;
+  view.slot_owner.clear();
+  {
+    std::istringstream slots(slots_csv);
+    std::string tok;
+    while (std::getline(slots, tok, ',')) {
+      const int owner = std::atoi(tok.c_str());
+      if (owner < 0 || owner >= view.num_shards) return std::nullopt;
+      view.slot_owner.push_back(owner);
+    }
+  }
+  if (static_cast<int>(view.slot_owner.size()) != kViewSlots) {
+    return std::nullopt;
+  }
+  view.dc_names.resize(static_cast<std::size_t>(view.num_dcs));
+  for (auto& name : view.dc_names) {
+    if (!(in >> name)) return std::nullopt;
+  }
+  std::string marker;
+  if (in >> marker && marker == "A") {
+    view.shard_addrs_override.resize(static_cast<std::size_t>(view.num_dcs));
+    view.coord_addrs_override.resize(static_cast<std::size_t>(view.num_dcs));
+    for (int dc = 0; dc < view.num_dcs; ++dc) {
+      auto& shards = view.shard_addrs_override[static_cast<std::size_t>(dc)];
+      shards.resize(static_cast<std::size_t>(view.num_shards));
+      for (int shard = 0; shard < view.num_shards; ++shard) {
+        if (!(in >> shards[static_cast<std::size_t>(shard)]))
+          return std::nullopt;
+      }
+      if (!(in >> view.coord_addrs_override[static_cast<std::size_t>(dc)]))
+        return std::nullopt;
+    }
+  }
+  return view;
+}
+
+// ------------------------------------------------------------ ViewProvider
+
+ViewProvider::ViewProvider(ClusterView initial) {
+  view_ = std::make_shared<const ClusterView>(std::move(initial));
+  history_.push_back(view_);
+}
+
+std::shared_ptr<const ClusterView> ViewProvider::get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+std::int64_t ViewProvider::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_->epoch;
+}
+
+bool ViewProvider::install(ClusterView next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next.epoch <= view_->epoch) return false;
+  view_ = std::make_shared<const ClusterView>(std::move(next));
+  history_.push_back(view_);
+  if (history_.size() > kHistory) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() - kHistory));
+  }
+  return true;
+}
+
+std::shared_ptr<const ClusterView> ViewProvider::at_epoch(
+    std::int64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& v : history_) {
+    if (v->epoch == epoch) return v;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------- wrong-epoch NACK
+
+std::string wrong_epoch_error(const ClusterView& view) {
+  return std::string(kWrongEpoch) + " " + view.to_wire();
+}
+
+bool is_wrong_epoch(const std::string& error) {
+  return error.find(kWrongEpoch) != std::string::npos;
+}
+
+std::optional<ClusterView> parse_wrong_epoch(const std::string& error) {
+  const auto pos = error.find(kWrongEpoch);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto payload = error.find("CV1", pos);
+  if (payload == std::string::npos) return std::nullopt;
+  return ClusterView::from_wire(error.substr(payload));
+}
+
+}  // namespace srpc::rc

@@ -1,0 +1,154 @@
+// ClusterView — the epoch-versioned routing map of the replicated store.
+//
+// PR 9 replaces the static Topology (fixed 3 DCs x 3 shards, hash % 3 key
+// placement) with a live-reconfigurable view, following the construction of
+// "Reconfigurable State Machine Replication from Non-Reconfigurable
+// Building Blocks" (PAPERS.md): each epoch is an immutable block — a fixed
+// set of shard servers and a fixed slot table — and reconfiguration chains
+// epochs. Keys hash into a fixed number of *slots*; a view assigns every
+// slot to one shard. Migration never rehashes keys, it remaps slots.
+//
+// The protocol around it (DESIGN.md §13):
+//   * every routed RPC (read/prepare/commit and their batch forms) carries
+//     the sender's view epoch; a server whose epoch differs NACKs with
+//     kWrongEpoch carrying its own serialized view, and the client installs
+//     the newer view inline and re-issues — speculative branches opened
+//     under the old epoch roll back through the ordinary branch machinery,
+//     so predictions are never validated across epochs;
+//   * decide/apply/abort are deliberately NOT epoch-checked: an in-flight
+//     2PC resolves in the epoch that prepared it (the locks live on the
+//     shards that voted), or aborts cleanly;
+//   * a shard that gains slots in epoch N+1 marks them "warming", pulls
+//     their contents from the old owner (view.pull — refused until the old
+//     owner has drained prepared transactions on those keys), and delays
+//     reads/prepares for warming keys until the transfer lands.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace srpc::rc {
+
+/// Fixed key-space granularity. Keys hash into slots; views assign slots to
+/// shards. 64 slots keeps migrations meaningfully sub-shard while the table
+/// stays one cache line of ints.
+inline constexpr int kViewSlots = 64;
+
+/// Slot of a key — view-independent (the hash and slot count never change;
+/// only the slot->shard assignment is versioned).
+int slot_of_key(const std::string& key);
+
+struct ClusterView {
+  std::int64_t epoch = 1;
+  int num_dcs = 3;
+  /// Addressable shard servers per DC (including spares owning no slots —
+  /// migration targets / joining replicas).
+  int num_shards = 3;
+  /// slot -> owning shard; kViewSlots entries, each in [0, num_shards).
+  std::vector<int> slot_owner;
+  std::vector<std::string> dc_names;
+
+  /// Optional explicit address maps. In-process clusters use the logical
+  /// name-derived addresses; a cross-process cluster fills these with real
+  /// TCP "host:port" endpoints learned during the port exchange, and they
+  /// take precedence when non-empty.
+  std::vector<std::vector<Address>> shard_addrs_override;  // [dc][shard]
+  std::vector<Address> coord_addrs_override;               // [dc]
+
+  /// Canonical DC names for any cluster size: the first three keep the
+  /// paper's {oregon, ireland, seoul}; beyond that, "dc3", "dc4", ...
+  /// (Topology used to index a fixed 3-name list out of range.)
+  static std::vector<std::string> default_dc_names(int num_dcs);
+
+  /// Epoch-1 view: `active_shards` (0 = all) shards share the slots
+  /// round-robin; shards in [active_shards, num_shards) start empty.
+  static ClusterView make_static(int num_dcs = 3, int num_shards = 3,
+                                 int active_shards = 0);
+
+  int shard_of(const std::string& key) const {
+    return slot_owner[static_cast<std::size_t>(slot_of_key(key))];
+  }
+
+  Address shard_addr(int dc, int shard) const;
+  Address coord_addr(int dc) const;
+  std::vector<Address> all_replicas(int shard) const;
+  std::vector<Address> all_coords() const;
+
+  /// Slots currently assigned to `shard`, ascending.
+  std::vector<int> slots_of(int shard) const;
+  /// Shards owning at least one slot, ascending (workloads draw keys from
+  /// these; spares own nothing to read).
+  std::vector<int> active_shards() const;
+
+  /// The successor view moving `slots` to `to_shard` (epoch + 1). This is
+  /// both "shard split" (spread one shard's slots over several) and
+  /// "replica add" (first slots onto a previously-empty spare).
+  ClusterView with_slots_moved(const std::vector<int>& slots,
+                               int to_shard) const;
+
+  /// Compact single-line encoding (no spaces inside tokens) — rides inside
+  /// wrong-epoch NACK error strings and view.install args.
+  std::string to_wire() const;
+  static std::optional<ClusterView> from_wire(const std::string& s);
+};
+
+/// Thread-safe holder of a node's current view. Every node owns one;
+/// install() only moves forward (epoch-monotone), so late or duplicated
+/// view messages are harmless. A short history is retained so decides
+/// stamped with an older epoch can still be routed to the shards that
+/// prepared them.
+class ViewProvider {
+ public:
+  explicit ViewProvider(ClusterView initial);
+
+  std::shared_ptr<const ClusterView> get() const;
+  std::int64_t epoch() const;
+
+  /// Installs iff next.epoch > current epoch. Returns whether it installed.
+  bool install(ClusterView next);
+
+  /// The retained view with exactly `epoch`, or nullptr. History depth is
+  /// bounded (old epochs beyond it have no in-flight 2PC left to resolve).
+  std::shared_ptr<const ClusterView> at_epoch(std::int64_t epoch) const;
+
+ private:
+  static constexpr std::size_t kHistory = 8;
+  mutable std::mutex mu_;
+  std::shared_ptr<const ClusterView> view_;
+  std::vector<std::shared_ptr<const ClusterView>> history_;
+};
+
+// ------------------------------------------------------- wrong-epoch NACK
+
+/// Marker prefix of a wrong-epoch NACK error string; the remainder is the
+/// NACKing server's serialized view.
+inline constexpr const char* kWrongEpoch = "wrong_epoch";
+
+std::string wrong_epoch_error(const ClusterView& view);
+
+/// Extracts the view payload from an error message containing a wrong-epoch
+/// NACK (the marker may be embedded — quorum failures wrap messages).
+std::optional<ClusterView> parse_wrong_epoch(const std::string& error);
+bool is_wrong_epoch(const std::string& error);
+
+/// Thrown by client paths when a txn attempt died on a wrong-epoch NACK;
+/// carries the newer view (when the NACK's payload parsed) so the caller
+/// can refresh routing inline and re-issue.
+class WrongEpochError : public std::runtime_error {
+ public:
+  explicit WrongEpochError(std::optional<ClusterView> view)
+      : std::runtime_error("txn raced a view change (wrong epoch)"),
+        view_(std::move(view)) {}
+  const std::optional<ClusterView>& view() const { return view_; }
+
+ private:
+  std::optional<ClusterView> view_;
+};
+
+}  // namespace srpc::rc

@@ -1,0 +1,103 @@
+#include "rc/view_coordinator.h"
+
+#include <condition_variable>
+#include <set>
+#include <thread>
+
+#include "common/executor.h"
+
+namespace srpc::rc {
+
+ViewCoordinator::ViewCoordinator(RpcKit& kit,
+                                 std::shared_ptr<ViewProvider> views)
+    : kit_(kit), views_(std::move(views)) {}
+
+bool ViewCoordinator::propose(const ClusterView& next, Duration timeout) {
+  std::unique_lock<std::mutex> serial(propose_mu_, std::try_to_lock);
+  if (!serial.owns_lock()) return false;  // a proposal is already in flight
+  auto prev = views_->get();
+  if (next.epoch <= prev->epoch) return false;
+  views_->install(next);
+
+  // Union of old and new address sets: shards leaving the cluster still
+  // need the view (to forward their remaining applies), joining shards need
+  // it to start warming.
+  std::set<Address> targets;
+  for (const auto* view : {prev.get(), &next}) {
+    for (int shard = 0; shard < view->num_shards; ++shard) {
+      for (const auto& addr : view->all_replicas(shard)) targets.insert(addr);
+    }
+    for (const auto& addr : view->all_coords()) targets.insert(addr);
+  }
+
+  struct AckState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+    int acked = 0;
+  };
+  auto acks = std::make_shared<AckState>();
+  acks->pending = static_cast<int>(targets.size());
+  const std::string wire = next.to_wire();
+  for (const auto& addr : targets) {
+    ValueList args;
+    args.emplace_back(wire);
+    kit_.call(addr, kViewInstall, std::move(args))
+        ->then([acks](const Outcome& outcome) {
+          std::lock_guard<std::mutex> lock(acks->mu);
+          if (outcome.ok) acks->acked++;
+          acks->pending--;
+          acks->cv.notify_all();
+        });
+  }
+  Executor::before_block();
+  std::unique_lock<std::mutex> lock(acks->mu);
+  acks->cv.wait_for(lock, timeout, [&] { return acks->pending == 0; });
+  return acks->pending == 0 &&
+         acks->acked == static_cast<int>(targets.size());
+}
+
+bool ViewCoordinator::migrate_slots(const std::vector<int>& slots,
+                                    int to_shard, Duration timeout) {
+  const TimePoint deadline = Clock::now() + timeout;
+  const ClusterView next = views_->get()->with_slots_moved(slots, to_shard);
+  if (!propose(next, timeout)) return false;
+  const Duration left = deadline - Clock::now();
+  return wait_ready(left > Duration::zero() ? left : Duration::zero());
+}
+
+bool ViewCoordinator::wait_ready(Duration timeout) {
+  const TimePoint deadline = Clock::now() + timeout;
+  for (;;) {
+    auto view = views_->get();
+    std::vector<FuturePtr> futures;
+    for (int shard = 0; shard < view->num_shards; ++shard) {
+      for (const auto& addr : view->all_replicas(shard)) {
+        futures.push_back(kit_.call(addr, kViewStatus, ValueList{}));
+      }
+    }
+    bool ready = true;
+    for (const auto& f : futures) {
+      try {
+        // Keep the reply alive for the whole check: get() returns a
+        // temporary, and a reference from as_list() would dangle.
+        const Value reply = f->get();
+        const ValueList& status = reply.as_list();
+        if (status.at(0).as_int() != view->epoch ||
+            status.at(1).as_int() != 0) {
+          ready = false;
+        }
+      } catch (const rpc::RpcError&) {
+        ready = false;
+      }
+    }
+    // Re-check that no newer view landed mid-poll; status answers compare
+    // against the epoch we polled for.
+    if (ready && views_->epoch() == view->epoch) return true;
+    if (Clock::now() >= deadline) return false;
+    Executor::before_block();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace srpc::rc

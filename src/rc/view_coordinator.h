@@ -1,0 +1,53 @@
+// ViewCoordinator — proposes epoch N+1 to a running cluster.
+//
+// Reconfiguration driver for the view-change protocol (DESIGN.md §13):
+// `propose` broadcasts view.install to every shard replica and DC
+// coordinator of both the old and new views and waits for their acks;
+// `wait_ready` polls view.status until every shard has adopted the target
+// epoch and finished warming its gained slots (state transfer landed).
+// Traffic keeps flowing throughout — servers NACK stale-epoch requests and
+// clients refresh inline, so the coordinator never has to quiesce anyone.
+//
+// One instance runs per cluster (the "viewctl" node). Proposals are serial:
+// a second propose while one is in flight is refused.
+#pragma once
+
+#include <memory>
+
+#include "rc/common.h"
+#include "rc/kit.h"
+
+namespace srpc::rc {
+
+class ViewCoordinator {
+ public:
+  ViewCoordinator(RpcKit& kit, std::shared_ptr<ViewProvider> views);
+
+  /// Installs `next` locally and broadcasts it to every shard replica and
+  /// coordinator (union of the current and next views' address sets).
+  /// Returns true when every node acked within `timeout`. Nodes that missed
+  /// the broadcast still converge later — their next wrong-epoch NACK or
+  /// forwarded apply carries the new view — but a full ack set means the
+  /// change is already everywhere.
+  bool propose(const ClusterView& next,
+               Duration timeout = std::chrono::seconds(10));
+
+  /// Convenience: propose the successor view moving `slots` to `to_shard`,
+  /// then wait_ready — a complete live migration in one call.
+  bool migrate_slots(const std::vector<int>& slots, int to_shard,
+                     Duration timeout = std::chrono::seconds(10));
+
+  /// Polls view.status on every shard replica until all report the current
+  /// epoch with zero warming slots (every state transfer landed), or the
+  /// timeout expires.
+  bool wait_ready(Duration timeout = std::chrono::seconds(10));
+
+  const std::shared_ptr<ViewProvider>& views() const { return views_; }
+
+ private:
+  RpcKit& kit_;
+  std::shared_ptr<ViewProvider> views_;
+  std::mutex propose_mu_;
+};
+
+}  // namespace srpc::rc

@@ -28,7 +28,7 @@
 
 #include "batch/types.h"
 #include "common/rng.h"
-#include "rc/common.h"
+#include "rc/view.h"
 
 namespace srpc::wl {
 
@@ -51,17 +51,24 @@ struct QStreamConfig {
 
 class QStreamWorkload {
  public:
-  QStreamWorkload(QStreamConfig config, std::uint64_t seed)
+  /// `view` supplies the shard map the stream is bucketed against; the
+  /// default static view matches a cluster that has not reconfigured. The
+  /// bucketing is a generator-side targeting heuristic only — after a
+  /// migration the "home shard" skew drifts, but correctness never depends
+  /// on it (clients route by their own ClusterView).
+  QStreamWorkload(QStreamConfig config, std::uint64_t seed,
+                  const rc::ClusterView& view = rc::ClusterView::make_static())
       : config_(config),
         rng_(seed),
-        shard_zipf_(static_cast<std::uint64_t>(rc::kNumShards),
+        num_shards_(view.num_shards),
+        shard_zipf_(static_cast<std::uint64_t>(view.num_shards),
                     config.shard_alpha) {
     // Bucket the dataset by shard once so cold ops can target a shard
-    // directly (shard_of is hash-based, so we cannot invert it).
-    shard_keys_.resize(static_cast<std::size_t>(rc::kNumShards));
+    // directly (slot hashing cannot be inverted).
+    shard_keys_.resize(static_cast<std::size_t>(view.num_shards));
     for (std::uint64_t i = 0; i < config_.num_keys; ++i) {
       std::string key = key_at(i);
-      shard_keys_[static_cast<std::size_t>(rc::shard_of(key))].push_back(
+      shard_keys_[static_cast<std::size_t>(view.shard_of(key))].push_back(
           std::move(key));
     }
   }
@@ -113,11 +120,11 @@ class QStreamWorkload {
     int cold_index = 0;
     while (txn.ops.size() < static_cast<std::size_t>(config_.ops_per_txn)) {
       int shard = home;
-      if (straddle && cold_index == 1) {
+      if (straddle && cold_index == 1 && num_shards_ > 1) {
         shard = (home + 1 + static_cast<int>(rng_.uniform(
-                                 static_cast<std::uint64_t>(rc::kNumShards) -
+                                 static_cast<std::uint64_t>(num_shards_) -
                                  1))) %
-                rc::kNumShards;
+                num_shards_;
       }
       const auto& keys = shard_keys_[static_cast<std::size_t>(shard)];
       batch::BatchOp op;
@@ -148,6 +155,7 @@ class QStreamWorkload {
 
   QStreamConfig config_;
   Rng rng_;
+  int num_shards_ = 0;
   Zipf shard_zipf_;
   std::vector<std::vector<std::string>> shard_keys_;
   std::uint64_t next_id_ = 0;

@@ -23,13 +23,20 @@ namespace {
 
 // ------------------------------------------------------------------ helpers
 
+/// The static N=3 view these tests run under (no reconfiguration here; the
+/// view-change paths have their own suite in test_reconfig.cc).
+const rc::ClusterView& static_view() {
+  static const rc::ClusterView view = rc::ClusterView::make_static();
+  return view;
+}
+
 /// The `skip`-th preloaded dataset key living on `shard`.
 std::string key_on_shard(int shard, int skip = 0) {
   for (std::uint64_t i = 0;; ++i) {
     char key[32];
     std::snprintf(key, sizeof(key), "k%08llu",
                   static_cast<unsigned long long>(i));
-    if (rc::shard_of(key) == shard && skip-- == 0) return key;
+    if (static_view().shard_of(key) == shard && skip-- == 0) return key;
   }
 }
 
@@ -118,8 +125,9 @@ class SerialReplay {
 void expect_converged(rc::RcCluster& cluster,
                       const std::map<std::string, std::string>& expected) {
   const auto deadline = Clock::now() + std::chrono::seconds(10);
+  const auto view = cluster.view();
   for (const auto& [key, value] : expected) {
-    const int shard = rc::shard_of(key);
+    const int shard = view->shard_of(key);
     for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
       for (;;) {
         auto got = cluster.store(dc, shard).get(key);
@@ -148,7 +156,7 @@ TEST(TxnPlanner, DecomposesIntoShardQueuesAndClassifiesReads) {
   txns.push_back(txn_of(0, {read_op(a0), write_op(a1, "x")}));
   txns.push_back(txn_of(1, {read_op(a1), write_op(b0, "y")}));  // overlay read
   txns.push_back(txn_of(2, {read_op(b0), read_op(a0)}));        // overlay + wire
-  BatchPlan plan = planner.plan(std::move(txns));
+  BatchPlan plan = planner.plan(static_view(), std::move(txns));
 
   EXPECT_EQ(plan.epoch, 1u);
   ASSERT_EQ(plan.txns.size(), 3u);
@@ -180,7 +188,7 @@ TEST(TxnPlanner, DecomposesIntoShardQueuesAndClassifiesReads) {
   EXPECT_TRUE(plan.txns[2].cross_partition);
 
   // Epoch counter advances.
-  EXPECT_EQ(planner.plan({}).epoch, 2u);
+  EXPECT_EQ(planner.plan(static_view(), {}).epoch, 2u);
 }
 
 // -------------------------------------------------------------- store level
@@ -441,7 +449,7 @@ TEST(BatchAtomicity, DependencyClosureAbortsOverlayReaders) {
 // ---------------------------------------------------------------- pressure
 
 TEST(BatchPressure, GaugeTracksPlannedOpsAndFeedsAdmission) {
-  auto gauge = std::make_shared<BatchQueueGauge>();
+  auto gauge = std::make_shared<BatchQueueGauge>(static_view().num_shards);
   auto source = batch_pressure_source(gauge);
   EXPECT_EQ(source().queue_depth, 0u);
 
@@ -449,7 +457,7 @@ TEST(BatchPressure, GaugeTracksPlannedOpsAndFeedsAdmission) {
   std::vector<BatchTxn> txns;
   txns.push_back(txn_of(0, {read_op(key_on_shard(0)),
                             write_op(key_on_shard(1), "x")}));
-  BatchPlan plan = planner.plan(std::move(txns));
+  BatchPlan plan = planner.plan(static_view(), std::move(txns));
   gauge->on_plan(plan);
   EXPECT_EQ(gauge->total(), plan.queue_ops());
   EXPECT_EQ(source().queue_depth, plan.queue_ops());
@@ -514,7 +522,7 @@ TEST(BatchStorm, MultiShardConcurrentEpochsHoldBudgetAndAccuracyInvariants) {
     char key[32];
     std::snprintf(key, sizeof(key), "k%08llu",
                   static_cast<unsigned long long>(i));
-    const int shard = rc::shard_of(key);
+    const int shard = cluster.view()->shard_of(key);
     const auto key_deadline = Clock::now() + std::chrono::seconds(10);
     for (;;) {
       const auto v0 = cluster.store(0, shard).get(key);

@@ -68,7 +68,7 @@ TEST_P(RcFlavorTest, ReadYourOwnBufferedWrite) {
 TEST_P(RcFlavorTest, ConflictOnMajorityAborts) {
   RcCluster cluster(small_cluster(GetParam()));
   const std::string key = "k00000003";
-  const int shard = shard_of(key);
+  const int shard = cluster.view()->shard_of(key);
   // A phantom transaction holds the write lock in 2 of 3 DCs: the commit
   // cannot gather a majority of yes votes.
   for (int dc = 0; dc < 2; ++dc) {
@@ -85,7 +85,7 @@ TEST_P(RcFlavorTest, ConflictOnMajorityAborts) {
 TEST_P(RcFlavorTest, ConflictOnMinorityStillCommits) {
   RcCluster cluster(small_cluster(GetParam()));
   const std::string key = "k00000004";
-  const int shard = shard_of(key);
+  const int shard = cluster.view()->shard_of(key);
   ASSERT_TRUE(cluster.store(2, shard).prepare(
       /*txn=*/999998, {}, {kv::WriteOp{key, "blocked"}}));
   auto& client = cluster.client(0, 0);
@@ -98,7 +98,7 @@ TEST_P(RcFlavorTest, ConflictOnMinorityStillCommits) {
 TEST_P(RcFlavorTest, QuorumReadSeesMajorityVersion) {
   RcCluster cluster(small_cluster(GetParam()));
   const std::string key = "k00000005";
-  const int shard = shard_of(key);
+  const int shard = cluster.view()->shard_of(key);
   // A committed write reaches a majority (DCs 0 and 1); DC 2 lags.
   cluster.store(0, shard).load(key, "new", 50);
   cluster.store(1, shard).load(key, "new", 50);
@@ -132,7 +132,7 @@ TEST_P(RcFlavorTest, ClosedLoopRunCommitsAndReplicasConverge) {
   // Quiesce: let asynchronous applies drain, then check every shard's three
   // replicas converged to identical contents.
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
-  for (int shard = 0; shard < kNumShards; ++shard) {
+  for (int shard = 0; shard < cluster.num_shards(); ++shard) {
     auto& reference = cluster.store(0, shard);
     for (int dc = 1; dc < 3; ++dc) {
       EXPECT_EQ(cluster.store(dc, shard).size(), reference.size());

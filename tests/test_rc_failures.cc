@@ -22,23 +22,24 @@ ClusterConfig failover_cluster(Flavor flavor) {
 /// Cuts every link between machines of `dc` and everything in other DCs
 /// (clients of `dc` included — they move with their datacentre).
 void partition_dc(RcCluster& cluster, int dc, bool blocked) {
-  const auto& topo = cluster.topology();
+  const auto view = cluster.view();
   std::vector<Address> in_dc;
-  for (int shard = 0; shard < kNumShards; ++shard)
-    in_dc.push_back(topo.shard_addr(dc, shard));
-  in_dc.push_back(topo.coord_addr(dc));
+  for (int shard = 0; shard < cluster.total_shards(); ++shard)
+    in_dc.push_back(view->shard_addr(dc, shard));
+  in_dc.push_back(view->coord_addr(dc));
   for (int i = 0; i < cluster.clients_per_dc(); ++i)
-    in_dc.push_back(topo.dc_names[dc] + ".client" + std::to_string(i));
+    in_dc.push_back(view->dc_names[static_cast<std::size_t>(dc)] + ".client" +
+                    std::to_string(i));
 
   std::vector<Address> outside;
   for (int other = 0; other < cluster.num_dcs(); ++other) {
     if (other == dc) continue;
-    for (int shard = 0; shard < kNumShards; ++shard)
-      outside.push_back(topo.shard_addr(other, shard));
-    outside.push_back(topo.coord_addr(other));
+    for (int shard = 0; shard < cluster.total_shards(); ++shard)
+      outside.push_back(view->shard_addr(other, shard));
+    outside.push_back(view->coord_addr(other));
     for (int i = 0; i < cluster.clients_per_dc(); ++i)
-      outside.push_back(topo.dc_names[other] + ".client" +
-                        std::to_string(i));
+      outside.push_back(view->dc_names[static_cast<std::size_t>(other)] +
+                        ".client" + std::to_string(i));
   }
   for (const auto& a : in_dc) {
     for (const auto& b : outside) cluster.net().partition(a, b, blocked);

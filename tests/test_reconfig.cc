@@ -1,0 +1,340 @@
+// Live reconfiguration (DESIGN.md §13): ClusterView wire format and
+// provider semantics, wrong-epoch NACK + inline client refresh, live slot
+// migration under closed-loop traffic (zero lost committed writes), spare
+// shards gaining their first slots, and batch clients re-planning a whole
+// epoch when the view flips under them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "batch/client.h"
+#include "common/rng.h"
+#include "rc/cluster.h"
+
+namespace srpc::rc {
+namespace {
+
+ClusterConfig reconfig_cluster(Flavor flavor) {
+  ClusterConfig config;
+  config.flavor = flavor;
+  config.geo = uniform_geo(/*rtt_ms=*/6.0);
+  config.geo.lan_rtt_ms = 0.3;
+  config.clients_per_dc = 1;
+  config.num_keys = 500;
+  config.executor_threads = 8;
+  return config;
+}
+
+/// The `skip`-th preloaded dataset key that `view` routes to `shard`.
+std::string key_on_shard(const ClusterView& view, int shard, int skip = 0) {
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08llu",
+                  static_cast<unsigned long long>(i));
+    if (view.shard_of(key) == shard && skip-- == 0) return key;
+  }
+  ADD_FAILURE() << "no key found on shard " << shard;
+  return {};
+}
+
+// ------------------------------------------------------------- view units
+
+TEST(ClusterViewUnit, DefaultDcNamesScaleBeyondTheCanonicalThree) {
+  // Topology hard-coded {oregon, ireland, seoul} while num_dcs was a free
+  // knob; the view derives names for any size.
+  EXPECT_EQ(ClusterView::default_dc_names(1),
+            (std::vector<std::string>{"oregon"}));
+  EXPECT_EQ(ClusterView::default_dc_names(3),
+            (std::vector<std::string>{"oregon", "ireland", "seoul"}));
+  const auto five = ClusterView::default_dc_names(5);
+  ASSERT_EQ(five.size(), 5u);
+  EXPECT_EQ(five[2], "seoul");
+  EXPECT_EQ(five[3], "dc3");
+  EXPECT_EQ(five[4], "dc4");
+
+  const ClusterView view = ClusterView::make_static(/*num_dcs=*/5);
+  EXPECT_EQ(view.shard_addr(4, 0), "dc4.shard0");
+  EXPECT_EQ(view.coord_addr(3), "dc3.coord");
+}
+
+TEST(ClusterViewUnit, WireRoundTripPreservesRoutingExactly) {
+  ClusterView view = ClusterView::make_static(/*num_dcs=*/3, /*num_shards=*/4)
+                         .with_slots_moved({0, 5, 9}, 3);
+  view.epoch = 7;
+
+  const auto back = ClusterView::from_wire(view.to_wire());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 7);
+  EXPECT_EQ(back->num_dcs, 3);
+  EXPECT_EQ(back->num_shards, 4);
+  EXPECT_EQ(back->slot_owner, view.slot_owner);
+  EXPECT_EQ(back->dc_names, view.dc_names);
+
+  // Explicit endpoint overrides (the cross-process cluster's real TCP
+  // addresses) survive the trip too.
+  ClusterView tcp = ClusterView::make_static(/*num_dcs=*/2, /*num_shards=*/2);
+  tcp.shard_addrs_override = {{"h1:1", "h1:2"}, {"h2:1", "h2:2"}};
+  tcp.coord_addrs_override = {"h1:9", "h2:9"};
+  const auto tcp_back = ClusterView::from_wire(tcp.to_wire());
+  ASSERT_TRUE(tcp_back.has_value());
+  EXPECT_EQ(tcp_back->shard_addr(1, 0), "h2:1");
+  EXPECT_EQ(tcp_back->coord_addr(0), "h1:9");
+
+  // Garbage and truncations parse to nullopt, never to a bogus view.
+  EXPECT_FALSE(ClusterView::from_wire("").has_value());
+  EXPECT_FALSE(ClusterView::from_wire("CV1 2 3").has_value());
+  EXPECT_FALSE(ClusterView::from_wire("XX " + view.to_wire()).has_value());
+
+  // The wrong-epoch NACK embeds the view; parse recovers it even when the
+  // marker sits inside a larger quorum-failure message.
+  const std::string nested =
+      "quorum failed: [" + wrong_epoch_error(view) + "]";
+  EXPECT_TRUE(is_wrong_epoch(nested));
+  const auto parsed = parse_wrong_epoch(nested);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->epoch, 7);
+  EXPECT_EQ(parsed->slot_owner, view.slot_owner);
+  EXPECT_FALSE(parse_wrong_epoch("some other failure").has_value());
+}
+
+TEST(ClusterViewUnit, WithSlotsMovedSplitsAndActivatesSpares) {
+  // make_static with a spare: 4 addressable shards, 3 own slots.
+  const ClusterView v1 =
+      ClusterView::make_static(3, /*num_shards=*/4, /*active_shards=*/3);
+  EXPECT_EQ(v1.active_shards(), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(v1.slots_of(3).empty());
+
+  const auto moved = v1.slots_of(0);
+  const ClusterView v2 = v1.with_slots_moved(moved, 3);
+  EXPECT_EQ(v2.epoch, v1.epoch + 1);
+  EXPECT_EQ(v2.slots_of(3), moved);
+  EXPECT_TRUE(v2.slots_of(0).empty());
+  EXPECT_EQ(v2.active_shards(), (std::vector<int>{1, 2, 3}));
+  // The predecessor is untouched (views are immutable blocks).
+  EXPECT_EQ(v1.slots_of(0), moved);
+}
+
+TEST(ClusterViewUnit, ProviderInstallIsEpochMonotoneWithBoundedHistory) {
+  ViewProvider provider(ClusterView::make_static());
+  EXPECT_EQ(provider.epoch(), 1);
+
+  ClusterView next = provider.get()->with_slots_moved({0}, 1);
+  EXPECT_TRUE(provider.install(next));
+  EXPECT_EQ(provider.epoch(), 2);
+
+  // Stale and duplicate installs are refused; the current view stands.
+  EXPECT_FALSE(provider.install(ClusterView::make_static()));
+  EXPECT_FALSE(provider.install(next));
+  EXPECT_EQ(provider.epoch(), 2);
+
+  // History resolves recently prepared epochs; far-past epochs age out.
+  for (int i = 0; i < 10; ++i) {
+    provider.install(provider.get()->with_slots_moved({i}, 2));
+  }
+  EXPECT_EQ(provider.epoch(), 12);
+  ASSERT_NE(provider.at_epoch(12), nullptr);
+  ASSERT_NE(provider.at_epoch(6), nullptr);
+  EXPECT_EQ(provider.at_epoch(6)->epoch, 6);
+  EXPECT_EQ(provider.at_epoch(1), nullptr);  // beyond kHistory
+  EXPECT_EQ(provider.at_epoch(99), nullptr);
+}
+
+// --------------------------------------------------- protocol, in cluster
+
+class ReconfigTest : public ::testing::TestWithParam<Flavor> {};
+
+TEST_P(ReconfigTest, StaleClientIsNackedAndRefreshesRoutingInline) {
+  RcCluster cluster(reconfig_cluster(GetParam()));
+  auto& client = cluster.client(0, 0);
+
+  const std::string key = key_on_shard(*cluster.view(), 0);
+  std::vector<Op> write;
+  write.push_back(Op{false, key, "before-migration"});
+  ASSERT_TRUE(client.run(write).committed);
+
+  // Migrate the key's slot off shard 0 while the client still holds the
+  // epoch-1 view.
+  const int target = 1;
+  ASSERT_TRUE(cluster.view_coordinator().migrate_slots({slot_of_key(key)},
+                                                       target));
+  ASSERT_TRUE(cluster.view_coordinator().wait_ready());
+  EXPECT_EQ(cluster.view()->epoch, 2);
+  EXPECT_EQ(client.views()->epoch(), 1);  // nobody told the client
+
+  // The next transaction routes to the old owner, is NACKed with the new
+  // view, refreshes inline, re-issues — and reads the migrated value from
+  // the new owner (state transfer landed).
+  std::vector<Op> read;
+  read.push_back(Op{true, key, {}});
+  TxnResult r = client.run(read);
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.reads.at(0).value, "before-migration");
+  EXPECT_GE(r.view_refreshes, 1);
+  EXPECT_EQ(client.views()->epoch(), 2);
+
+  // The new owner's stores hold the key in every DC.
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    const auto got = cluster.store(dc, target).get(key);
+    ASSERT_TRUE(got.has_value()) << "dc " << dc;
+    EXPECT_EQ(got->value, "before-migration");
+  }
+}
+
+TEST_P(ReconfigTest, LiveMigrationUnderTrafficLosesNoCommittedWrite) {
+  RcCluster cluster(reconfig_cluster(GetParam()));
+  const auto v1 = cluster.view();
+  const std::array<std::string, 2> keys = {key_on_shard(*v1, 0),
+                                           key_on_shard(*v1, 1)};
+  const std::string initial(16, 'v');
+  auto increment = [initial](const std::string& current) {
+    const int n = current == initial ? 0 : std::stoi(current);
+    return std::to_string(n + 1);
+  };
+
+  // Closed-loop increments of two hot counters from every DC; committed
+  // counts are the ground truth the stores must equal afterwards.
+  std::array<std::atomic<int>, 2> committed{};
+  std::vector<std::thread> threads;
+  for (int dc = 0; dc < 3; ++dc) {
+    threads.emplace_back([&, dc] {
+      auto& client = cluster.client(dc, 0);
+      Rng rng(static_cast<std::uint64_t>(dc) + 1);
+      for (int round = 0; round < 12; ++round) {
+        const std::size_t k = static_cast<std::size_t>(round % 2);
+        TxnResult w = client.run_transform(keys[k], increment);
+        if (w.committed) committed[k].fetch_add(1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rng.uniform_range(1, 20)));
+      }
+    });
+  }
+
+  // Mid-traffic, migrate both hot slots to the next shard over. The network
+  // is healthy, so both migrations must fully succeed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const int owner = cluster.view()->shard_of(keys[k]);
+    const int target = (owner + 1) % cluster.num_shards();
+    EXPECT_TRUE(cluster.view_coordinator().migrate_slots(
+        {slot_of_key(keys[k])}, target))
+        << "migration " << k << " failed";
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cluster.view_coordinator().wait_ready());
+  EXPECT_EQ(cluster.view()->epoch, 3);
+
+  // Zero lost committed writes: each counter equals exactly the number of
+  // increments that reported commit, across both epochs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    ASSERT_GT(committed[k].load(), 0) << "no increment of key " << k
+                                      << " ever committed";
+    std::vector<Op> verify;
+    verify.push_back(Op{true, keys[k], {}});
+    TxnResult r = cluster.client(0, 0).run(verify);
+    ASSERT_TRUE(r.committed);
+    EXPECT_EQ(std::stoi(r.reads.at(0).value), committed[k].load())
+        << "lost or duplicated increments on " << keys[k];
+  }
+
+  // No cross-epoch speculative validation: every validated prediction got
+  // exactly one verdict.
+  const auto stats = cluster.spec_stats();
+  EXPECT_LE(stats.predictions_correct + stats.predictions_incorrect,
+            stats.predictions_made);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, ReconfigTest,
+                         ::testing::Values(Flavor::kTrad, Flavor::kSpec),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Reconfig, SpareShardGainsItsFirstSlotsAndServesReads) {
+  auto config = reconfig_cluster(Flavor::kTrad);
+  config.spare_shards = 1;  // shard 3: addressable, owns nothing
+  RcCluster cluster(config);
+  ASSERT_EQ(cluster.total_shards(), 4);
+  const int spare = 3;
+  EXPECT_TRUE(cluster.view()->slots_of(spare).empty());
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    EXPECT_EQ(cluster.store(dc, spare).size(), 0u);
+  }
+
+  // Replica add: move a quarter of shard 0's slots onto the spare.
+  const auto all = cluster.view()->slots_of(0);
+  const std::vector<int> moved(all.begin(),
+                               all.begin() + static_cast<long>(all.size()) / 4);
+  ASSERT_FALSE(moved.empty());
+  ASSERT_TRUE(cluster.view_coordinator().migrate_slots(moved, spare));
+  ASSERT_TRUE(cluster.view_coordinator().wait_ready());
+
+  const auto v2 = cluster.view();
+  EXPECT_EQ(v2->slots_of(spare), moved);
+  auto active = v2->active_shards();
+  EXPECT_NE(std::find(active.begin(), active.end(), spare), active.end());
+
+  // The spare now holds the migrated keys and serves quorum reads of them.
+  const std::string key = key_on_shard(*v2, spare);
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    EXPECT_GT(cluster.store(dc, spare).size(), 0u);
+  }
+  std::vector<Op> read;
+  read.push_back(Op{true, key, {}});
+  TxnResult r = cluster.client(2, 0).run(read);
+  ASSERT_TRUE(r.committed);
+  EXPECT_EQ(r.reads.at(0).value, std::string(16, 'v'));
+
+  // And accepts writes in the new epoch.
+  std::vector<Op> write;
+  write.push_back(Op{false, key, "on-the-spare"});
+  ASSERT_TRUE(cluster.client(0, 0).run(write).committed);
+}
+
+TEST(Reconfig, BatchClientReplansEpochAfterViewFlip) {
+  auto config = reconfig_cluster(Flavor::kSpec);
+  config.batch_clients = true;
+  config.batch_mode = batch::BatchMode::kGroupCommit;
+  RcCluster cluster(config);
+  auto& client = cluster.batch_client(0, 0);
+
+  const std::string key = key_on_shard(*cluster.view(), 0);
+  auto incr_txn = [&key](std::uint64_t id) {
+    batch::BatchOp op;
+    op.kind = batch::OpKind::kRmw;
+    op.key = key;
+    op.value = "1";
+    op.transform = batch::Transform::kIncrement;
+    batch::BatchTxn txn;
+    txn.id = id;
+    txn.ops.push_back(op);
+    return txn;
+  };
+
+  batch::EpochResult e1 = client.run_epoch({incr_txn(0)});
+  EXPECT_EQ(e1.committed, 1u);
+
+  // Flip the view between epochs; the client plans epoch 2 under the stale
+  // view, every read/prepare is NACKed before anything commits, and the
+  // whole epoch is re-planned under the installed view.
+  ASSERT_TRUE(cluster.view_coordinator().migrate_slots({slot_of_key(key)},
+                                                       /*to_shard=*/2));
+  ASSERT_TRUE(cluster.view_coordinator().wait_ready());
+
+  batch::EpochResult e2 = client.run_epoch({incr_txn(1)});
+  EXPECT_EQ(e2.committed, 1u);
+  EXPECT_GE(client.stats().view_refreshes.load(), 1u);
+
+  // Both increments landed exactly once, on the new owner.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    const auto got = cluster.store(dc, 2).get(key);
+    ASSERT_TRUE(got.has_value()) << "dc " << dc;
+    EXPECT_EQ(got->value, "2");
+  }
+}
+
+}  // namespace
+}  // namespace srpc::rc

@@ -129,8 +129,9 @@ TEST(TxnLogRcIntegration, ClusterLogsAppliedCommits) {
     ASSERT_TRUE(cluster.client(0, 0).run(ops).committed);
     std::this_thread::sleep_for(std::chrono::milliseconds(200));  // applies
   }
-  // Every replica of the owning shard logged the commit.
-  const int shard = rc::shard_of("k00000001");
+  // Every replica of the owning shard logged the commit. The cluster ran
+  // the default static view, so a fresh static view resolves the same owner.
+  const int shard = rc::ClusterView::make_static().shard_of("k00000001");
   int logs_with_record = 0;
   for (int dc = 0; dc < 3; ++dc) {
     const std::string path = dir + "/" + std::to_string(dc) + "." +
@@ -143,6 +144,111 @@ TEST(TxnLogRcIntegration, ClusterLogsAppliedCommits) {
     }
   }
   EXPECT_GE(logs_with_record, 2);  // at least the majority applied + logged
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TxnLogRcIntegration, FreshReplicaConvergesFromLogReplayAlone) {
+  // A joining replica recovers from dataset preload + pure TxnLog replay —
+  // no state transfer. Drive BOTH log record shapes at the cluster:
+  // per-transaction 2PC commits (TxnLog::append) and batch group commits
+  // (TxnLog::append_batch), then rebuild every replica offline and demand
+  // exact (value, version) equality with the live store it replicates.
+  const std::string dir = ::testing::TempDir() + "/rclogs_replay_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto key_at = [](std::size_t i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08zu", i);
+    return std::string(key);
+  };
+  constexpr std::size_t kNumKeys = 120;
+  constexpr std::size_t kValueSize = 16;
+  using Snapshot =
+      std::vector<std::tuple<std::string, std::string, std::int64_t>>;
+  std::vector<Snapshot> live;
+  int num_dcs = 0;
+  int num_shards = 0;
+  {
+    rc::ClusterConfig config;
+    config.flavor = Flavor::kSpec;
+    config.geo = uniform_geo(3.0);
+    config.clients_per_dc = 1;
+    config.num_keys = kNumKeys;
+    config.value_size = kValueSize;
+    config.log_dir = dir;
+    config.batch_clients = true;
+    rc::RcCluster cluster(config);
+    num_dcs = cluster.num_dcs();
+    num_shards = cluster.total_shards();
+
+    // Per-txn traffic: single CommitRecord appends.
+    for (std::size_t t = 0; t < 5; ++t) {
+      std::vector<rc::Op> ops;
+      ops.push_back(rc::Op{false, key_at(t), "txn" + std::to_string(t)});
+      ASSERT_TRUE(cluster.client(0, 0).run(ops).committed);
+    }
+    // Batch traffic: three speculative group-commit epochs — rmw increments
+    // on a shared hot range plus disjoint blind writes — whose applies land
+    // through TxnLog::append_batch.
+    auto& bc = cluster.batch_client(1, 0);
+    for (int e = 0; e < 3; ++e) {
+      std::vector<batch::BatchTxn> txns;
+      for (std::size_t t = 0; t < 8; ++t) {
+        batch::BatchTxn txn;
+        txn.id = static_cast<std::uint64_t>(e) * 8 + t;
+        batch::BatchOp rmw;
+        rmw.kind = batch::OpKind::kRmw;
+        rmw.key = key_at(10 + t);
+        rmw.value = "1";
+        rmw.transform = batch::Transform::kIncrement;
+        txn.ops.push_back(std::move(rmw));
+        batch::BatchOp w;
+        w.kind = batch::OpKind::kWrite;
+        w.key = key_at(40 + static_cast<std::size_t>(e) * 8 + t);
+        w.value = "batch" + std::to_string(txn.id);
+        txn.ops.push_back(std::move(w));
+        txns.push_back(std::move(txn));
+      }
+      EXPECT_GT(bc.run_epoch(std::move(txns)).committed, 0u);
+    }
+    // Let the asynchronous decide/apply broadcasts drain, then snapshot
+    // every live replica.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    for (int dc = 0; dc < num_dcs; ++dc) {
+      for (int shard = 0; shard < num_shards; ++shard) {
+        live.push_back(cluster.store(dc, shard).export_if(
+            [](const std::string&) { return true; }));
+      }
+    }
+  }  // teardown flushes every log
+
+  const rc::ClusterView view = rc::ClusterView::make_static(num_dcs,
+                                                            num_shards);
+  for (int dc = 0; dc < num_dcs; ++dc) {
+    for (int shard = 0; shard < num_shards; ++shard) {
+      VersionedStore fresh;
+      for (std::size_t i = 0; i < kNumKeys; ++i) {
+        const std::string key = key_at(i);
+        if (view.shard_of(key) == shard) {
+          fresh.load(key, std::string(kValueSize, 'v'), 1);
+        }
+      }
+      const std::string path = dir + "/" + std::to_string(dc) + "." +
+                               std::to_string(shard) + ".rclog";
+      TxnLog::recover(path, fresh);
+      const Snapshot& reference =
+          live.at(static_cast<std::size_t>(dc * num_shards + shard));
+      EXPECT_EQ(fresh.size(), reference.size())
+          << "dc" << dc << " shard" << shard;
+      for (const auto& [key, value, version] : reference) {
+        const auto got = fresh.get(key);
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(got->value, value) << key;
+        EXPECT_EQ(got->version, version) << key;
+      }
+    }
+  }
   std::filesystem::remove_all(dir);
 }
 
