@@ -24,7 +24,8 @@ ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j"$(nproc)" "$@"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target test_executor_stress test_transport test_chaos_soak test_predict \
-  test_engine_shard test_overload test_batch test_reconfig rc_cluster_node
+  test_engine_shard test_overload test_batch test_batch_adaptive \
+  test_reconfig rc_cluster_node
 ./build-tsan/tests/test_executor_stress
 ./build-tsan/tests/test_transport --gtest_filter='SimNetworkFaults.*'
 # The real-TCP reactor suite under TSan: reactor sharding, wake coalescing,
@@ -47,6 +48,11 @@ SPECRPC_CHAOS_TXNS=10 ./build-tsan/tests/test_chaos_soak
 # chains, seed-store puts from engine threads, batch-id lock ownership,
 # and the gauge's cross-thread accounting.
 ./build-tsan/tests/test_batch
+# Adaptive batching (DESIGN.md §14): controller gate/climber units plus the
+# multi-client phase-shift storm under TSan — controller next()/observe()
+# from client threads, mid-run epoch resizing through the sized workload
+# source, and seed poisoning racing the prediction manager's learn path.
+./build-tsan/tests/test_batch_adaptive
 # Live reconfiguration (DESIGN.md §13): the full suite under TSan — view
 # installs racing closed-loop traffic, wrong-epoch NACK refresh from client
 # threads, warming/pull state transfer, and the provider's epoch-monotone
@@ -88,6 +94,15 @@ cmake --build --preset asan -j"$(nproc)" --target perf_batch
 (cd build-asan && SPECRPC_BENCH_WARMUP_S=0.1 SPECRPC_BENCH_MEASURE_S=0.3 \
   SPECRPC_BATCH_HOTFRACS=0.5 SPECRPC_BATCH_SKIP_PROCESS=1 \
   SPECRPC_BATCH_NUM_KEYS=2000 ./bench/perf_batch)
+
+# Adaptive-batching smoke under ASan (DESIGN.md §14): tiny windows over the
+# low->high->low conflict schedule — drives the controller's regime reflex,
+# probing, and mode gates across all four configs and checks the sized
+# closed loop's shutdown drain for leaks. The within-10%/1.3x acceptance
+# bars (EXPERIMENTS.md) are release-build only; the JSON here is noise.
+cmake --build --preset asan -j"$(nproc)" --target perf_batch_adaptive
+(cd build-asan && SPECRPC_BENCH_WARMUP_S=0.1 SPECRPC_BENCH_MEASURE_S=0.3 \
+  ./bench/perf_batch_adaptive)
 
 # Reconfiguration smoke under ASan (DESIGN.md §13): tiny windows — drives a
 # live slot migration (view install broadcast, wrong-epoch NACK refresh,

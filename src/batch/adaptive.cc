@@ -1,0 +1,294 @@
+#include "batch/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optmodel/model.h"
+
+namespace srpc::batch {
+
+namespace {
+
+int mode_index(BatchMode mode) { return static_cast<int>(mode); }
+
+double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+AdaptiveBatchStats& AdaptiveBatchStats::operator+=(
+    const AdaptiveBatchStats& other) {
+  epochs += other.epochs;
+  for (int m = 0; m < 3; ++m) mode_epochs[m] += other.mode_epochs[m];
+  mode_flips += other.mode_flips;
+  probes += other.probes;
+  grows += other.grows;
+  shrinks += other.shrinks;
+  accuracy_epochs += other.accuracy_epochs;
+  // Gauges aggregate as "a representative controller": the busiest one wins
+  // (summing a size or a rate across clients would mean nothing).
+  if (other.epochs > 0) {
+    epoch_size = other.epoch_size;
+    mode = other.mode;
+    conflict_ewma = other.conflict_ewma;
+    conflict_windowed = other.conflict_windowed;
+    accuracy_ewma = other.accuracy_ewma;
+    accuracy_windowed = other.accuracy_windowed;
+    read_latency_ms_ewma = other.read_latency_ms_ewma;
+  }
+  return *this;
+}
+
+AdaptiveBatchController::AdaptiveBatchController(AdaptiveBatchConfig config)
+    : config_(config),
+      break_even_(opt::break_even_accuracy(config.misspec_cost)),
+      conflict_ewma_(config.ewma_alpha),
+      conflict_win_(config.window),
+      accuracy_ewma_(config.ewma_alpha),
+      accuracy_win_(config.window),
+      latency_ewma_(config.ewma_alpha),
+      latency_win_(config.window) {
+  config_.max_epoch = std::max(config_.max_epoch, config_.min_epoch);
+  epoch_size_ = std::clamp(config_.initial_epoch, config_.min_epoch,
+                           config_.max_epoch);
+  // The initial mode seeds the gates; they move once signals warm up.
+  per_txn_ = config_.initial_mode == BatchMode::kPerTxn2pc;
+  spec_open_ = config_.allow_speculative &&
+               config_.initial_mode == BatchMode::kSpeculative;
+}
+
+double AdaptiveBatchController::accuracy_off_threshold() const {
+  return break_even_ - config_.hysteresis;
+}
+
+double AdaptiveBatchController::accuracy_on_threshold() const {
+  return break_even_ + config_.hysteresis;
+}
+
+std::size_t AdaptiveBatchController::clamp_size(double size) const {
+  const auto rounded = static_cast<std::size_t>(std::llround(size));
+  return std::clamp(rounded, config_.min_epoch, config_.max_epoch);
+}
+
+BatchDecision AdaptiveBatchController::next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const BatchMode steady =
+      per_txn_ ? BatchMode::kPerTxn2pc
+               : (spec_open_ && config_.allow_speculative
+                      ? BatchMode::kSpeculative
+                      : BatchMode::kGroupCommit);
+  BatchDecision decision;
+  decision.epoch_size = epoch_size_;
+  decision.mode = steady;
+
+  // Probe the suppressed next-more-aggressive mode so its signals stay
+  // live: group commit while the per-txn gate is engaged (does conflict
+  // still bite batched epochs?), speculative while the accuracy gate is
+  // closed (group epochs prime no seeds, so accuracy can only recover
+  // through a probe).
+  BatchMode probe_target = steady;
+  if (per_txn_) {
+    probe_target = BatchMode::kGroupCommit;
+  } else if (!spec_open_ && config_.allow_speculative) {
+    probe_target = BatchMode::kSpeculative;
+  }
+  if (probe_target != steady && config_.probe_every > 0 &&
+      stats_.epochs >= config_.min_samples) {
+    if (++epochs_since_probe_ >= config_.probe_every) {
+      epochs_since_probe_ = 0;
+      decision.mode = probe_target;
+      decision.probe = true;
+    }
+  } else {
+    epochs_since_probe_ = 0;
+  }
+  return decision;
+}
+
+void AdaptiveBatchController::observe(const EpochFeedback& feedback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.epochs++;
+  stats_.mode_epochs[mode_index(feedback.mode)]++;
+  if (feedback.probe) stats_.probes++;
+
+  // Conflict: closure aborts count twice — once as aborts, once as
+  // evidence that coupling transactions into a batch amplified them. Only
+  // batched epochs carry the signal: per-txn 2PC serializes the stream, so
+  // its abort counts say nothing about batch amplification, and feeding its
+  // near-zero rates here would release the gate blindly.
+  const bool batched = feedback.mode != BatchMode::kPerTxn2pc;
+  double epoch_conflict = 0.0;
+  bool saw_conflict = false;
+  if (batched && feedback.txns > 0) {
+    epoch_conflict = static_cast<double>(feedback.aborted +
+                                         feedback.dep_aborts) /
+                     static_cast<double>(feedback.txns);
+    saw_conflict = true;
+    conflict_ewma_.observe(epoch_conflict);
+    conflict_win_.observe(epoch_conflict);
+    if (epoch_conflict <= config_.conflict_lo) {
+      calm_streak_++;
+    } else {
+      calm_streak_ = 0;
+    }
+  }
+  if (feedback.seed_checked > 0) {
+    const double accuracy = static_cast<double>(feedback.seed_correct) /
+                            static_cast<double>(feedback.seed_checked);
+    accuracy_ewma_.observe(accuracy);
+    accuracy_win_.observe(accuracy);
+    accuracy_epochs_++;
+    if (accuracy >= accuracy_on_threshold()) {
+      accurate_streak_++;
+    } else {
+      accurate_streak_ = 0;
+    }
+  }
+  if (feedback.wire_reads > 0) {
+    const double ms_per_read =
+        to_ms(feedback.read_phase) / static_cast<double>(feedback.wire_reads);
+    latency_ewma_.observe(ms_per_read);
+    latency_win_.observe(ms_per_read);
+  }
+
+  if (stats_.epochs < config_.min_samples) return;  // still warming up
+
+  const auto steady_mode = [this] {
+    return per_txn_ ? BatchMode::kPerTxn2pc
+                    : (spec_open_ && config_.allow_speculative
+                           ? BatchMode::kSpeculative
+                           : BatchMode::kGroupCommit);
+  };
+  const BatchMode before = steady_mode();
+
+  // Per-txn gate: the windowed signal (fully forgetting) engages it at full
+  // strength; release takes `release_streak` consecutive calm batched
+  // observations — while engaged, only probe epochs can supply them, so the
+  // gate stays put until probes prove the storm is over.
+  if (!per_txn_ && conflict_win_.mean() >= config_.conflict_hi) {
+    per_txn_ = true;
+    calm_streak_ = 0;
+  } else if (per_txn_ && calm_streak_ >= config_.release_streak) {
+    per_txn_ = false;
+  }
+
+  // Speculation gate around the optmodel break-even (speculative mode only
+  // pays above it): closes on the windowed mean like the PR 3 accuracy
+  // gate, reopens on a streak of accurate probes.
+  if (config_.allow_speculative && accuracy_epochs_ >= config_.min_samples) {
+    if (spec_open_ && accuracy_win_.mean() < accuracy_off_threshold()) {
+      spec_open_ = false;
+      accurate_streak_ = 0;
+    } else if (!spec_open_ && accurate_streak_ >= config_.release_streak) {
+      spec_open_ = true;
+    }
+  }
+  if (steady_mode() != before) stats_.mode_flips++;
+
+  // ---- Epoch size ----
+  const auto reflex_shrink = [this] {
+    const std::size_t next =
+        clamp_size(static_cast<double>(epoch_size_) * config_.shrink_factor);
+    if (next < epoch_size_) {
+      epoch_size_ = next;
+      stats_.shrinks++;
+    }
+    // Restart the climber: the regime changed, so the old goodput baseline
+    // compares apples to oranges.
+    goodput_base_ = 0;
+    hold_count_ = 0;
+    window_committed_ = 0;
+    window_time_ms_ = 0;
+    climb_dir_ = 1;
+  };
+
+  // Reflexes first: one cut when the windowed conflict signal crosses
+  // shrink_above from below (a regime shift, not every hot epoch), a cut
+  // every epoch the admission ladder sheds.
+  bool reflexed = false;
+  if (saw_conflict) {
+    const bool hot = conflict_win_.mean() >= config_.shrink_above;
+    if (hot && !conflict_regime_) {
+      reflex_shrink();
+      reflexed = true;
+    }
+    conflict_regime_ = hot;
+  }
+  if (feedback.pressure_level > 0) {
+    reflex_shrink();
+    reflexed = true;
+  }
+
+  // Goodput hill climber: hold the size for hold_epochs batched non-probe
+  // epochs, then flip the climbing direction when the window's goodput
+  // falls a deadband below the EWMA baseline (keep it otherwise), and take
+  // one multiplicative step. The congestion brake and pressure withhold
+  // growth steps. Per-txn epochs are excluded: their goodput barely moves
+  // with size, so climbing on them is a random walk — the size freezes at
+  // the last batched optimum until the gate releases.
+  if (!reflexed && !feedback.probe && batched && feedback.txns > 0) {
+    window_committed_ += static_cast<double>(feedback.committed);
+    window_time_ms_ += to_ms(feedback.epoch_time);
+    if (++hold_count_ >= config_.hold_epochs && window_time_ms_ > 0) {
+      const double goodput = window_committed_ / window_time_ms_;
+      if (goodput_base_ > 0 &&
+          goodput < goodput_base_ * (1.0 - config_.climb_deadband)) {
+        climb_dir_ = -climb_dir_;
+      }
+      goodput_base_ = goodput_base_ > 0
+                          ? (1.0 - config_.ewma_alpha) * goodput_base_ +
+                                config_.ewma_alpha * goodput
+                          : goodput;
+      hold_count_ = 0;
+      window_committed_ = 0;
+      window_time_ms_ = 0;
+
+      const bool congested =
+          latency_win_.occupied() > 0 &&
+          latency_win_.mean() >
+              config_.latency_brake * latency_ewma_.value(latency_win_.mean());
+      const bool grow_blocked = congested || feedback.pressure_level > 0;
+      if (climb_dir_ > 0 && !grow_blocked) {
+        const std::size_t next = clamp_size(std::max(
+            static_cast<double>(epoch_size_ + 1),
+            static_cast<double>(epoch_size_) * config_.grow_factor));
+        if (next > epoch_size_) {
+          epoch_size_ = next;
+          stats_.grows++;
+        } else {
+          climb_dir_ = -1;  // bounced off max_epoch
+        }
+      } else if (climb_dir_ < 0) {
+        const std::size_t next = clamp_size(std::min(
+            static_cast<double>(epoch_size_) - 1,
+            static_cast<double>(epoch_size_) / config_.grow_factor));
+        if (next < epoch_size_) {
+          epoch_size_ = next;
+          stats_.shrinks++;
+        } else {
+          climb_dir_ = 1;  // bounced off min_epoch
+        }
+      }
+    }
+  }
+}
+
+AdaptiveBatchStats AdaptiveBatchController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdaptiveBatchStats out = stats_;
+  out.accuracy_epochs = accuracy_epochs_;
+  out.epoch_size = epoch_size_;
+  out.mode = per_txn_ ? BatchMode::kPerTxn2pc
+                      : (spec_open_ && config_.allow_speculative
+                             ? BatchMode::kSpeculative
+                             : BatchMode::kGroupCommit);
+  out.conflict_ewma = conflict_ewma_.value();
+  out.conflict_windowed = conflict_win_.mean();
+  out.accuracy_ewma = accuracy_ewma_.value();
+  out.accuracy_windowed = accuracy_win_.mean();
+  out.read_latency_ms_ewma = latency_ewma_.value();
+  return out;
+}
+
+}  // namespace srpc::batch

@@ -36,11 +36,72 @@ BatchClient::BatchClient(rc::RpcKit& kit,
 
 void BatchClient::refresh_view(const rc::WrongEpochError& err) {
   stats_.view_refreshes.fetch_add(1, std::memory_order_relaxed);
-  if (err.view().has_value()) views_->install(*err.view());
-  if (seeds_ != nullptr) seeds_->clear();
+  if (err.view().has_value()) {
+    // Diff the slot tables before installing: only seeds whose slots moved
+    // between the two views are stale (a migration must not cold-start
+    // seed accuracy for the untouched rest of the key space).
+    const View old_view = views_->get();
+    views_->install(*err.view());
+    if (seeds_ != nullptr) seeds_->invalidate_moved(*old_view, *err.view());
+  } else if (seeds_ != nullptr) {
+    seeds_->clear();  // no view payload: can't tell what moved
+  }
+}
+
+std::size_t BatchClient::next_epoch_size() {
+  if (controller_ == nullptr) return config_.txns_per_epoch;
+  if (!pending_decision_.has_value()) pending_decision_ = controller_->next();
+  return pending_decision_->epoch_size;
+}
+
+BatchClient::StatsSnapshot BatchClient::snapshot_counters() const {
+  StatsSnapshot snap;
+  snap.dep_aborts = stats_.dep_aborts.load(std::memory_order_relaxed);
+  snap.wire_reads = stats_.wire_reads.load(std::memory_order_relaxed);
+  if (predictor_ != nullptr) {
+    snap.seed_checked = predictor_->checked();
+    snap.seed_correct = predictor_->correct();
+  }
+  return snap;
+}
+
+void BatchClient::feed_controller(const BatchDecision& decision,
+                                  const EpochResult& result,
+                                  const StatsSnapshot& before,
+                                  Duration epoch_time) {
+  const StatsSnapshot after = snapshot_counters();
+  EpochFeedback feedback;
+  feedback.mode = decision.mode;
+  feedback.probe = decision.probe;
+  feedback.epoch_time = epoch_time;
+  feedback.txns = result.committed + result.aborted;
+  feedback.committed = result.committed;
+  feedback.aborted = result.aborted;
+  feedback.dep_aborts =
+      static_cast<std::size_t>(after.dep_aborts - before.dep_aborts);
+  feedback.wire_reads =
+      static_cast<std::size_t>(after.wire_reads - before.wire_reads);
+  feedback.read_phase = result.read_phase;
+  feedback.seed_checked = after.seed_checked - before.seed_checked;
+  feedback.seed_correct = after.seed_correct - before.seed_correct;
+  feedback.pressure_level =
+      admission_ != nullptr ? static_cast<int>(admission_->level()) : 0;
+  controller_->observe(feedback);
 }
 
 EpochResult BatchClient::run_epoch(std::vector<BatchTxn> txns) {
+  // The controller's decision holds for the whole epoch, across wrong-epoch
+  // re-plans (a view refresh changes routing, not the workload signals the
+  // decision was made from).
+  std::optional<BatchDecision> decision;
+  if (controller_ != nullptr) {
+    if (!pending_decision_.has_value()) pending_decision_ = controller_->next();
+    decision = pending_decision_;
+    pending_decision_.reset();
+  }
+  const BatchMode mode = decision.has_value() ? decision->mode : config_.mode;
+  const StatsSnapshot before = snapshot_counters();
+  const TimePoint epoch_start = Clock::now();
   for (int attempt = 0;; ++attempt) {
     // Plan under the freshest view; the plan carries that view's epoch and
     // every RPC of the epoch is stamped with it.
@@ -48,13 +109,17 @@ EpochResult BatchClient::run_epoch(std::vector<BatchTxn> txns) {
     const BatchPlan plan = planner_.plan(*view, txns);
     if (gauge_ != nullptr) gauge_->on_plan(plan);
     try {
-      EpochResult result = config_.mode == BatchMode::kPerTxn2pc
+      EpochResult result = mode == BatchMode::kPerTxn2pc
                                ? run_per_txn(plan, view)
-                               : run_batched(plan, view);
+                               : run_batched(plan, view, mode);
+      result.mode = mode;
       if (gauge_ != nullptr) gauge_->on_complete(plan);
       stats_.epochs.fetch_add(1, std::memory_order_relaxed);
       stats_.committed.fetch_add(result.committed, std::memory_order_relaxed);
       stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
+      if (decision.has_value()) {
+        feed_controller(*decision, result, before, Clock::now() - epoch_start);
+      }
       return result;
     } catch (const rc::WrongEpochError& err) {
       // Thrown only before anything of this epoch committed (reads, or a
@@ -65,10 +130,15 @@ EpochResult BatchClient::run_epoch(std::vector<BatchTxn> txns) {
       if (attempt >= kMaxViewRetries) {
         EpochResult result;
         result.epoch = plan.epoch;
+        result.mode = mode;
         result.aborted = plan.txns.size();
         result.decisions.assign(plan.txns.size(), false);
         stats_.epochs.fetch_add(1, std::memory_order_relaxed);
         stats_.aborted.fetch_add(result.aborted, std::memory_order_relaxed);
+        if (decision.has_value()) {
+          feed_controller(*decision, result, before,
+                          Clock::now() - epoch_start);
+        }
         return result;
       }
     }
@@ -145,14 +215,16 @@ std::vector<BatchClient::ComputedTxn> BatchClient::compute(
   return out;
 }
 
-EpochResult BatchClient::run_batched(const BatchPlan& plan, const View& view) {
+EpochResult BatchClient::run_batched(const BatchPlan& plan, const View& view,
+                                     BatchMode mode) {
   const TimePoint t0 = Clock::now();
   EpochResult result;
   result.epoch = plan.epoch;
   if (plan.txns.empty()) return result;
 
-  if (config_.mode == BatchMode::kSpeculative) prime_predictions(plan);
-  const ReadSet reads = executor_.execute(plan, config_.mode, view);
+  if (mode == BatchMode::kSpeculative) prime_predictions(plan);
+  const ReadSet reads = executor_.execute(plan, mode, view);
+  result.read_phase = Clock::now() - t0;
   const auto computed = compute(plan, reads);
 
   std::vector<kv::BatchEntry> entries;
@@ -328,8 +400,10 @@ EpochResult BatchClient::run_per_txn(const BatchPlan& plan, const View& view) {
           } else {
             // Fresh quorum read, sequential — the per-txn baseline pays one
             // round trip per read and one commit round per transaction.
+            const TimePoint r0 = Clock::now();
             const auto r = executor_.quorum_read(
                 *cur, op.key, plan.epoch, cur->shard_of(op.key), read_seq++);
+            result.read_phase += Clock::now() - r0;
             current = r.value;
             validations.push_back(kv::ReadValidation{op.key, r.version});
             stats_.wire_reads.fetch_add(1, std::memory_order_relaxed);

@@ -47,6 +47,40 @@ void SeedStore::clear() {
   }
 }
 
+std::size_t SeedStore::invalidate_moved(const rc::ClusterView& from,
+                                        const rc::ClusterView& to) {
+  // Malformed slot tables (never produced by ClusterView factories, but the
+  // views arrive off the wire) degrade to the conservative full clear.
+  if (from.slot_owner.size() != static_cast<std::size_t>(rc::kViewSlots) ||
+      to.slot_owner.size() != static_cast<std::size_t>(rc::kViewSlots)) {
+    const std::size_t n = size();
+    clear();
+    return n;
+  }
+  std::array<bool, rc::kViewSlots> moved{};
+  bool any = false;
+  for (int slot = 0; slot < rc::kViewSlots; ++slot) {
+    moved[static_cast<std::size_t>(slot)] =
+        from.slot_owner[static_cast<std::size_t>(slot)] !=
+        to.slot_owner[static_cast<std::size_t>(slot)];
+    any = any || moved[static_cast<std::size_t>(slot)];
+  }
+  if (!any) return 0;
+  std::size_t dropped = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.data.begin(); it != stripe.data.end();) {
+      if (moved[static_cast<std::size_t>(rc::slot_of_key(it->first))]) {
+        it = stripe.data.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
 std::size_t SeedStore::size() const {
   std::size_t total = 0;
   for (const Stripe& stripe : stripes_) {
@@ -81,7 +115,6 @@ ValueList QueueSeedPredictor::predict(const std::string& method,
 
 void QueueSeedPredictor::learn(const std::string& method,
                                const ValueList& args, const Value& actual) {
-  (void)method;
   // batch.read args: (key, epoch, shard, pos, vepoch); actual:
   // vlist(value, version).
   // Tolerate anything else (the manager shadow-evaluates every observed
@@ -89,6 +122,19 @@ void QueueSeedPredictor::learn(const std::string& method,
   if (args.empty() || args[0].type() != Value::Type::kString ||
       actual.type() != Value::Type::kList) {
     return;
+  }
+  {
+    // Score the primed seed for this exact position, if any: the engine
+    // validates by deep (value, version) equality, so score the same way.
+    const std::string key = predict::key_of(method, args);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = primed_.find(key);
+    if (it != primed_.end()) {
+      checked_.fetch_add(1, std::memory_order_relaxed);
+      if (it->second == actual) {
+        correct_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   const ValueList& pair = actual.as_list();
   if (pair.size() < 2 || pair[0].type() != Value::Type::kString ||

@@ -34,6 +34,7 @@
 #include <unordered_map>
 
 #include "predict/predictor.h"
+#include "rc/view.h"
 #include "specrpc/engine.h"
 
 namespace srpc::batch {
@@ -62,11 +63,19 @@ class SeedStore {
   std::optional<SeedValue> get(const std::string& key) const;
   std::size_t size() const;
 
-  /// Drops every seed. Called on a view change: seeds for migrated keys
-  /// may reflect the old owner's tail, and a stale seed after a migration
-  /// is a guaranteed misprediction — cheaper to re-warm than to mispredict
-  /// a whole queue. Advisory store, so racing in-flight puts are harmless.
+  /// Drops every seed. Last resort on a view change whose predecessor is
+  /// unknown (see invalidate_moved for the surgical path). Advisory store,
+  /// so racing in-flight puts are harmless.
   void clear();
+
+  /// Drops only the seeds whose slot changed shards between `from` and
+  /// `to` (slot-table diff, kViewSlots comparisons). Seeds on migrated
+  /// slots may reflect the old owner's tail — a guaranteed misprediction —
+  /// but seeds on unmoved slots are exactly as good as before the
+  /// reconfiguration, so a migration must not cold-start queue-seed
+  /// accuracy cluster-wide. Returns the number of seeds dropped.
+  std::size_t invalidate_moved(const rc::ClusterView& from,
+                               const rc::ClusterView& to);
 
  private:
   static constexpr std::size_t kStripes = 16;
@@ -105,6 +114,12 @@ class QueueSeedPredictor final : public predict::Predictor {
   /// Actual combined read result for one position. Parsed back into the
   /// SeedStore (batch.read args carry the key at position 0), so validated
   /// reads refresh next epoch's seeds even for keys the batch never wrote.
+  /// When the position was primed, also scores the seed exactly (primed
+  /// value deep-compared against the actual) into checked()/correct() —
+  /// the adaptive controller's accuracy signal. This is deliberately NOT
+  /// the engine's predictions_correct: the engine only scores positions it
+  /// chose to speculate on, while the controller needs accuracy over every
+  /// primed seed, including epochs where the budget throttled speculation.
   void learn(const std::string& method, const ValueList& args,
              const Value& actual) override;
 
@@ -116,6 +131,13 @@ class QueueSeedPredictor final : public predict::Predictor {
     return primed_total_.load(std::memory_order_relaxed);
   }
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Cumulative primed positions scored / scored correct (see learn()).
+  std::uint64_t checked() const {
+    return checked_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t correct() const {
+    return correct_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::shared_ptr<SeedStore> seeds_;
@@ -123,6 +145,8 @@ class QueueSeedPredictor final : public predict::Predictor {
   std::unordered_map<std::string, Value> primed_;
   std::atomic<std::uint64_t> primed_total_{0};
   std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> checked_{0};
+  std::atomic<std::uint64_t> correct_{0};
 };
 
 }  // namespace srpc::batch

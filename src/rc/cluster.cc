@@ -189,9 +189,22 @@ RcCluster::RcCluster(ClusterConfig config) : config_(std::move(config)) {
         batch::BatchClientConfig batch_config;
         batch_config.my_dc = dc;
         batch_config.mode = config_.batch_mode;
+        batch_config.txns_per_epoch = config_.batch_txns_per_epoch;
         batch_clients_.push_back(std::make_unique<batch::BatchClient>(
             *bundle.kit, client_views, batch_config, seeds, qpredictor,
             batch_gauge_));
+        if (config_.adaptive_batch) {
+          // Per-client controller: epoch streams are per client, so the
+          // signals (and the right operating point) are too. Non-spec
+          // flavours have no engine to speculate with, so the controller
+          // only moves on the per-txn/group axis there.
+          batch::AdaptiveBatchConfig acfg = config_.adaptive_batch_config;
+          acfg.initial_mode = config_.batch_mode;
+          acfg.allow_speculative = config_.flavor == Flavor::kSpec;
+          batch_clients_.back()->set_controller(
+              std::make_shared<batch::AdaptiveBatchController>(acfg));
+          batch_clients_.back()->set_admission(admission_);
+        }
       }
     }
   }
@@ -228,6 +241,14 @@ predict::SpeculationManager* RcCluster::client_predictor(int dc, int index) {
   return predict_managers_
       .at(static_cast<std::size_t>(dc * config_.clients_per_dc + index))
       .get();
+}
+
+batch::AdaptiveBatchStats RcCluster::adaptive_batch_stats() const {
+  batch::AdaptiveBatchStats total;
+  for (const auto& client : batch_clients_) {
+    if (client->controller() != nullptr) total += client->controller()->stats();
+  }
+  return total;
 }
 
 predict::ManagerStats RcCluster::predict_stats() const {

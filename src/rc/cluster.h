@@ -82,6 +82,16 @@ struct ClusterConfig {
   /// extra pressure source.
   bool batch_clients = false;
   batch::BatchMode batch_mode = batch::BatchMode::kSpeculative;
+  /// Default epoch depth reported by BatchClient::next_epoch_size() when
+  /// adaptive batching is off (sized workload sources honour it).
+  std::size_t batch_txns_per_epoch = 8;
+  /// Adaptive batching (DESIGN.md §14): give every batch client an
+  /// AdaptiveBatchController that picks epoch size within
+  /// [adaptive_batch_config.min_epoch, max_epoch] and commit mode online.
+  /// batch_mode becomes the controller's initial mode; on non-spec flavours
+  /// the speculative mode is excluded from its choices.
+  bool adaptive_batch = false;
+  batch::AdaptiveBatchConfig adaptive_batch_config;
 };
 
 class RcCluster {
@@ -102,6 +112,15 @@ class RcCluster {
   const std::shared_ptr<batch::BatchQueueGauge>& batch_gauge() const {
     return batch_gauge_;
   }
+  /// One client machine's adaptive batch controller; nullptr unless
+  /// config.adaptive_batch. Index mirrors batch_client(dc, index).
+  batch::AdaptiveBatchController* batch_controller(int dc, int index) {
+    if (!config_.adaptive_batch || batch_clients_.empty()) return nullptr;
+    return batch_client(dc, index).controller().get();
+  }
+  /// Controller counters summed over every batch client (zeroes when
+  /// adaptive batching is off).
+  batch::AdaptiveBatchStats adaptive_batch_stats() const;
 
   int clients_per_dc() const { return config_.clients_per_dc; }
   int num_dcs() const { return num_dcs_; }

@@ -251,12 +251,25 @@ int node_main(const Args& args) {
     batch_config.read_quorum = static_cast<int>(args.num("read_quorum", 2));
     batch_config.vote_quorum = static_cast<int>(args.num("vote_quorum", 2));
     batch_config.mode = parse_batch_mode(args.str("batch_mode", "speculative"));
+    batch_config.txns_per_epoch =
+        static_cast<std::size_t>(args.num("txns_per_epoch", 32));
+    const bool adaptive = args.num("adaptive_batch", 0) != 0;
     for (int i = 0; i < clients_per_dc; ++i) {
       const auto idx = static_cast<std::size_t>(i);
       batch_clients.push_back(std::make_unique<batch::BatchClient>(
           *nodes[idx]->kit, make_views(), batch_config,
           idx < seed_stores.size() ? seed_stores[idx] : nullptr,
           idx < qpredictors.size() ? qpredictors[idx] : nullptr, nullptr));
+      if (adaptive) {
+        batch::AdaptiveBatchConfig acfg;
+        acfg.min_epoch = static_cast<std::size_t>(args.num("min_epoch", 4));
+        acfg.max_epoch = static_cast<std::size_t>(args.num("max_epoch", 64));
+        acfg.initial_epoch = batch_config.txns_per_epoch;
+        acfg.initial_mode = batch_config.mode;
+        acfg.allow_speculative = flavor == Flavor::kSpec;
+        batch_clients.back()->set_controller(
+            std::make_shared<batch::AdaptiveBatchController>(acfg));
+      }
     }
   } else {
     RcClientConfig client_config;
@@ -289,10 +302,12 @@ int node_main(const Args& args) {
     wc.hot_keys = static_cast<std::size_t>(args.num("hot_keys", 16));
     wc.hot_fraction = args.real("hot_fraction", 0.5);
     wc.cross_partition_fraction = args.real("cross_fraction", 0.3);
-    wl::BatchWorkloadFactory factory = [wc, seed, base](int client_index) {
+    // Sized source: each pull asks the client for the next epoch's depth
+    // (the adaptive controller's pick; txns_per_epoch without one).
+    wl::SizedBatchWorkloadFactory factory = [wc, seed, base](int client_index) {
       auto w = std::make_shared<wl::QStreamWorkload>(
           wc, seed + static_cast<std::uint64_t>(client_index), base);
-      return [w] { return w->next_epoch(); };
+      return [w](std::size_t n) { return w->next_txns(n); };
     };
     std::vector<batch::BatchClient*> raw;
     for (auto& c : batch_clients) raw.push_back(c.get());
@@ -300,16 +315,30 @@ int node_main(const Args& args) {
         raw, my_dc * clients_per_dc, factory,
         std::chrono::milliseconds(args.num("warmup_ms", 200)),
         std::chrono::milliseconds(args.num("measure_ms", 2000)));
+    // Controller counters summed over this node's clients; the parent's
+    // field() parser ignores keys it doesn't know, so the extra fields are
+    // compatible with old parents.
+    batch::AdaptiveBatchStats astats;
+    for (auto* c : raw) {
+      if (c->controller() != nullptr) astats += c->controller()->stats();
+    }
     std::printf(
         "RESULT committed=%llu aborted=%llu read_only=0 elapsed_s=%.3f "
         "mean_us=%.1f p50_us=%.1f p99_us=%.1f commit_count=%llu "
-        "commit_mean_us=%.1f\n",
+        "commit_mean_us=%.1f adaptive_epochs=%llu mode_flips=%llu "
+        "probes=%llu grows=%llu shrinks=%llu epoch_size=%llu\n",
         static_cast<unsigned long long>(run.committed),
         static_cast<unsigned long long>(run.aborted), run.elapsed_s,
         run.epoch_latency.mean_us(), run.epoch_latency.percentile_us(50),
         run.epoch_latency.percentile_us(99),
         static_cast<unsigned long long>(run.commit_latency.count()),
-        run.commit_latency.mean_us());
+        run.commit_latency.mean_us(),
+        static_cast<unsigned long long>(astats.epochs),
+        static_cast<unsigned long long>(astats.mode_flips),
+        static_cast<unsigned long long>(astats.probes),
+        static_cast<unsigned long long>(astats.grows),
+        static_cast<unsigned long long>(astats.shrinks),
+        static_cast<unsigned long long>(astats.epoch_size));
     std::fflush(stdout);
   } else if (role == "client") {
     const std::string workload = args.str("workload", "ycsbt");

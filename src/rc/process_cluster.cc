@@ -266,6 +266,9 @@ ProcessClusterResult ProcessCluster::run() {
         "read_fraction=" + std::to_string(config_.read_fraction),
         "batch_mode=" + config_.batch_mode,
         "txns_per_epoch=" + std::to_string(config_.txns_per_epoch),
+        "adaptive_batch=" + std::to_string(config_.adaptive_batch ? 1 : 0),
+        "min_epoch=" + std::to_string(config_.min_epoch),
+        "max_epoch=" + std::to_string(config_.max_epoch),
         "hot_keys=" + std::to_string(config_.hot_keys),
         "hot_fraction=" + std::to_string(config_.hot_fraction),
         "cross_fraction=" + std::to_string(config_.cross_fraction),
@@ -370,6 +373,12 @@ ProcessClusterResult ProcessCluster::run() {
     const double commits = field(line, "commit_count");
     result.mean_commit_ms += commits * field(line, "commit_mean_us") / 1000.0;
     commit_weight += commits;
+    result.adaptive_epochs +=
+        static_cast<std::uint64_t>(field(line, "adaptive_epochs"));
+    result.mode_flips += static_cast<std::uint64_t>(field(line, "mode_flips"));
+    result.probes += static_cast<std::uint64_t>(field(line, "probes"));
+    result.grows += static_cast<std::uint64_t>(field(line, "grows"));
+    result.shrinks += static_cast<std::uint64_t>(field(line, "shrinks"));
   }
   if (mean_weight > 0) {
     result.mean_txn_ms /= mean_weight;

@@ -63,6 +63,13 @@ struct ProcessClusterConfig {
   /// RESULT latency fields are per-epoch rather than per-txn.
   std::string batch_mode = "speculative";  // | "group-commit" | "per-txn-2pc"
   int txns_per_epoch = 32;
+  /// Adaptive batching (DESIGN.md §14) in the client processes: every batch
+  /// client gets an AdaptiveBatchController sizing epochs within
+  /// [min_epoch, max_epoch] and picking the commit mode online; batch_mode
+  /// becomes its initial mode and txns_per_epoch its initial size.
+  bool adaptive_batch = false;
+  int min_epoch = 4;
+  int max_epoch = 64;
   int hot_keys = 16;
   double hot_fraction = 0.5;
   double cross_fraction = 0.3;
@@ -86,6 +93,13 @@ struct ProcessClusterResult {
   double p50_txn_ms = 0;     // committed-weighted mean of per-process p50s
   double p99_txn_ms = 0;     // max over client processes (conservative)
   double mean_commit_ms = 0;
+  /// Adaptive-batching counters summed over client processes (zero when
+  /// adaptive_batch is off or the node binary predates them).
+  std::uint64_t adaptive_epochs = 0;
+  std::uint64_t mode_flips = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
   double committed_per_s() const {
     return elapsed_s > 0 ? static_cast<double>(committed) / elapsed_s : 0;
   }

@@ -97,4 +97,50 @@ class WindowedRate {
   std::uint64_t total_ = 0;
 };
 
+/// Exact mean over the last `window` real-valued samples (ring buffer) —
+/// the fully-forgetting counterpart of Ewma for non-boolean signals, used
+/// by the adaptive batch controller where a conflict spike must show at
+/// full strength even after a long calm history (the WindowedRate idea,
+/// lifted from booleans to means).
+class WindowedMean {
+ public:
+  explicit WindowedMean(std::size_t window = 16)
+      : slots_(window > 0 ? window : 1, 0.0) {}
+
+  void observe(double sample) {
+    if (filled_ == slots_.size()) {
+      sum_ -= slots_[next_];
+    } else {
+      ++filled_;
+    }
+    slots_[next_] = sample;
+    sum_ += sample;
+    next_ = (next_ + 1) % slots_.size();
+    ++total_;
+  }
+
+  /// Mean over the retained window; `fallback` when empty.
+  double mean(double fallback = 0.0) const {
+    return filled_ > 0 ? sum_ / static_cast<double>(filled_) : fallback;
+  }
+  std::size_t window() const { return slots_.size(); }
+  std::size_t occupied() const { return filled_; }
+  std::uint64_t total() const { return total_; }
+
+  void reset() {
+    std::fill(slots_.begin(), slots_.end(), 0.0);
+    filled_ = 0;
+    next_ = 0;
+    sum_ = 0.0;
+    total_ = 0;
+  }
+
+ private:
+  std::vector<double> slots_;
+  std::size_t filled_ = 0;
+  std::size_t next_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t total_ = 0;
+};
+
 }  // namespace srpc::stats

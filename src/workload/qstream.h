@@ -39,13 +39,27 @@ struct QStreamConfig {
   double rmw_fraction = 0.3;   // rmw among cold ops; the rest blind-write
   std::uint64_t num_keys = 100'000;
   std::size_t value_size = 16;
-  /// Hot set: the first `hot_keys` dataset keys, shared across clients.
+  /// Hot set: `hot_keys` dataset keys starting at `hot_offset`, shared
+  /// across clients.
   std::size_t hot_keys = 16;
+  /// First dataset key of the hot set — phase schedules move it to flip the
+  /// hot set's identity (old seeds stop mattering without any view change).
+  std::uint64_t hot_offset = 0;
   /// Probability that a transaction (outside a run) starts a hot run.
   double hot_fraction = 0.5;
   double run_length_mean = 4.0;
   /// Zipf alpha over shards for the cold ops' home shard.
   double shard_alpha = 0.9;
+  double cross_partition_fraction = 0.3;
+};
+
+/// One phase of a shifting schedule: the conflict dial (hot set size and
+/// contention fraction) plus the hot set's identity. Everything else of the
+/// stream (dataset, shard skew, op mix) stays fixed across phases.
+struct QStreamPhase {
+  std::size_t hot_keys = 16;
+  std::uint64_t hot_offset = 0;
+  double hot_fraction = 0.5;
   double cross_partition_fraction = 0.3;
 };
 
@@ -75,12 +89,27 @@ class QStreamWorkload {
 
   /// The next `txns_per_epoch` transactions of the stream, in order.
   std::vector<batch::BatchTxn> next_epoch() {
+    return next_txns(config_.txns_per_epoch);
+  }
+
+  /// The next `n` transactions of the stream — the sized-source hook for
+  /// adaptive epoch depths (the stream itself is epoch-agnostic).
+  std::vector<batch::BatchTxn> next_txns(std::size_t n) {
     std::vector<batch::BatchTxn> txns;
-    txns.reserve(config_.txns_per_epoch);
-    for (std::size_t i = 0; i < config_.txns_per_epoch; ++i) {
-      txns.push_back(next_txn());
-    }
+    txns.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) txns.push_back(next_txn());
     return txns;
+  }
+
+  /// Flips the conflict dial and hot-set identity mid-stream (phase
+  /// schedules). Takes effect from the next transaction; a live hot run is
+  /// cut so the old hot set stops being touched immediately.
+  void set_phase(const QStreamPhase& phase) {
+    config_.hot_keys = phase.hot_keys;
+    config_.hot_offset = phase.hot_offset;
+    config_.hot_fraction = phase.hot_fraction;
+    config_.cross_partition_fraction = phase.cross_partition_fraction;
+    run_remaining_ = 0;
   }
 
   const QStreamConfig& config() const { return config_; }
@@ -95,7 +124,8 @@ class QStreamWorkload {
     // op increments the run's counter key.
     if (run_remaining_ == 0 && config_.hot_keys > 0 &&
         rng_.flip(config_.hot_fraction)) {
-      run_key_ = key_at(rng_.uniform(config_.hot_keys));
+      run_key_ = key_at((config_.hot_offset + rng_.uniform(config_.hot_keys)) %
+                        config_.num_keys);
       run_remaining_ = 1;
       const auto cap = static_cast<std::size_t>(4 * config_.run_length_mean);
       while (run_remaining_ < cap &&

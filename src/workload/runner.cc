@@ -74,6 +74,37 @@ BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
   return run_batch_closed_loop(clients, 0, factory, warmup, measure);
 }
 
+BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
+                                     const SizedBatchWorkloadFactory& factory,
+                                     Duration warmup, Duration measure) {
+  std::vector<batch::BatchClient*> clients;
+  const int per_dc = cluster.clients_per_dc();
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc)
+    for (int i = 0; i < per_dc; ++i)
+      clients.push_back(&cluster.batch_client(dc, i));
+  return run_batch_closed_loop(clients, 0, factory, warmup, measure);
+}
+
+BatchRunResult run_batch_closed_loop(
+    const std::vector<batch::BatchClient*>& clients, int index_base,
+    const SizedBatchWorkloadFactory& factory, Duration warmup,
+    Duration measure) {
+  // Adapt the sized source onto the plain loop: each pull first asks the
+  // client how deep the next epoch should be (the adaptive controller's
+  // decision is cached until run_epoch consumes it, so size and mode stay
+  // one decision).
+  BatchWorkloadFactory adapted = [&factory, &clients,
+                                  index_base](int client_index) {
+    auto sized = factory(client_index);
+    batch::BatchClient* client =
+        clients[static_cast<std::size_t>(client_index - index_base)];
+    return [sized = std::move(sized), client]() {
+      return sized(client->next_epoch_size());
+    };
+  };
+  return run_batch_closed_loop(clients, index_base, adapted, warmup, measure);
+}
+
 BatchRunResult run_batch_closed_loop(
     const std::vector<batch::BatchClient*>& clients, int index_base,
     const BatchWorkloadFactory& factory, Duration warmup, Duration measure) {
@@ -104,7 +135,7 @@ BatchRunResult run_batch_closed_loop(
         result.committed += epoch.committed;
         result.aborted += epoch.aborted;
         result.epoch_latency.record(epoch.total);
-        if (client.mode() != batch::BatchMode::kPerTxn2pc) {
+        if (epoch.mode != batch::BatchMode::kPerTxn2pc) {
           result.commit_latency.record(epoch.commit_phase);
         }
       }

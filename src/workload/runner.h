@@ -77,16 +77,30 @@ struct BatchRunResult {
 using BatchWorkloadFactory = std::function<
     std::function<std::vector<batch::BatchTxn>()>(int client_index)>;
 
+/// Sized variant: the per-client source takes the epoch's transaction
+/// count. The loop asks the client (BatchClient::next_epoch_size — the
+/// adaptive controller's pick, or the static config size) before each
+/// epoch, so epoch depth can move mid-run.
+using SizedBatchWorkloadFactory = std::function<
+    std::function<std::vector<batch::BatchTxn>(std::size_t)>(int client_index)>;
+
 /// Closed loop over every batch client of `cluster` (requires
 /// config.batch_clients): each client runs epochs back-to-back; only epochs
 /// that *start* inside the measurement window are recorded.
 BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
                                      const BatchWorkloadFactory& factory,
                                      Duration warmup, Duration measure);
+BatchRunResult run_batch_closed_loop(rc::RcCluster& cluster,
+                                     const SizedBatchWorkloadFactory& factory,
+                                     Duration warmup, Duration measure);
 
 /// Same loop over bare batch clients (cross-process cluster nodes).
 BatchRunResult run_batch_closed_loop(
     const std::vector<batch::BatchClient*>& clients, int index_base,
     const BatchWorkloadFactory& factory, Duration warmup, Duration measure);
+BatchRunResult run_batch_closed_loop(
+    const std::vector<batch::BatchClient*>& clients, int index_base,
+    const SizedBatchWorkloadFactory& factory, Duration warmup,
+    Duration measure);
 
 }  // namespace srpc::wl

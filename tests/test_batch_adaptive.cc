@@ -1,0 +1,575 @@
+// Adaptive batching (DESIGN.md §14): AdaptiveBatchController gate
+// hysteresis (no thrash on boundary workloads), probing reopening the
+// speculative gate after accuracy recovers, the conflict/pressure size
+// reflexes + goodput hill climber, SeedStore slot-diff invalidation on view
+// refresh, serial-replay state equality across controller-driven mode
+// switches, and a multi-client storm with live phase shifts (the TSan
+// configuration of scripts/check.sh runs this suite).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/adaptive.h"
+#include "batch/client.h"
+#include "batch/seed.h"
+#include "rc/cluster.h"
+#include "rc/view.h"
+#include "workload/qstream.h"
+#include "workload/runner.h"
+
+namespace srpc::batch {
+namespace {
+
+// ------------------------------------------------------------ controller
+
+/// Synthetic epoch feedback: `txns - aborted` committed, fixed wall time.
+EpochFeedback fb(BatchMode mode, std::size_t txns, std::size_t aborted,
+                 double time_ms = 10.0, std::uint64_t checked = 0,
+                 std::uint64_t correct = 0, bool probe = false,
+                 int pressure = 0) {
+  EpochFeedback f;
+  f.mode = mode;
+  f.probe = probe;
+  f.txns = txns;
+  f.committed = txns - aborted;
+  f.aborted = aborted;
+  f.epoch_time = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(time_ms));
+  f.seed_checked = checked;
+  f.seed_correct = correct;
+  f.pressure_level = pressure;
+  return f;
+}
+
+/// Gate-focused config: the huge hold_epochs freezes the goodput climber and
+/// shrink_above parks the conflict size reflex, so mode transitions are the
+/// only moving part.
+AdaptiveBatchConfig gate_config() {
+  AdaptiveBatchConfig c;
+  c.initial_epoch = 16;
+  c.min_samples = 1;
+  c.window = 4;
+  c.conflict_hi = 0.5;
+  c.conflict_lo = 0.2;
+  c.shrink_above = 10.0;
+  c.release_streak = 3;
+  c.probe_every = 2;
+  c.hold_epochs = 100000;
+  return c;
+}
+
+TEST(AdaptiveController, PerTxnGateHysteresisDoesNotThrash) {
+  AdaptiveBatchConfig c = gate_config();
+  c.allow_speculative = false;  // isolate the conflict gate
+  c.initial_mode = BatchMode::kGroupCommit;
+  AdaptiveBatchController ctl(c);
+
+  // Below the engage threshold: conflict 0.375 < hi 0.5, no flip ever.
+  for (int i = 0; i < 10; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 6));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kGroupCommit);
+  EXPECT_EQ(ctl.stats().mode_flips, 0u);
+
+  // A real storm engages the gate once the window crosses hi.
+  for (int i = 0; i < 4; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 15));  // conflict ~0.94
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kPerTxn2pc);
+  EXPECT_EQ(ctl.stats().mode_flips, 1u);
+
+  // Mid-band probes (lo < conflict < hi) must NOT release: that band is
+  // the hysteresis. 0.3125 > conflict_lo resets the calm streak each time.
+  for (int i = 0; i < 10; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 5, 10.0, 0, 0,
+                   /*probe=*/true));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kPerTxn2pc);
+  EXPECT_EQ(ctl.stats().mode_flips, 1u);
+
+  // release_streak consecutive calm probes release it — exactly one more
+  // transition, no oscillation on the way.
+  for (int i = 0; i < 3; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 0, 10.0, 0, 0,
+                   /*probe=*/true));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kGroupCommit);
+  EXPECT_EQ(ctl.stats().mode_flips, 2u);
+
+  // Back in the mid-band from below: still no engage, still two flips.
+  for (int i = 0; i < 10; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 6));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kGroupCommit);
+  EXPECT_EQ(ctl.stats().mode_flips, 2u);
+}
+
+TEST(AdaptiveController, ProbingReopensSpeculationAfterAccuracyRecovers) {
+  AdaptiveBatchConfig c = gate_config();
+  c.initial_mode = BatchMode::kSpeculative;
+  c.release_streak = 2;
+  c.probe_every = 3;
+  AdaptiveBatchController ctl(c);
+  // misspec_cost 0.25 -> break-even 0.2, off < 0.1, on >= 0.3.
+  EXPECT_NEAR(ctl.accuracy_off_threshold(), 0.1, 1e-9);
+  EXPECT_NEAR(ctl.accuracy_on_threshold(), 0.3, 1e-9);
+
+  // Accurate speculative epochs: gate stays open.
+  for (int i = 0; i < 4; ++i) {
+    (void)ctl.next();
+    ctl.observe(fb(BatchMode::kSpeculative, 16, 0, 10.0, 8, 8));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kSpeculative);
+
+  // Accuracy collapses below break-even: gate closes (one flip).
+  for (int i = 0; i < 4; ++i) {
+    (void)ctl.next();
+    ctl.observe(fb(BatchMode::kSpeculative, 16, 0, 10.0, 8, 0));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kGroupCommit);
+  EXPECT_EQ(ctl.stats().mode_flips, 1u);
+
+  // Drive the decision loop: steady epochs run group commit (no seeds, no
+  // accuracy signal); every probe_every-th epoch probes speculative. Feed
+  // the probes recovered accuracy — release_streak of them reopen the gate.
+  int probes_seen = 0;
+  int epochs = 0;
+  while (ctl.stats().mode != BatchMode::kSpeculative && epochs < 30) {
+    const BatchDecision d = ctl.next();
+    ++epochs;
+    if (d.probe) {
+      EXPECT_EQ(d.mode, BatchMode::kSpeculative);
+      ++probes_seen;
+      ctl.observe(fb(BatchMode::kSpeculative, 16, 0, 10.0, 8, 8,
+                     /*probe=*/true));
+    } else {
+      EXPECT_EQ(d.mode, BatchMode::kGroupCommit);
+      ctl.observe(fb(BatchMode::kGroupCommit, 16, 0));
+    }
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kSpeculative);
+  EXPECT_EQ(probes_seen, 2);  // exactly release_streak accurate probes
+  EXPECT_LE(epochs, 3 * 2 + 2);
+  EXPECT_EQ(ctl.stats().mode_flips, 2u);
+}
+
+TEST(AdaptiveController, ClimberTracksGoodputPeakAndReflexCutsOnStorm) {
+  AdaptiveBatchConfig c;
+  c.min_epoch = 4;
+  c.max_epoch = 64;
+  c.initial_epoch = 32;
+  c.min_samples = 1;
+  c.window = 4;
+  c.hold_epochs = 2;
+  c.probe_every = 0;       // no probing: size dynamics only
+  c.conflict_hi = 100.0;   // park the mode gates
+  AdaptiveBatchController ctl(c);
+
+  // Calm workload whose goodput peaks at epoch size 32: committed scales
+  // with size while epoch time grows away from the peak. The climber must
+  // orbit the peak, not collapse onto a rail.
+  const auto calm_epoch = [&ctl] {
+    const auto size = static_cast<double>(ctl.stats().epoch_size);
+    ctl.observe(fb(BatchMode::kSpeculative, static_cast<std::size_t>(size), 0,
+                   /*time_ms=*/1.0 + 0.5 * std::abs(size - 32.0)));
+  };
+  // Storm: conflict ~0.9 and goodput strictly decreasing in size (3 of 32
+  // commit; the epoch still pays wall time per queued transaction), so
+  // smaller epochs genuinely win and the climber should ride to the floor.
+  const auto storm_epoch = [&ctl] {
+    const auto size = static_cast<double>(ctl.stats().epoch_size);
+    ctl.observe(fb(BatchMode::kSpeculative, 32, 29, /*time_ms=*/size));
+  };
+
+  for (int i = 0; i < 40; ++i) calm_epoch();
+  const AdaptiveBatchStats calm = ctl.stats();
+  EXPECT_GT(calm.grows, 0u);
+  EXPECT_GE(calm.epoch_size, 20u);  // orbiting 32, not stuck on a rail
+  EXPECT_LE(calm.epoch_size, 48u);
+
+  // Conflict regime shift: the windowed signal crossing shrink_above takes
+  // ONE immediate multiplicative cut within the first couple of epochs...
+  const std::uint64_t shrinks_before = calm.shrinks;
+  storm_epoch();
+  storm_epoch();
+  const std::size_t after_reflex = ctl.stats().epoch_size;
+  EXPECT_LE(after_reflex, (calm.epoch_size + 1) / 2);
+  EXPECT_GT(ctl.stats().shrinks, shrinks_before);
+
+  // ...and with goodput now favouring tiny epochs, the climber keeps
+  // walking down instead of regrowing into the storm.
+  for (int i = 0; i < 20; ++i) storm_epoch();
+  EXPECT_LE(ctl.stats().epoch_size, after_reflex);
+
+  // Conflict subsides: the climber regrows back toward the calm peak.
+  for (int i = 0; i < 60; ++i) calm_epoch();
+  EXPECT_GE(ctl.stats().epoch_size, 20u);
+  EXPECT_LE(ctl.stats().epoch_size, 64u);
+}
+
+TEST(AdaptiveController, AdmissionPressureShrinksEveryEpochAndCapsGrowth) {
+  AdaptiveBatchConfig c;
+  c.min_epoch = 4;
+  c.max_epoch = 64;
+  c.initial_epoch = 64;
+  c.min_samples = 1;
+  c.hold_epochs = 2;
+  c.probe_every = 0;
+  AdaptiveBatchController ctl(c);
+
+  // Shedding: a cut per epoch straight down to min_epoch.
+  for (int i = 0; i < 5; ++i) {
+    ctl.observe(fb(BatchMode::kSpeculative, 16, 0, 10.0, 0, 0, false,
+                   /*pressure=*/2));
+  }
+  EXPECT_EQ(ctl.stats().epoch_size, 4u);
+
+  // Pressure clears: growth resumes.
+  for (int i = 0; i < 20; ++i) {
+    ctl.observe(fb(BatchMode::kSpeculative, 16, 0));
+  }
+  EXPECT_GT(ctl.stats().epoch_size, 4u);
+}
+
+TEST(AdaptiveController, PerTxnEpochsCarryNoConflictSignalAndFreezeSize) {
+  AdaptiveBatchConfig c = gate_config();
+  c.allow_speculative = false;
+  c.initial_mode = BatchMode::kPerTxn2pc;
+  c.hold_epochs = 2;
+  AdaptiveBatchController ctl(c);
+  const std::size_t size0 = ctl.stats().epoch_size;
+
+  // Per-txn epochs: near-zero aborts by construction. They must neither
+  // release the gate (blind release would thrash against re-engagement)
+  // nor walk the size.
+  for (int i = 0; i < 12; ++i) {
+    ctl.observe(fb(BatchMode::kPerTxn2pc, 16, 0));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kPerTxn2pc);
+  EXPECT_EQ(ctl.stats().epoch_size, size0);
+  EXPECT_EQ(ctl.stats().grows, 0u);
+  EXPECT_DOUBLE_EQ(ctl.stats().conflict_windowed, 0.0);
+
+  // Calm batched probes do release it.
+  for (int i = 0; i < 3; ++i) {
+    ctl.observe(fb(BatchMode::kGroupCommit, 16, 0, 10.0, 0, 0, true));
+  }
+  EXPECT_EQ(ctl.stats().mode, BatchMode::kGroupCommit);
+}
+
+// ------------------------------------------------- seed slot-diff refresh
+
+TEST(SeedStoreView, InvalidateMovedDropsOnlyMigratedSlots) {
+  const rc::ClusterView from = rc::ClusterView::make_static();
+  // Move two slots owned by shard 0 onto shard 1.
+  std::vector<int> moved_slots;
+  for (int slot = 0; slot < rc::kViewSlots && moved_slots.size() < 2; ++slot) {
+    if (from.slot_owner[static_cast<std::size_t>(slot)] == 0) {
+      moved_slots.push_back(slot);
+    }
+  }
+  ASSERT_EQ(moved_slots.size(), 2u);
+  const rc::ClusterView to = from.with_slots_moved(moved_slots, 1);
+
+  // Seed keys until both populations exist.
+  SeedStore seeds;
+  std::vector<std::string> on_moved, on_stayed;
+  for (std::uint64_t i = 0; on_moved.size() < 3 || on_stayed.size() < 3;
+       ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08llu",
+                  static_cast<unsigned long long>(i));
+    const int slot = rc::slot_of_key(key);
+    const bool moved = slot == moved_slots[0] || slot == moved_slots[1];
+    if (moved && on_moved.size() < 3) {
+      on_moved.push_back(key);
+    } else if (!moved && on_stayed.size() < 3) {
+      on_stayed.push_back(key);
+    } else {
+      continue;
+    }
+    seeds.put(key, "v", static_cast<std::int64_t>(100 + i));
+  }
+
+  const std::size_t dropped = seeds.invalidate_moved(from, to);
+  EXPECT_EQ(dropped, 3u);
+  for (const auto& key : on_moved) EXPECT_FALSE(seeds.get(key).has_value());
+  for (const auto& key : on_stayed) EXPECT_TRUE(seeds.get(key).has_value());
+
+  // No slots moved: nothing dropped.
+  EXPECT_EQ(seeds.invalidate_moved(to, to), 0u);
+  EXPECT_EQ(seeds.size(), 3u);
+
+  // A view without a full slot table degrades to the conservative clear.
+  rc::ClusterView bogus = to;
+  bogus.slot_owner.clear();
+  EXPECT_EQ(seeds.invalidate_moved(to, bogus), 3u);
+  EXPECT_EQ(seeds.size(), 0u);
+}
+
+// ---------------------------------------------- cluster-level correctness
+
+BatchOp read_op(std::string key) {
+  BatchOp op;
+  op.kind = OpKind::kRead;
+  op.key = std::move(key);
+  return op;
+}
+
+BatchOp write_op(std::string key, std::string value) {
+  BatchOp op;
+  op.kind = OpKind::kWrite;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+BatchOp incr_op(std::string key) {
+  BatchOp op;
+  op.kind = OpKind::kRmw;
+  op.key = std::move(key);
+  op.value = "1";
+  op.transform = Transform::kIncrement;
+  return op;
+}
+
+/// Serial-execution reference (same rules as test_batch.cc / perf_batch).
+class SerialReplay {
+ public:
+  explicit SerialReplay(std::string initial) : initial_(std::move(initial)) {}
+
+  void apply(const BatchTxn& txn) {
+    std::map<std::string, std::string> buffer;
+    for (const auto& op : txn.ops) {
+      if (op.kind == OpKind::kWrite) {
+        buffer[op.key] = op.value;
+        continue;
+      }
+      const std::string current = [&] {
+        auto bit = buffer.find(op.key);
+        if (bit != buffer.end()) return bit->second;
+        auto it = state_.find(op.key);
+        return it != state_.end() ? it->second : initial_;
+      }();
+      if (op.kind == OpKind::kRmw) {
+        buffer[op.key] = apply_transform(op.transform, current, op.value);
+      }
+    }
+    for (auto& [key, value] : buffer) state_[key] = value;
+  }
+
+  const std::map<std::string, std::string>& state() const { return state_; }
+
+ private:
+  std::string initial_;
+  std::map<std::string, std::string> state_;
+};
+
+void expect_converged(rc::RcCluster& cluster,
+                      const std::map<std::string, std::string>& expected) {
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  const auto view = cluster.view();
+  for (const auto& [key, value] : expected) {
+    const int shard = view->shard_of(key);
+    for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+      for (;;) {
+        auto got = cluster.store(dc, shard).get(key);
+        if (got.has_value() && got->value == value) break;
+        if (Clock::now() > deadline) {
+          FAIL() << "replica dc" << dc << " shard" << shard << " key " << key
+                 << " = '" << (got ? got->value : "<missing>")
+                 << "', expected '" << value << "'";
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+}
+
+rc::ClusterConfig adaptive_cluster(BatchMode initial_mode, int clients_per_dc,
+                                   const AdaptiveBatchConfig& acfg) {
+  rc::ClusterConfig config;
+  config.flavor = Flavor::kSpec;
+  config.geo = uniform_geo(/*rtt_ms=*/4.0);
+  config.geo.lan_rtt_ms = 0.2;
+  config.clients_per_dc = clients_per_dc;
+  config.num_keys = 2000;
+  config.executor_threads = 8;
+  config.batch_clients = true;
+  config.batch_mode = initial_mode;
+  config.batch_txns_per_epoch = acfg.initial_epoch;
+  config.adaptive_batch = true;
+  config.adaptive_batch_config = acfg;
+  return config;
+}
+
+TEST(BatchAdaptiveCluster, SerialReplayEqualityAcrossModeSwitches) {
+  // Aggressive controller: starts per-txn engaged, calm probes release it
+  // within a few epochs, speculation reopens through accurate probes, then
+  // poisoned seeds slam the accuracy gate shut again — one single-client
+  // stream crosses all three commit modes and the replicated state must
+  // equal the serial replay throughout.
+  AdaptiveBatchConfig acfg;
+  acfg.min_epoch = 4;
+  acfg.max_epoch = 8;
+  acfg.initial_epoch = 6;
+  acfg.initial_mode = BatchMode::kPerTxn2pc;
+  acfg.min_samples = 1;
+  acfg.window = 2;
+  acfg.probe_every = 2;
+  acfg.release_streak = 1;
+  // Wide accuracy band (off < 0.3, on >= 0.7): poisoned epochs still score
+  // the occasional lucky rmw seed, so their accuracy floats around ~0.15 —
+  // well inside this close region, while healthy epochs sit at ~1.0.
+  acfg.misspec_cost = 1.0;
+  acfg.hysteresis = 0.2;
+  rc::RcCluster cluster(
+      adaptive_cluster(BatchMode::kPerTxn2pc, /*clients_per_dc=*/1, acfg));
+  auto& client = cluster.batch_client(0, 0);
+  ASSERT_NE(client.controller(), nullptr);
+
+  // Disjoint key roles keep seed accuracy meaningful: `reads` are never
+  // written (their seeds stay exactly right until poisoned), `writes` are
+  // never read except through the in-epoch overlay / rmw path.
+  const std::vector<std::string> reads = {"k00000000", "k00000001",
+                                          "k00000002", "k00000003"};
+  const std::vector<std::string> writes = {"k00000004", "k00000005",
+                                           "k00000006", "k00000007"};
+  SerialReplay replay(std::string(16, 'v'));
+  std::uint64_t next_id = 1;
+  std::size_t total_committed = 0;
+
+  const auto run_epochs = [&](int count) {
+    for (int e = 0; e < count; ++e) {
+      const std::size_t n = client.next_epoch_size();
+      ASSERT_GE(n, acfg.min_epoch);
+      ASSERT_LE(n, acfg.max_epoch);
+      std::vector<BatchTxn> txns;
+      for (std::size_t i = 0; i < n; ++i) {
+        BatchTxn txn;
+        txn.id = next_id++;
+        txn.ops = {read_op(reads[(txn.id * 3) % reads.size()]),
+                   read_op(reads[(txn.id * 7 + 2) % reads.size()]),
+                   write_op(writes[(txn.id * 2 + 1) % writes.size()],
+                            "t" + std::to_string(txn.id)),
+                   incr_op(writes[(txn.id * 3 + 2) % writes.size()])};
+        txns.push_back(txn);
+      }
+      const auto reference = txns;
+      const EpochResult result = client.run_epoch(std::move(txns));
+      if (std::getenv("SPECRPC_TEST_TRACE")) {
+        const auto s = client.controller()->stats();
+        std::fprintf(stderr,
+                     "epoch %llu ran=%d steady=%d flips=%llu acc_obs=%llu "
+                     "acc_win=%.2f n=%zu\n",
+                     static_cast<unsigned long long>(s.epochs),
+                     static_cast<int>(result.mode), static_cast<int>(s.mode),
+                     static_cast<unsigned long long>(s.mode_flips),
+                     static_cast<unsigned long long>(s.accuracy_epochs),
+                     s.accuracy_windowed, n);
+      }
+      ASSERT_EQ(result.decisions.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        // Single client: every transaction must commit, poisoned seeds or
+        // not (mispredictions roll back and re-execute, they never decide).
+        ASSERT_TRUE(result.decisions[i]) << "txn " << i << " aborted";
+        replay.apply(reference[i]);
+        ++total_committed;
+      }
+    }
+  };
+
+  run_epochs(10);  // per-txn start -> calm probes release -> spec reopens
+
+  // Poison the stable read keys' seeds with a version high enough that real
+  // learn()-backs can't overwrite it (the store is version-monotone):
+  // accuracy collapses, the speculation gate closes, and the stream keeps
+  // running — correctly — through group commit.
+  for (const auto& key : reads) {
+    client.seeds()->put(key, "poisoned", 9'000'000'000'000'000LL);
+  }
+  run_epochs(10);
+
+  const AdaptiveBatchStats stats = cluster.adaptive_batch_stats();
+  EXPECT_GE(stats.mode_flips, 3u);  // 2pc -> group -> spec -> group at least
+  EXPECT_GT(stats.mode_epochs[0], 0u);
+  EXPECT_GT(stats.mode_epochs[1], 0u);
+  EXPECT_GT(stats.mode_epochs[2], 0u);
+  EXPECT_GT(total_committed, 0u);
+  expect_converged(cluster, replay.state());
+}
+
+TEST(BatchAdaptiveCluster, MultiClientStormWithPhaseShifts) {
+  // Six clients under a qstream whose conflict dial flips mid-run; the
+  // aggressive controller settings force mode churn while TSan watches the
+  // controller/client/seed interactions.
+  AdaptiveBatchConfig acfg;
+  acfg.min_epoch = 4;
+  acfg.max_epoch = 16;
+  acfg.initial_epoch = 8;
+  acfg.initial_mode = BatchMode::kSpeculative;
+  acfg.min_samples = 1;
+  acfg.window = 4;
+  acfg.hold_epochs = 2;
+  acfg.probe_every = 2;
+  acfg.release_streak = 1;
+  acfg.conflict_hi = 0.6;
+  acfg.conflict_lo = 0.2;
+  rc::RcCluster cluster(
+      adaptive_cluster(BatchMode::kSpeculative, /*clients_per_dc=*/2, acfg));
+  const int total_clients = cluster.num_dcs() * 2;
+
+  wl::QStreamConfig wc;
+  wc.ops_per_txn = 3;
+  wc.num_keys = 2000;
+  wc.hot_keys = 64;
+  wc.hot_fraction = 0.2;
+  wc.cross_partition_fraction = 0.3;
+  std::vector<std::shared_ptr<wl::QStreamWorkload>> streams;
+  for (int i = 0; i < total_clients; ++i) {
+    streams.push_back(std::make_shared<wl::QStreamWorkload>(
+        wc, 77 + static_cast<std::uint64_t>(i)));
+  }
+  wl::SizedBatchWorkloadFactory factory = [&streams](int client_index) {
+    auto w = streams[static_cast<std::size_t>(client_index)];
+    return [w](std::size_t n) { return w->next_txns(n); };
+  };
+
+  const auto bout = std::chrono::milliseconds(150);
+  std::uint64_t committed = 0;
+  // calm -> storm (tiny moved hot set) -> calm (moved again)
+  const wl::QStreamPhase phases[] = {
+      {64, 0, 0.2, 0.3}, {2, 500, 0.9, 0.6}, {64, 1000, 0.2, 0.3}};
+  for (const auto& phase : phases) {
+    for (auto& s : streams) s->set_phase(phase);
+    const wl::BatchRunResult r =
+        wl::run_batch_closed_loop(cluster, factory, Duration::zero(), bout);
+    committed += r.committed;
+  }
+  EXPECT_GT(committed, 0u);
+
+  const AdaptiveBatchStats stats = cluster.adaptive_batch_stats();
+  EXPECT_GT(stats.epochs, 0u);
+  EXPECT_EQ(stats.epochs, stats.mode_epochs[0] + stats.mode_epochs[1] +
+                              stats.mode_epochs[2]);
+  for (int dc = 0; dc < cluster.num_dcs(); ++dc) {
+    for (int i = 0; i < 2; ++i) {
+      auto* ctl = cluster.batch_controller(dc, i);
+      ASSERT_NE(ctl, nullptr);
+      const AdaptiveBatchStats s = ctl->stats();
+      EXPECT_GE(s.epoch_size, acfg.min_epoch);
+      EXPECT_LE(s.epoch_size, acfg.max_epoch);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srpc::batch
